@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper and
+prints a paper-vs-measured comparison. Absolute equality is not the
+goal (the substrate is a simulator, not the authors' testbed); the
+*shape* — who wins, by what factor, where crossovers fall — is.
+
+Set ``REPRO_BENCH_FULL=1`` to run the performance benchmarks at full
+workload counts and longer simulated time.
+"""
+
+import os
+
+import pytest
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_rows(headers, rows) -> None:
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        for i, header in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def check_shape(name, measured, paper, rel=0.10):
+    """Assert a measured value lands within ``rel`` of the paper's."""
+    assert measured == pytest.approx(paper, rel=rel), (
+        f"{name}: measured {measured} vs paper {paper} (rel {rel})"
+    )

@@ -1,0 +1,21 @@
+"""Fig 10: MinTRH of pattern-2 as the number of attack rows varies."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.patterns import pattern2_sweep
+
+
+def test_fig10_pattern2_sweep(benchmark):
+    ks = [1, 5, 10, 20, 30, 40, 50, 60, 73, 90, 110, 146]
+    sweep = benchmark(lambda: dict(pattern2_sweep(ks=ks)))
+    print_header("Fig 10 — MinTRH vs number of attack rows k (pattern-2)")
+    rows = [(k, sweep[k]) for k in ks]
+    print_rows(["k (rows)", "MinTRH"], rows)
+    print("paper anchors: k=1 -> 2461, k=73 -> 2763 (peak), declining after")
+    # Anchor points from the paper's text.
+    check_shape("k=1", sweep[1], 2461, rel=0.01)
+    check_shape("k=73", sweep[73], 2763, rel=0.01)
+    # Shape: rises to k = M, declines in the multi-tREFI regime.
+    assert sweep[73] == max(sweep.values())
+    assert sweep[146] < sweep[73]
+    assert all(sweep[a] <= sweep[b] for a, b in zip(ks[:8], ks[1:9]))

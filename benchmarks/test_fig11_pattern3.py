@@ -1,0 +1,24 @@
+"""Fig 11: MinTRH of pattern-3 as copies per attack row vary."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.patterns import pattern3_sweep
+
+
+def test_fig11_pattern3_sweep(benchmark):
+    copies = [1, 2, 3, 4, 6, 8, 12, 18, 24, 36, 48, 64, 73]
+    sweep = benchmark(lambda: dict(pattern3_sweep(copies_list=copies)))
+    print_header("Fig 11 — MinTRH vs copies per attack row (pattern-3)")
+    rows = [(c, sweep[c]) for c in copies]
+    print_rows(["c (copies)", "MinTRH"], rows)
+    print("paper shape: flat for c=1-3 (within 0.5%), drops for 4+,"
+          " collapses toward full occupancy")
+    base = sweep[1]
+    # Flat for 1-3 copies.
+    for c in (2, 3):
+        check_shape(f"c={c}", sweep[c], base, rel=0.01)
+    # Declines beyond.
+    assert sweep[8] < sweep[4] <= base * 1.01
+    assert sweep[36] < sweep[8]
+    # Collapse at full occupancy: an ineffective attack.
+    assert sweep[73] < base / 5

@@ -1,0 +1,36 @@
+"""Fig 21 (Appendix B): adaptive attacks on MINT+DMQ vs morphing point."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.adaptive import AdaConfig, ada_curve, worst_case_ada_mintrh
+
+
+def test_fig21_adaptive_attack_curves(benchmark):
+    mps = [500, 1000, 1300, 1500, 2000, 2600, 3000, 4000, 6000, 8000]
+
+    def run():
+        cfg = AdaConfig()
+        return (
+            dict(ada_curve(mps, cfg, double_sided=False)),
+            dict(ada_curve(mps, cfg, double_sided=True)),
+        )
+
+    single, double = benchmark(run)
+    print_header("Fig 21 — MinTRH of MINT+DMQ under ADA vs morphing point")
+    rows = [(mp, single[mp], double[mp]) for mp in mps]
+    print_rows(["MP (tREFI)", "ADA single-sided", "ADA double-sided"], rows)
+
+    mp_s, peak_s = worst_case_ada_mintrh(double_sided=False)
+    mp_d, peak_d = worst_case_ada_mintrh(double_sided=True)
+    print(f"peaks: single {peak_s} @ MP {mp_s} (paper 2899 @ 2533-3730), "
+          f"double {peak_d} @ MP {mp_d} (paper 1482 @ 1299-1456)")
+
+    check_shape("single peak", peak_s, 2899, rel=0.03)
+    check_shape("double peak", peak_d, 1482, rel=0.02)
+    # Shape: double-sided becomes effective earlier than single-sided.
+    assert double[1300] > double[500]
+    assert single[1300] == single[500]  # not yet effective
+    assert single[2600] > single[500]
+    # Repeats make very large MPs slightly weaker.
+    assert double[8000] < peak_d
+    assert single[8000] < peak_s

@@ -1,0 +1,23 @@
+"""Fig 3: InDRAM-PARA survival probability vs position in tREFI."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.survival import survival_probability
+
+
+def test_fig3_survival_curve(benchmark):
+    curve = benchmark(
+        lambda: [survival_probability(k) for k in range(1, 74)]
+    )
+    print_header("Fig 3 — Survival probability, InDRAM-PARA (overwrite)")
+    rows = [
+        (k, f"{curve[k - 1]:.3f}")
+        for k in (1, 10, 20, 30, 40, 50, 60, 70, 73)
+    ]
+    print_rows(["Position K", "S_K = (1-p)^(M-K)"], rows)
+    print(f"dip at position 1: {1 / curve[0]:.2f}x below position 73 "
+          f"(paper: 2.7x)")
+    # Paper: first position survives with 0.37, last with 1.0.
+    check_shape("S_1", curve[0], 0.372, rel=0.02)
+    assert curve[-1] == 1.0
+    check_shape("dip factor", 1 / curve[0], 2.7, rel=0.02)

@@ -1,0 +1,23 @@
+"""Fig 5: sampling probability of InDRAM-PARA (no-overwrite)."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.survival import sampling_probability_no_overwrite
+
+
+def test_fig5_sampling_curve(benchmark):
+    p = 1 / 73
+    curve = benchmark(
+        lambda: [
+            sampling_probability_no_overwrite(k) / p for k in range(1, 74)
+        ]
+    )
+    print_header("Fig 5 — Sampling probability, InDRAM-PARA (no-overwrite)")
+    rows = [(k, f"{curve[k - 1]:.3f}") for k in (1, 10, 30, 50, 73)]
+    print_rows(["Position K", "P_K / p"], rows)
+    print(f"dip at position 73: {1 / curve[-1]:.2f}x below position 1 "
+          f"(paper: 2.7x, absolute 1/73 -> ~1/200)")
+    check_shape("P_1 relative", curve[0], 1.0, rel=0.001)
+    check_shape("P_73 relative", curve[-1], 0.372, rel=0.02)
+    # Absolute probability of the weakest position: ~1/200 (paper).
+    check_shape("1/P_73 absolute", 1 / (curve[-1] * p), 200, rel=0.03)

@@ -1,0 +1,20 @@
+"""Table I: DDR5 parameters and the derived MaxACT = 73."""
+
+from conftest import print_header, print_rows
+
+from repro.dram.timing import DEFAULT_TIMING
+
+
+def test_table1_dram_parameters(benchmark):
+    timing = benchmark(lambda: DEFAULT_TIMING)
+    print_header("Table I — DRAM parameters (DDR5-5200B, 32Gb)")
+    rows = [
+        ("tREFW", "Refresh Window", f"{timing.t_refw_ms:.0f} ms", "32 ms"),
+        ("tREFI", "Interval between REF", f"{timing.t_refi_ns:.0f} ns", "3900 ns"),
+        ("tRFC", "REF execution time", f"{timing.t_rfc_ns:.0f} ns", "410 ns"),
+        ("tRC", "ACT-to-ACT time", f"{timing.t_rc_ns:.0f} ns", "48 ns"),
+        ("MaxACT", "(tREFI-tRFC)/tRC", str(timing.max_act), "73"),
+    ]
+    print_rows(["Param", "Meaning", "Measured", "Paper"], rows)
+    assert timing.max_act == 73
+    assert timing.t_refw_ms == 32.0

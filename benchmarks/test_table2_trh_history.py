@@ -1,0 +1,28 @@
+"""Table II: Rowhammer threshold across DRAM generations."""
+
+from conftest import print_header, print_rows
+
+from repro.analysis.literature import TRH_HISTORY, lowest_known_trh_d, trend_factor
+
+
+def test_table2_trh_history(benchmark):
+    history = benchmark(lambda: TRH_HISTORY)
+    print_header("Table II — Rowhammer threshold over time")
+    rows = []
+    for generation in history:
+        single = (
+            f"{generation.trh_single_sided[0] // 1000}K"
+            if generation.trh_single_sided
+            else "-"
+        )
+        double = (
+            f"{generation.trh_double_sided[0] / 1000:.1f}K-"
+            f"{generation.trh_double_sided[1] / 1000:.1f}K"
+            if generation.trh_double_sided
+            else "-"
+        )
+        rows.append((generation.generation, single, double, generation.source))
+    print_rows(["Generation", "TRH-S", "TRH-D", "Source"], rows)
+    assert lowest_known_trh_d() == 4800
+    # The decade-long ~29x drop that motivates scalable defenses.
+    assert trend_factor() > 25

@@ -1,0 +1,59 @@
+"""Table III: comparison of in-DRAM trackers."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.comparison import mint_vs_prct_gap, table3
+
+PAPER = {
+    "PRCT": (623, 128 * 1024, False),
+    "Mithril": (1400, 677, False),
+    "PARFM": (4096, 73, True),
+    "InDRAM-PARA": (3732, 1, False),
+    "MINT": (1400, 1, False),
+}
+
+
+def test_table3_tracker_comparison(benchmark):
+    rows = benchmark(table3)
+    print_header("Table III — Comparison of in-DRAM trackers")
+    printable = []
+    for row in rows:
+        paper_trh, paper_entries, paper_vulnerable = PAPER[row.name]
+        printable.append(
+            (
+                row.name,
+                row.centric,
+                row.mintrh_d,
+                paper_trh,
+                row.entries,
+                paper_entries,
+                "vulnerable" if row.transitive_vulnerable else "immune",
+            )
+        )
+    print_rows(
+        ["Design", "Centric", "MinTRH-D", "(paper)", "Entries", "(paper)",
+         "Transitive"],
+        printable,
+    )
+    print(f"MINT vs idealized PRCT gap: {mint_vs_prct_gap():.2f}x (paper: 2.25x)")
+
+    by_name = {row.name: row for row in rows}
+    # Exact-ish anchors.
+    check_shape("PRCT", by_name["PRCT"].mintrh_d, 623, rel=0.02)
+    check_shape("Mithril", by_name["Mithril"].mintrh_d, 1400, rel=0.02)
+    check_shape("MINT", by_name["MINT"].mintrh_d, 1400, rel=0.01)
+    assert by_name["PARFM"].mintrh_d == 4096
+    # InDRAM-PARA: our exact-threshold model lands ~9% below the paper's
+    # 3732 (the paper scales the 2.7x probability ratio directly).
+    check_shape("InDRAM-PARA", by_name["InDRAM-PARA"].mintrh_d, 3732, rel=0.12)
+    # Ordering (the table's message).
+    assert (
+        by_name["PRCT"].mintrh_d
+        < by_name["MINT"].mintrh_d
+        <= by_name["Mithril"].mintrh_d * 1.02
+        < by_name["InDRAM-PARA"].mintrh_d
+        < by_name["PARFM"].mintrh_d
+    )
+    # Transitive column.
+    for name, (_t, _e, vulnerable) in PAPER.items():
+        assert by_name[name].transitive_vulnerable == vulnerable

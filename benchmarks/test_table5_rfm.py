@@ -1,0 +1,25 @@
+"""Table V: MINT co-designed with RFM scales to lower thresholds."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.rfm_scaling import table5
+
+PAPER = [2700, 1482, 689, 356]
+
+
+def test_table5_rfm_scaling(benchmark):
+    rows = benchmark(table5)
+    print_header("Table V — MinTRH-D of MINT and MINT+RFM (with DMQ, ADA)")
+    printable = [
+        (row.name, row.relative_rate, row.interval_acts, row.mintrh_d, paper)
+        for row, paper in zip(rows, PAPER)
+    ]
+    print_rows(
+        ["Scheme", "Mitigation rate", "Interval (ACTs)", "MinTRH-D", "Paper"],
+        printable,
+    )
+    for row, paper in zip(rows, PAPER):
+        check_shape(row.name + row.relative_rate, row.mintrh_d, paper, rel=0.05)
+    # Threshold scales ~linearly with the mitigation interval.
+    ratio = rows[1].mintrh_d / rows[3].mintrh_d
+    assert 3.3 <= ratio <= 4.9  # ~4x from RFM16

@@ -1,0 +1,47 @@
+"""Table VII: MinTRH-D sensitivity to the Target Time-to-Fail."""
+
+import pytest
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.rfm_scaling import ttf_sensitivity
+from repro.analysis.saroiu_wolman import mttf_years, target_refw_probability
+from repro.constants import CONCURRENT_BANKS
+
+PAPER = {
+    1e3: (1400, 651, 336),
+    1e4: (1480, 689, 356),
+    1e5: (1570, 726, 375),
+    1e6: (1640, 763, 395),
+}
+
+
+def test_table7_ttf_sensitivity(benchmark):
+    rows = benchmark(lambda: ttf_sensitivity([1e3, 1e4, 1e5, 1e6]))
+    print_header("Table VII — MinTRH-D vs Target-TTF (per bank)")
+    printable = []
+    for row in rows:
+        target = row["target_ttf_years"]
+        system_years = target / CONCURRENT_BANKS
+        paper = PAPER[target]
+        printable.append(
+            (
+                f"{target:,.0f} y",
+                f"{system_years:,.0f} y",
+                f"{row['mint']} ({paper[0]})",
+                f"{row['rfm32']} ({paper[1]})",
+                f"{row['rfm16']} ({paper[2]})",
+            )
+        )
+    print_rows(
+        ["Target-TTF (bank)", "MTTF (system)", "MINT (paper)",
+         "+RFM32 (paper)", "+RFM16 (paper)"],
+        printable,
+    )
+    for row in rows:
+        paper = PAPER[row["target_ttf_years"]]
+        check_shape("mint", row["mint"], paper[0], rel=0.03)
+        check_shape("rfm32", row["rfm32"], paper[1], rel=0.05)
+        check_shape("rfm16", row["rfm16"], paper[2], rel=0.06)
+    # Equation 8 sanity: the target probability reproduces the MTTF.
+    assert mttf_years(target_refw_probability(1e4)) == pytest.approx(1e4)

@@ -1,0 +1,46 @@
+"""Table IX: per-bank SRAM overhead of trackers (Graphene vs MINT)."""
+
+from conftest import check_shape, print_header, print_rows
+
+from repro.analysis.storage import (
+    graphene_storage,
+    mint_dmq_storage,
+    mint_impress_storage,
+    mint_storage,
+    table9,
+)
+
+
+def test_table9_sram_overheads(benchmark):
+    rows = benchmark(table9)
+    print_header("Table IX — Per-bank SRAM overhead (per-rank is 32x)")
+    printable = [
+        (
+            f"TRH-D = {row['trh_d']}",
+            f"{row['graphene_kb_per_bank']:.1f} KB",
+            f"{row['mint_dmq_bytes_per_bank']:.1f} B",
+        )
+        for row in rows
+    ]
+    print_rows(["Device threshold", "Graphene", "MINT+DMQ"], printable)
+    print("paper: Graphene 56.5 KB @ 3K / 565 KB @ 300; MINT+DMQ 15 bytes")
+
+    check_shape("graphene@3k", rows[0]["graphene_kb_per_bank"], 56.5, rel=0.01)
+    check_shape("graphene@300", rows[1]["graphene_kb_per_bank"], 565.0, rel=0.01)
+    assert rows[0]["mint_dmq_bytes_per_bank"] < 15.0
+    # MINT's storage is threshold-independent.
+    assert rows[0]["mint_dmq_bytes_per_bank"] == rows[1]["mint_dmq_bytes_per_bank"]
+
+
+def test_section8c_storage_breakdown():
+    """Section VIII-C: 4 bytes MINT, 9.5 bytes DMQ, <15 total, ~17 with
+    the Row-Press extension."""
+    print_header("Section VIII-C — storage breakdown")
+    budgets = [mint_storage(), mint_dmq_storage(), mint_impress_storage()]
+    print_rows(
+        ["Structure", "Bits", "Bytes"],
+        [(b.name, b.bits, f"{b.bytes:.1f}") for b in budgets],
+    )
+    assert mint_storage().bytes == 4.0
+    assert mint_dmq_storage().bytes < 15.0
+    assert 15.0 <= mint_impress_storage().bytes <= 17.5

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Security landscape: render the paper's key figures in the terminal.
+
+Plots Fig 3/5 (InDRAM-PARA's non-uniformity), Fig 10/11 (MINT's
+worst-case patterns), Fig 18 (MaxACT sensitivity) and Fig 21 (adaptive
+attacks) as ASCII charts, straight from the analysis package.
+
+Run:  python examples/security_landscape.py
+"""
+
+from repro.analysis.adaptive import ada_curve
+from repro.analysis.figures import ascii_multi_plot, ascii_plot
+from repro.analysis.maxact import maxact_sweep
+from repro.analysis.patterns import pattern2_sweep, pattern3_sweep
+from repro.analysis.survival import (
+    sampling_probability_no_overwrite,
+    survival_probability,
+)
+
+
+def main() -> None:
+    positions = list(range(1, 74))
+    print(ascii_multi_plot(
+        {
+            "survival (Fig 3, overwrite)": [
+                survival_probability(k) for k in positions
+            ],
+            "sampling/p (Fig 5, no-overwrite)": [
+                sampling_probability_no_overwrite(k) * 73 for k in positions
+            ],
+        },
+        height=10,
+    ))
+    print("\nboth PARA variants dip to 0.37 at opposite ends — the 2.7x"
+          " hole MINT closes.\n")
+
+    ks = list(range(1, 147, 3))
+    print(ascii_plot(
+        [v for _, v in pattern2_sweep(ks=ks)],
+        xs=ks,
+        height=10,
+        label="Fig 10 — MinTRH vs attack rows k (peak at k = 73)",
+    ))
+    print()
+
+    copies = list(range(1, 74, 2))
+    print(ascii_plot(
+        [v for _, v in pattern3_sweep(copies_list=copies)],
+        xs=copies,
+        height=10,
+        label="Fig 11 — MinTRH vs copies per row (collapses for c >= 4)",
+    ))
+    print()
+
+    points = maxact_sweep(list(range(65, 81)))
+    print(ascii_multi_plot(
+        {
+            "MINT (Fig 18)": [p.mint_mintrh_d for p in points],
+            "InDRAM-PARA": [p.para_mintrh_d for p in points],
+        },
+        height=10,
+    ))
+    print("\nMaxACT 65..80: both scale linearly; the gap stays ~2.4-2.7x.\n")
+
+    mps = list(range(200, 8000, 200))
+    print(ascii_multi_plot(
+        {
+            "ADA single-sided (Fig 21)": [
+                v for _, v in ada_curve(mps, double_sided=False)
+            ],
+            "ADA double-sided": [
+                v for _, v in ada_curve(mps, double_sided=True)
+            ],
+        },
+        height=10,
+    ))
+    print("\nadaptive attacks peak at 2899 (single) / 1482 (double):"
+          " MINT+DMQ's reported thresholds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Threshold planner: pick a MINT configuration for a device.
+
+Given a device's measured double-sided Rowhammer threshold, the planner
+uses the paper's analysis to choose the cheapest MINT configuration
+that protects it (plain MINT, MINT+RFM32, MINT+RFM16), and reports the
+security margin, storage, and expected costs.
+
+Run:  python examples/threshold_planner.py [trh_d ...]
+"""
+
+import sys
+
+from repro.analysis.adaptive import AdaConfig
+from repro.analysis.rfm_scaling import mint_rfm_config, scheme_mintrh_d
+from repro.analysis.storage import mint_dmq_storage
+from repro.perf.energy import table8
+
+
+def plan(trh_d: int):
+    """Return (scheme name, tolerated MinTRH-D, notes) for a device."""
+    options = [
+        ("MINT", scheme_mintrh_d(AdaConfig()), "zero slowdown"),
+        ("MINT+RFM32", scheme_mintrh_d(mint_rfm_config(32)),
+         "~0.1% slowdown"),
+        ("MINT+RFM16", scheme_mintrh_d(mint_rfm_config(16)),
+         "~1.6% slowdown"),
+    ]
+    for name, tolerated, note in options:
+        if trh_d >= tolerated:
+            return name, tolerated, note
+    return None, options[-1][1], "below RFM16 reach"
+
+
+def main() -> None:
+    devices = [int(arg) for arg in sys.argv[1:]] or [
+        9000, 4800, 2000, 1500, 700, 400, 300
+    ]
+    energy = {row.scheme: row for row in table8()}
+    storage = mint_dmq_storage()
+
+    print(f"{'device TRH-D':>13} {'recommended':>14} {'tolerates':>10} "
+          f"{'margin':>8} {'ACT energy':>11} {'notes':>16}")
+    print("-" * 78)
+    for trh_d in devices:
+        scheme, tolerated, note = plan(trh_d)
+        if scheme is None:
+            print(f"{trh_d:>13} {'(PRAC needed)':>14} {tolerated:>10} "
+                  f"{'-':>8} {'-':>11} {note:>16}")
+            continue
+        margin = trh_d / tolerated
+        act = energy.get(scheme.replace("MINT", "MINT", 1))
+        act_str = f"{act.act_energy:.2f}x" if act else "-"
+        print(f"{trh_d:>13} {scheme:>14} {tolerated:>10} "
+              f"{margin:>7.2f}x {act_str:>11} {note:>16}")
+
+    print(f"\nall configurations use {storage.bytes:.1f} bytes per bank "
+          f"({storage.per_rank_bytes():.0f} bytes per 32-bank rank) and "
+          f"include the DMQ for refresh-postponement compliance.")
+    print("devices below the RFM16 threshold need per-row counting "
+          "(PRAC) — the costly alternative MINT exists to avoid.")
+
+
+if __name__ == "__main__":
+    main()

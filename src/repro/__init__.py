@@ -1,0 +1,97 @@
+"""repro — a reproduction of MINT (MICRO 2024).
+
+MINT: Securely Mitigating Rowhammer with a Minimalist In-DRAM Tracker
+(Qureshi, Qazi, Jaleel). The package provides:
+
+* :mod:`repro.core` — MINT itself, the Delayed Mitigation Queue, the
+  RFM co-design, and the Row-Press (ImPress) extension.
+* :mod:`repro.trackers` — every baseline tracker the paper compares
+  (PRCT, Mithril, ProTRR, PARFM, InDRAM-PARA, TRR, PrIDE, Graphene).
+* :mod:`repro.dram` — the DDR5 substrate: timing, banks, refresh
+  postponement, and the row-disturbance oracle.
+* :mod:`repro.attacks` — pattern generators from classic double-sided
+  through Blacksmith, Half-Double, Feinting, and the adaptive attack.
+* :mod:`repro.sim` — the trace-driven security simulator.
+* :mod:`repro.analysis` — the analytical models (Saroiu-Wolman failure
+  recurrence, MinTRH search, Markov adaptive-attack model) behind every
+  number in the paper.
+* :mod:`repro.perf` — the performance/energy substrate standing in for
+  the paper's Gem5 setup.
+
+Quickstart::
+
+    import random
+    from repro import MintTracker, run_attack
+    from repro.attacks import AttackParams, double_sided
+
+    tracker = MintTracker(rng=random.Random(1))
+    result = run_attack(tracker, double_sided(AttackParams(intervals=1000)),
+                        trh=4800)
+    assert not result.failed
+"""
+
+from .constants import (
+    BANKS_PER_RANK,
+    CONCURRENT_BANKS,
+    DEFAULT_BLAST_RADIUS,
+    DEFAULT_TARGET_TTF_YEARS,
+    MAX_POSTPONED_REFRESHES,
+    REFI_PER_REFW,
+    ROWS_PER_BANK,
+)
+from .core import (
+    DelayedMitigationQueue,
+    MintTracker,
+    RfmConfig,
+    RfmController,
+    RowPressMintTracker,
+    equivalent_activations,
+)
+from .dram import DDR5Timing, DEFAULT_TIMING, DramDevice, RowDisturbanceModel
+from .sim import BankSimulator, EngineConfig, SimResult, Trace, run_attack
+from .trackers import (
+    InDramParaTracker,
+    MithrilTracker,
+    MitigationRequest,
+    ParfmTracker,
+    PrctTracker,
+    Tracker,
+    available_trackers,
+    make_tracker,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BANKS_PER_RANK",
+    "BankSimulator",
+    "CONCURRENT_BANKS",
+    "DDR5Timing",
+    "DEFAULT_BLAST_RADIUS",
+    "DEFAULT_TARGET_TTF_YEARS",
+    "DEFAULT_TIMING",
+    "DelayedMitigationQueue",
+    "DramDevice",
+    "EngineConfig",
+    "InDramParaTracker",
+    "MAX_POSTPONED_REFRESHES",
+    "MintTracker",
+    "MithrilTracker",
+    "MitigationRequest",
+    "ParfmTracker",
+    "PrctTracker",
+    "REFI_PER_REFW",
+    "ROWS_PER_BANK",
+    "RfmConfig",
+    "RfmController",
+    "RowDisturbanceModel",
+    "RowPressMintTracker",
+    "SimResult",
+    "Trace",
+    "Tracker",
+    "available_trackers",
+    "equivalent_activations",
+    "make_tracker",
+    "run_attack",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""Analytical security models: the paper's Sections III-VII math."""
+
+from .adaptive import (
+    AdaConfig,
+    ada_curve,
+    ada_failure_probability,
+    ada_mintrh,
+    count_distribution,
+    mint_dmq_mintrh_d,
+    worst_case_ada_mintrh,
+)
+from .comparison import (
+    TrackerComparison,
+    indram_para_comparison,
+    mc_para_probability_for,
+    mint_comparison,
+    mint_vs_prct_gap,
+    mithril_comparison,
+    parfm_comparison,
+    prct_comparison,
+    table3,
+)
+from .feinting import (
+    FeintingResult,
+    feinting_attack_prct,
+    feinting_level_closed_form,
+    prct_mintrh_d,
+)
+from .literature import TRH_HISTORY, lowest_known_trh_d, trend_factor
+from .maxact import MaxActPoint, maxact_sweep
+from .mintrh import (
+    PatternSpec,
+    mintrh,
+    mintrh_double_sided,
+    refw_failure_probability,
+)
+from .mithril_bound import (
+    mithril_entries_for,
+    mithril_mintrh_d,
+    mithril_mintrh_d_postponed,
+)
+from .patterns import (
+    mint_mintrh,
+    mint_mintrh_d,
+    pattern1_mintrh,
+    pattern2_mintrh,
+    pattern2_sweep,
+    pattern3_mintrh,
+    pattern3_sweep,
+)
+from .pride import (
+    mint_vs_pride_gap,
+    pride_loss_probability,
+    pride_mintrh_d,
+    pride_tardiness_acts,
+    pride_worst_position_loss,
+)
+from .postponement import (
+    PostponementRow,
+    deterministic_unmitigated_acts,
+    mint_dmq_vs_prct_gap,
+    table4,
+)
+from .rfm_scaling import (
+    RfmSchemeResult,
+    mint_rfm_config,
+    mint_slow_config,
+    table5,
+    ttf_sensitivity,
+)
+from .saroiu_wolman import (
+    approx_failure_probability,
+    auto_refresh_correction,
+    failure_probability,
+    failure_probability_sequence,
+    mttf_years,
+    target_refw_probability,
+)
+from .storage import (
+    StorageBudget,
+    dmq_storage,
+    graphene_storage,
+    mint_dmq_storage,
+    mint_impress_storage,
+    mint_storage,
+    table9,
+)
+from .survival import (
+    effective_mitigation_probability,
+    mitigation_probability,
+    most_vulnerable_position,
+    non_selection_probability,
+    relative_mitigation_curve,
+    sampling_probability_no_overwrite,
+    survival_probability,
+    vulnerability_factor,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,247 @@
+"""Adaptive attacks on MINT+DMQ (paper Appendix B, Fig 21).
+
+The best attack on MINT activates each row once per tREFI (stealth);
+the best attack on the DMQ hammers the selected row while it waits in
+the FIFO. The Adaptive Attack (ADA) morphs from the MINT-optimal
+pattern-2 into the DMQ-optimal repeated hammering at a chosen
+morphing point (MP).
+
+Appendix B models the activation count of a row with a Markov chain:
+at each tREFI the row's count A since its last mitigation either grows
+by one (escape, probability q = 1 - p) or resets (selection). After MP
+intervals the distribution is geometric:
+
+    P(A = a) = p * q^a        for a < MP
+    P(A = MP) = q^MP          (never selected this window)
+
+and the tail mass telescopes: P(A >= a0) = q^a0. ADA then adds up to
+365 deterministic activations (5 batched refresh windows) to the
+chosen row before its guaranteed mitigation, so the row fails if
+``A >= TRH - 365``. The attack repeats floor(8192 / (MP + 5)) times
+per tREFW window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import MAX_POSTPONED_REFRESHES, REFI_PER_REFW
+from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from .mintrh import PatternSpec, refw_failure_probability
+from .saroiu_wolman import auto_refresh_correction, target_refw_probability
+
+
+@dataclass(frozen=True)
+class AdaConfig:
+    """Parameters of the adaptive attack analysis.
+
+    ``max_act`` is M, the activations per mitigation interval (73 for
+    plain MINT, the RAA threshold for MINT+RFM). ``delay_intervals`` is
+    how many intervals a pseudo-mitigated row can wait in the DMQ (4
+    postponed REFs for plain MINT; JEDEC allows RFM to be delayed more,
+    Section VII). The DMQ-phase hammering budget is
+    ``(delay_intervals + 1) * max_act`` activations.
+    """
+
+    max_act: int = 73
+    transitive: bool = True
+    intervals_per_refw: float = REFI_PER_REFW
+    delay_intervals: int = MAX_POSTPONED_REFRESHES
+    target_ttf_years: float = 10_000.0
+
+    @property
+    def selection_p(self) -> float:
+        slots = self.max_act + 1 if self.transitive else self.max_act
+        return 1.0 / slots
+
+    @property
+    def extra_acts(self) -> int:
+        """Deterministic ACTs the DMQ phase can land on one row (365)."""
+        return (self.delay_intervals + 1) * self.max_act
+
+
+def count_distribution(
+    mp: int, p: float, refi_per_interval: float = 1.0
+) -> np.ndarray:
+    """Markov-chain distribution of a row's count after ``mp`` steps.
+
+    Index a holds P(A = a) for a = 0..mp. Exposed for validation: the
+    test suite cross-checks the geometric closed form against explicit
+    chain evolution (paper Fig 20).
+    """
+    if mp < 0:
+        raise ValueError("mp must be non-negative")
+    q = 1.0 - p
+    dist = np.zeros(mp + 1)
+    dist[:-1] = p * q ** np.arange(mp)
+    dist[-1] = q ** mp
+    return dist
+
+
+def evolve_markov_chain(mp: int, p: float) -> np.ndarray:
+    """Explicit step-by-step evolution of the Fig 20 Markov chain."""
+    dist = np.zeros(mp + 1)
+    dist[0] = 1.0
+    q = 1.0 - p
+    for _ in range(mp):
+        nxt = np.zeros_like(dist)
+        nxt[0] = p * dist.sum()
+        nxt[1:] = q * dist[:-1]
+        dist = nxt
+    return dist
+
+
+def ada_failure_probability(
+    trh: int,
+    mp: int,
+    cfg: AdaConfig,
+    double_sided: bool = False,
+) -> float:
+    """Per-tREFW failure probability of ADA with morphing point ``mp``.
+
+    Single-sided: one victim per attack row; the row fails if its count
+    at MP plus the 365 DMQ-phase ACTs reaches TRH.
+
+    Double-sided: a victim is sandwiched; its disturbance grows by 2
+    per interval (both neighbours activated) and resets when *either*
+    neighbour is selected (escape probability q^2 per interval). The
+    DMQ phase adds 365 disturbances to the victim; failure needs total
+    disturbance >= 2 * TRH-D.
+    """
+    if trh < 1:
+        raise ValueError("trh must be >= 1")
+    if mp < 1:
+        raise ValueError("mp must be >= 1")
+    p = cfg.selection_p
+    q = 1.0 - p
+    extra = cfg.extra_acts
+    rows = float(cfg.max_act)
+    if double_sided:
+        # Victim-centric chain: escape per interval = q^2; disturbance
+        # grows 2/interval. Need a0 intervals with 2*a0 + extra >= 2*T.
+        escape = q * q
+        victims = rows / 2.0
+        a0 = max(0, math.ceil((2 * trh - extra) / 2.0))
+        tail = escape ** a0 if a0 <= mp else 0.0
+        per_round = victims * tail
+    else:
+        a0 = max(0, trh - extra)
+        tail = q ** a0 if a0 <= mp else 0.0
+        per_round = rows * tail
+    rounds = max(1, int(cfg.intervals_per_refw // (mp + cfg.delay_intervals + 1)))
+    refi_per_interval = REFI_PER_REFW / cfg.intervals_per_refw
+    correction = auto_refresh_correction(
+        min(a0, mp) * refi_per_interval, REFI_PER_REFW
+    )
+    return min(1.0, per_round * rounds * correction)
+
+
+def baseline_failure_probability(
+    trh: int, cfg: AdaConfig, double_sided: bool = False
+) -> float:
+    """Failure probability of the non-morphing pattern-2 component.
+
+    The DMQ delays every mitigation by up to ``delay_intervals``
+    intervals, during which the pattern lands one more activation per
+    interval on the selected row — the paper's +4 adjustment (§VI-D).
+    """
+    p = cfg.selection_p
+    dmq_extra = cfg.delay_intervals  # one act per interval while queued
+    if double_sided:
+        spec = PatternSpec(
+            p=1.0 - (1.0 - p) ** 2,
+            trials_per_refw=cfg.intervals_per_refw,
+            acts_per_trial=2.0,
+            rows=max(1.0, cfg.max_act / 2.0),
+            refi_per_trial=REFI_PER_REFW / cfg.intervals_per_refw,
+        )
+        effective = max(1, 2 * trh - dmq_extra)
+        return refw_failure_probability(spec, effective)
+    spec = PatternSpec(
+        p=p,
+        trials_per_refw=cfg.intervals_per_refw,
+        acts_per_trial=1.0,
+        rows=float(cfg.max_act),
+        refi_per_trial=REFI_PER_REFW / cfg.intervals_per_refw,
+    )
+    effective = max(1, trh - dmq_extra)
+    return refw_failure_probability(spec, effective)
+
+
+def ada_mintrh(
+    mp: int,
+    cfg: AdaConfig | None = None,
+    double_sided: bool = False,
+    timing: DDR5Timing = DEFAULT_TIMING,
+) -> int:
+    """MinTRH of MINT+DMQ under ADA at morphing point ``mp``."""
+    cfg = cfg or AdaConfig()
+    target = target_refw_probability(cfg.target_ttf_years, timing)
+
+    def total(trh: int) -> float:
+        return ada_failure_probability(
+            trh, mp, cfg, double_sided
+        ) + baseline_failure_probability(trh, cfg, double_sided)
+
+    lo, hi = 1, 4 * cfg.extra_acts + int(cfg.intervals_per_refw)
+    if total(lo) <= target:
+        return lo
+    while total(hi) > target:
+        hi *= 2
+        if hi > 1 << 32:
+            raise RuntimeError("ADA MinTRH search diverged")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if total(mid) <= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def ada_curve(
+    morphing_points: list[int],
+    cfg: AdaConfig | None = None,
+    double_sided: bool = False,
+) -> list[tuple[int, int]]:
+    """The Fig 21 series: (MP, MinTRH) for each morphing point."""
+    cfg = cfg or AdaConfig()
+    return [
+        (mp, ada_mintrh(mp, cfg, double_sided)) for mp in morphing_points
+    ]
+
+
+def worst_case_ada_mintrh(
+    cfg: AdaConfig | None = None,
+    double_sided: bool = False,
+    mp_step: int = 64,
+) -> tuple[int, int]:
+    """(best MP, MinTRH) maximised over morphing points.
+
+    This is the number the paper reports as "MinTRH under an adaptive
+    attack": 2899 single-sided, 1482 double-sided for MINT+DMQ.
+    """
+    cfg = cfg or AdaConfig()
+    hi = int(cfg.intervals_per_refw) - cfg.delay_intervals - 1
+    best_mp, best = 1, 0
+    for mp in range(mp_step, hi, mp_step):
+        value = ada_mintrh(mp, cfg, double_sided)
+        if value > best:
+            best, best_mp = value, mp
+    # Refine around the coarse winner.
+    for mp in range(max(1, best_mp - mp_step), min(hi, best_mp + mp_step)):
+        value = ada_mintrh(mp, cfg, double_sided)
+        if value > best:
+            best, best_mp = value, mp
+    return best_mp, best
+
+
+def mint_dmq_mintrh_d(
+    cfg: AdaConfig | None = None,
+) -> int:
+    """Headline number: MINT+DMQ double-sided threshold under ADA (1482)."""
+    _mp, value = worst_case_ada_mintrh(cfg, double_sided=True)
+    return value

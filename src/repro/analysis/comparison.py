@@ -1,0 +1,173 @@
+"""Cross-tracker security comparison (paper Table III).
+
+Assembles, for each tracker family, the double-sided MinTRH, the
+tracking entries per bank, and transitive-attack susceptibility, using
+the per-design analyses elsewhere in this package:
+
+=================  ======= ==========  ========  ==========
+Design             Centric MinTRH-D    Entries   Transitive
+=================  ======= ==========  ========  ==========
+PRCT               past    623         128K      immune
+Mithril            past    1400        677       immune
+PARFM              past    4096        73        vulnerable
+InDRAM-PARA        present 3732        1         immune
+MINT               future  1400        1         immune
+=================  ======= ==========  ========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import REFI_PER_REFW, ROWS_PER_BANK
+from .feinting import feinting_attack_prct
+from .mintrh import PatternSpec, mintrh, mintrh_double_sided
+from .mithril_bound import mithril_entries_for, mithril_mintrh_d
+from .patterns import mint_mintrh, pattern2_mintrh
+from .survival import effective_mitigation_probability
+
+
+@dataclass(frozen=True)
+class TrackerComparison:
+    """One row of Table III."""
+
+    name: str
+    centric: str
+    mintrh_d: int
+    entries: int
+    transitive_vulnerable: bool
+
+
+def prct_comparison(max_act: int = 73, rows_per_bank: int = ROWS_PER_BANK) -> TrackerComparison:
+    """PRCT bounded by the Feinting attack (Section V-G)."""
+    result = feinting_attack_prct(max_act)
+    return TrackerComparison(
+        name="PRCT",
+        centric="past",
+        mintrh_d=result.mintrh_d,
+        entries=rows_per_bank,
+        transitive_vulnerable=False,
+    )
+
+
+def mithril_comparison(
+    target_mintrh_d: int = 1400, max_act: int = 73
+) -> TrackerComparison:
+    """Mithril sized to match MINT's threshold (paper: 677 entries)."""
+    entries = mithril_entries_for(target_mintrh_d, max_act)
+    return TrackerComparison(
+        name="Mithril",
+        centric="past",
+        mintrh_d=int(mithril_mintrh_d(entries, max_act)),
+        entries=entries,
+        transitive_vulnerable=False,
+    )
+
+
+def parfm_comparison(max_act: int = 73) -> TrackerComparison:
+    """PARFM: transitive attacks dominate (Section V-G).
+
+    PARFM mitigates exactly one uniformly chosen buffered activation per
+    REF, so its direct-attack threshold resembles MINT's — but only
+    demand activations are buffered, so a Half-Double pattern earns
+    8192 silent victim refreshes per tREFW: MinTRH 8192, D = 4096.
+    """
+    direct = pattern2_mintrh(max_act, max_act, transitive=False)
+    transitive = REFI_PER_REFW
+    return TrackerComparison(
+        name="PARFM",
+        centric="past",
+        mintrh_d=mintrh_double_sided(max(direct, transitive)),
+        entries=max_act,
+        transitive_vulnerable=True,
+    )
+
+
+def indram_para_comparison(max_act: int = 73) -> TrackerComparison:
+    """InDRAM-PARA: the most vulnerable position drives MinTRH (§III-C).
+
+    The attacker parks a distinct row at every position of the window;
+    each position K has mitigation probability ``p * (1-p)^(M-K)``.
+    The union over positions is dominated by position 1 with effective
+    probability ``p * (1-p)^(M-1)`` ~= p / 2.7. Direct attacks dominate
+    transitive ones at this threshold, so PARA counts as immune.
+    """
+    p_eff = effective_mitigation_probability(max_act)
+    spec = PatternSpec(
+        p=p_eff,
+        trials_per_refw=REFI_PER_REFW,
+        acts_per_trial=1.0,
+        rows=float(max_act),
+        refi_per_trial=1.0,
+    )
+    single = mintrh(spec)
+    return TrackerComparison(
+        name="InDRAM-PARA",
+        centric="present",
+        mintrh_d=mintrh_double_sided(single),
+        entries=1,
+        transitive_vulnerable=False,
+    )
+
+
+def mint_comparison(max_act: int = 73) -> TrackerComparison:
+    """MINT with the transitive slot (Section V)."""
+    single = mint_mintrh(max_act, transitive=True)
+    return TrackerComparison(
+        name="MINT",
+        centric="future",
+        mintrh_d=mintrh_double_sided(single),
+        entries=1,
+        transitive_vulnerable=False,
+    )
+
+
+def table3(max_act: int = 73) -> list[TrackerComparison]:
+    """All rows of Table III, in the paper's order."""
+    mint_row = mint_comparison(max_act)
+    return [
+        prct_comparison(max_act),
+        mithril_comparison(mint_row.mintrh_d, max_act),
+        parfm_comparison(max_act),
+        indram_para_comparison(max_act),
+        mint_row,
+    ]
+
+
+def mc_para_probability_for(
+    target_mintrh_d: int, max_act: int = 73,
+    target_ttf_years: float = 10_000.0,
+) -> float:
+    """DRFM probability that gives MC-PARA a target threshold (§VIII-E).
+
+    MC-side PARA mitigates each activation with probability p via a
+    blocking DRFM; its failure model is the uniform Saroiu-Wolman one
+    (no survival/selection pathologies), so tuning p to "similar
+    MinTRH" as MINT lands near MINT's own 1/74 — which is how the
+    Fig 17 comparison is configured.
+    """
+    if target_mintrh_d < 1:
+        raise ValueError("target_mintrh_d must be >= 1")
+    lo, hi = 1e-6, 0.999
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        spec = PatternSpec(
+            p=mid,
+            trials_per_refw=REFI_PER_REFW,
+            acts_per_trial=1.0,
+            rows=float(max_act),
+            refi_per_trial=1.0,
+        )
+        achieved = mintrh_double_sided(mintrh(spec, target_ttf_years))
+        if achieved > target_mintrh_d:
+            lo = mid  # need more mitigation
+        else:
+            hi = mid
+    return hi
+
+
+def mint_vs_prct_gap(max_act: int = 73) -> float:
+    """The headline bound: MINT within ~2.25x of idealized PRCT."""
+    mint_row = mint_comparison(max_act)
+    prct_row = prct_comparison(max_act)
+    return mint_row.mintrh_d / prct_row.mintrh_d

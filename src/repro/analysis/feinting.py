@@ -1,0 +1,107 @@
+"""The Feinting attack on counter-based trackers (paper Section V-G).
+
+PRCT mitigates the row with the highest counter at each REF. The
+Feinting attack (from ProTRR) defeats maximal-count selection by
+keeping *all* aggressor counters equal: the attacker spreads the M
+activations of each tREFI across the surviving aggressor set, so each
+mitigation removes a row whose count equals the common water level, and
+the level keeps rising as the set shrinks.
+
+Starting from 8192 rows, the level after the set shrinks to two rows is
+approximately M * (H_8192 - 1) ~= 627; the paper reports 623 for the
+exact discrete schedule. With the victim sandwiched between the last
+two rows, MinTRH = 2 * level (MinTRH-D = level).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import REFI_PER_REFW
+
+
+@dataclass(frozen=True)
+class FeintingResult:
+    """Outcome of the Feinting schedule against a PRCT-style tracker."""
+
+    final_rows: int
+    per_row_activations: int
+    mintrh: int
+    mintrh_d: int
+    rounds_used: int
+
+
+def feinting_attack_prct(
+    max_act: int = 73,
+    initial_rows: int = REFI_PER_REFW,
+    mitigations_per_round: int = 1,
+    stop_rows: int = 2,
+) -> FeintingResult:
+    """Simulate the exact integer Feinting schedule against PRCT.
+
+    Each round (tREFI) the attacker distributes ``max_act`` activations
+    to equalise counts across surviving rows (water-filling), then the
+    tracker removes the ``mitigations_per_round`` highest rows. The
+    schedule must complete within one tREFW (8192 rounds) or the
+    rolling auto-refresh resets the counts.
+
+    Returns the per-row activation level of the last ``stop_rows``
+    rows, which bounds PRCT's MinTRH (Section V-G: 623 double-sided).
+    """
+    if initial_rows < stop_rows:
+        raise ValueError("initial_rows must be >= stop_rows")
+    if mitigations_per_round < 1:
+        raise ValueError("mitigations_per_round must be >= 1")
+
+    rows = initial_rows
+    # All surviving rows share the same integer count; `remainder`
+    # carries activations that did not divide evenly this round.
+    level = 0
+    remainder = 0
+    rounds = 0
+    max_rounds = REFI_PER_REFW
+    while rows > stop_rows and rounds < max_rounds:
+        budget = max_act + remainder
+        level += budget // rows
+        remainder = budget % rows
+        # The tracker mitigates the highest-count rows; all are equal,
+        # so the set simply shrinks.
+        rows -= mitigations_per_round
+        rounds += 1
+    if rows > stop_rows:
+        # Ran out of tREFW budget: the attack cannot finish; clamp.
+        rows = stop_rows
+    # Final burst: remaining rounds all hammer the last two rows, but a
+    # mitigation now removes one of them each REF, so at most one more
+    # round of gain is available before the pair is broken.
+    level += max_act // max(rows, 1)
+    per_row = level
+    return FeintingResult(
+        final_rows=rows,
+        per_row_activations=per_row,
+        mintrh=2 * per_row,
+        mintrh_d=per_row,
+        rounds_used=rounds,
+    )
+
+
+def feinting_level_closed_form(
+    max_act: int = 73, initial_rows: int = REFI_PER_REFW
+) -> float:
+    """Analytic water level: M * (H_n - 1) for n starting rows."""
+    harmonic = math.log(initial_rows) + 0.5772156649 + 1.0 / (2 * initial_rows)
+    return max_act * (harmonic - 1.0)
+
+
+def prct_mintrh_d(
+    max_act: int = 73,
+    postponed_refreshes: int = 0,
+) -> int:
+    """PRCT's double-sided MinTRH (paper: 623; 769 with postponement).
+
+    Refresh postponement adds ``4 * M`` unmitigated activations to the
+    pair, i.e. ``2 * M`` per row of a double-sided attack (§VI-A).
+    """
+    base = feinting_attack_prct(max_act).mintrh_d
+    return base + (postponed_refreshes * max_act) // 2

@@ -1,0 +1,111 @@
+"""Terminal rendering for the paper's figures.
+
+The benchmark harness prints numeric series; these helpers render them
+as ASCII charts so the *shape* claims (dips, peaks, plateaus, linear
+growth) are visible at a glance in test output and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_plot(
+    ys: Sequence[float],
+    xs: Sequence[float] | None = None,
+    height: int = 12,
+    width: int = 64,
+    label: str = "",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one series as an ASCII chart.
+
+    Values are resampled to ``width`` columns and quantised to
+    ``height`` rows; the returned string includes a y-axis with the
+    min/max values and an optional label line.
+    """
+    if not ys:
+        raise ValueError("ys must be non-empty")
+    if height < 2 or width < 2:
+        raise ValueError("height and width must be >= 2")
+    values = [float(v) for v in ys]
+    lo = min(values) if y_min is None else y_min
+    hi = max(values) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    columns = _resample(values, width)
+    rows = [[" "] * width for _ in range(height)]
+    for x, value in enumerate(columns):
+        level = (value - lo) / (hi - lo)
+        y = min(height - 1, max(0, round(level * (height - 1))))
+        rows[height - 1 - y][x] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    for index, row in enumerate(rows):
+        if index == 0:
+            prefix = f"{hi:>10.4g} |"
+        elif index == height - 1:
+            prefix = f"{lo:>10.4g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    if xs is not None and len(xs) >= 2:
+        lines.append(
+            " " * 12 + f"{xs[0]:<10.4g}" + " " * (width - 20)
+            + f"{xs[-1]:>10.4g}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_multi_plot(
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Overlay several series, one glyph each, sharing the y-scale."""
+    if not series:
+        raise ValueError("series must be non-empty")
+    glyphs = "*o+x#@"
+    all_values = [float(v) for ys in series.values() for v in ys]
+    lo, hi = min(all_values), max(all_values)
+    if hi <= lo:
+        hi = lo + 1.0
+    rows = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        legend.append(f"{glyph}={name}")
+        for x, value in enumerate(_resample([float(v) for v in ys], width)):
+            level = (value - lo) / (hi - lo)
+            y = min(height - 1, max(0, round(level * (height - 1))))
+            if rows[height - 1 - y][x] == " ":
+                rows[height - 1 - y][x] = glyph
+    lines = ["  ".join(legend)]
+    for index, row in enumerate(rows):
+        if index == 0:
+            prefix = f"{hi:>10.4g} |"
+        elif index == height - 1:
+            prefix = f"{lo:>10.4g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    return "\n".join(lines)
+
+
+def _resample(values: list[float], width: int) -> list[float]:
+    """Linear-interpolate ``values`` onto ``width`` columns."""
+    if len(values) == 1:
+        return values * width
+    out = []
+    span = len(values) - 1
+    for x in range(width):
+        position = x * span / (width - 1)
+        left = int(position)
+        right = min(left + 1, span)
+        fraction = position - left
+        out.append(values[left] * (1 - fraction) + values[right] * fraction)
+    return out

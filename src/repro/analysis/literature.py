@@ -1,0 +1,47 @@
+"""Literature data tables reproduced from the paper.
+
+Table II (Rowhammer threshold over time) is measurement data from the
+cited characterisation studies, recorded here so the benchmark harness
+can print the table and the examples can pick realistic thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrhGeneration:
+    """One row of Table II."""
+
+    generation: str
+    trh_single_sided: tuple[int, int] | None
+    trh_double_sided: tuple[int, int] | None
+    source: str
+
+
+#: Table II: Rowhammer threshold over DRAM generations.
+TRH_HISTORY = [
+    TrhGeneration("DDR3-old", (139_000, 139_000), None, "Kim et al. ISCA'14"),
+    TrhGeneration("DDR3-new", None, (22_400, 22_400), "Kim et al. ISCA'20"),
+    TrhGeneration("DDR4", None, (10_000, 17_500), "Kim et al. ISCA'20"),
+    TrhGeneration(
+        "LPDDR4", None, (4_800, 9_000), "Kim et al. ISCA'20 / Half-Double"
+    ),
+]
+
+
+def lowest_known_trh_d() -> int:
+    """The most pessimistic measured double-sided threshold (4.8K)."""
+    lows = [
+        row.trh_double_sided[0]
+        for row in TRH_HISTORY
+        if row.trh_double_sided is not None
+    ]
+    return min(lows)
+
+
+def trend_factor() -> float:
+    """How much TRH dropped across the decade covered by Table II."""
+    first = TRH_HISTORY[0].trh_single_sided[0]
+    return first / lowest_known_trh_d()

@@ -1,0 +1,69 @@
+"""MaxACT sensitivity sweep (paper Appendix A, Fig 18).
+
+JEDEC's DDR5 speed bins put MaxACT between 67 and 78; the appendix
+sweeps 65-80 and shows that (a) MinTRH-D grows roughly linearly with
+MaxACT for both MINT and InDRAM-PARA (more slots per interval mean a
+lower per-activation mitigation probability), and (b) the relative gap
+between them stays ~2.7x across the whole range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import REFI_PER_REFW
+from .mintrh import PatternSpec, mintrh, mintrh_double_sided
+from .patterns import mint_mintrh
+from .survival import effective_mitigation_probability
+
+
+@dataclass(frozen=True)
+class MaxActPoint:
+    """One x-position of Fig 18."""
+
+    max_act: int
+    mint_mintrh_d: int
+    para_mintrh_d: int
+
+    @property
+    def ratio(self) -> float:
+        return self.para_mintrh_d / self.mint_mintrh_d
+
+
+def mint_mintrh_d_for_maxact(
+    max_act: int, target_ttf_years: float = 10_000.0
+) -> int:
+    """MINT's double-sided threshold at a given MaxACT."""
+    return mintrh_double_sided(
+        mint_mintrh(max_act, transitive=True, target_ttf_years=target_ttf_years)
+    )
+
+
+def para_mintrh_d_for_maxact(
+    max_act: int, target_ttf_years: float = 10_000.0
+) -> int:
+    """InDRAM-PARA's double-sided threshold at a given MaxACT."""
+    p_eff = effective_mitigation_probability(max_act)
+    spec = PatternSpec(
+        p=p_eff,
+        trials_per_refw=REFI_PER_REFW,
+        acts_per_trial=1.0,
+        rows=float(max_act),
+        refi_per_trial=1.0,
+    )
+    return mintrh_double_sided(mintrh(spec, target_ttf_years))
+
+
+def maxact_sweep(
+    max_acts: list[int] | None = None, target_ttf_years: float = 10_000.0
+) -> list[MaxActPoint]:
+    """The Fig 18 series over MaxACT = 65..80."""
+    values = max_acts or list(range(65, 81))
+    return [
+        MaxActPoint(
+            max_act=m,
+            mint_mintrh_d=mint_mintrh_d_for_maxact(m, target_ttf_years),
+            para_mintrh_d=para_mintrh_d_for_maxact(m, target_ttf_years),
+        )
+        for m in values
+    ]

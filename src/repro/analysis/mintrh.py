@@ -1,0 +1,137 @@
+"""Minimum Tolerated TRH: the paper's key figure of merit (§IV-C).
+
+``MinTRH`` is the lowest Rowhammer threshold for which a design meets
+the Target-MTTF (default: 10,000 years per bank). Devices whose actual
+TRH is at or above the design's MinTRH are protected.
+
+The machinery here is pattern-generic. A :class:`PatternSpec` describes
+how an attack exercises one row: the per-trial mitigation probability,
+how many trials the row gets per tREFW, how many activations one trial
+represents (1 for single-copy patterns; c for pattern-3, where a trial
+is a whole tREFI containing c copies), and a union-bound multiplier for
+the number of simultaneously attacked rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..constants import REFI_PER_REFW
+from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from .saroiu_wolman import (
+    approx_failure_probability,
+    auto_refresh_correction,
+    failure_probability,
+    target_refw_probability,
+)
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """How an attack pattern stresses one row.
+
+    Attributes
+    ----------
+    p:
+        Probability that one trial mitigates the row.
+    trials_per_refw:
+        Trials the row receives within one tREFW window.
+    acts_per_trial:
+        Demand activations the row receives per trial (TRH is counted
+        in activations, trials in mitigation opportunities).
+    rows:
+        Union-bound multiplier: number of rows attacked concurrently
+        (failure anywhere counts, Section V-D pattern-2).
+    refi_per_trial:
+        tREFI intervals one trial spans, for the auto-refresh factor.
+    """
+
+    p: float
+    trials_per_refw: float
+    acts_per_trial: float = 1.0
+    rows: float = 1.0
+    refi_per_trial: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        if self.trials_per_refw <= 0:
+            raise ValueError("trials_per_refw must be positive")
+        if self.acts_per_trial <= 0:
+            raise ValueError("acts_per_trial must be positive")
+        if self.rows < 1:
+            raise ValueError("rows must be >= 1")
+
+
+def refw_failure_probability(
+    spec: PatternSpec, trh: int, exact: bool = False
+) -> float:
+    """Per-tREFW failure probability of the pattern at threshold ``trh``.
+
+    Applies the Saroiu-Wolman model at trial granularity, the rolling
+    auto-refresh correction, and the union bound over attacked rows.
+    """
+    if trh < 1:
+        raise ValueError("trh must be >= 1")
+    trials_needed = max(1, math.ceil(trh / spec.acts_per_trial))
+    n_trials = int(spec.trials_per_refw)
+    if trials_needed > n_trials:
+        return 0.0
+    if spec.p >= 1.0:
+        # Every trial mitigates: a run of even one escaping trial is
+        # impossible, so probabilistic failure cannot occur.
+        return 0.0
+    if exact:
+        per_row = failure_probability(n_trials, spec.p, trials_needed)
+    else:
+        per_row = approx_failure_probability(n_trials, spec.p, trials_needed)
+    correction = auto_refresh_correction(trials_needed * spec.refi_per_trial)
+    return min(1.0, per_row * spec.rows * correction)
+
+
+def mintrh(
+    spec: PatternSpec,
+    target_ttf_years: float = 10_000.0,
+    timing: DDR5Timing = DEFAULT_TIMING,
+    hi: int | None = None,
+    exact: bool = False,
+) -> int:
+    """Smallest TRH at which the pattern meets the Target-MTTF.
+
+    Binary searches the monotone boundary of
+    ``refw_failure_probability(spec, T) <= target``.
+    """
+    target = target_refw_probability(target_ttf_years, timing)
+    if hi is None:
+        hi = int(spec.trials_per_refw * spec.acts_per_trial) + 1
+    lo = 1
+    if refw_failure_probability(spec, lo, exact=exact) <= target:
+        return lo
+    # refw failure probability is non-increasing in T; find boundary.
+    while refw_failure_probability(spec, hi, exact=exact) > target:
+        hi *= 2
+        if hi > 1 << 40:
+            raise RuntimeError("MinTRH search diverged; pattern never safe")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if refw_failure_probability(spec, mid, exact=exact) <= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def mintrh_double_sided(single_sided_mintrh: int) -> int:
+    """Per-row double-sided threshold (Section V-F).
+
+    MINT's probabilistic selection means a sandwiched victim enjoys the
+    mitigation chances of *both* neighbours, so the total activations
+    over the pair cannot exceed MinTRH: each row gets half.
+    """
+    return single_sided_mintrh // 2
+
+
+def scale_pattern(spec: PatternSpec, **changes) -> PatternSpec:
+    """Convenience for sweeps: a modified copy of ``spec``."""
+    return replace(spec, **changes)

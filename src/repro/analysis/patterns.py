@@ -1,0 +1,201 @@
+"""Worst-case pattern analysis for MINT (paper Section V-D, Figs 10/11).
+
+MINT's three structural properties (selection localised to one tREFI;
+position-independent selection; n copies => n-times selection chance)
+reduce the attacker's search space to three pattern families:
+
+* **Pattern-1** (single row, single copy per tREFI): MinTRH 2461.
+* **Pattern-2** (k rows, single copy each): failure probability scales
+  with k; peaks at k = M = 73 (MinTRH 2763 without the transitive slot,
+  2800 with it). Beyond k = M the pattern spans multiple tREFI and
+  weakens (Fig 10).
+* **Pattern-3** (k rows, c copies each): a row occupying c of the M
+  slots is selected with probability c/M per tREFI — more copies mean
+  faster mitigation, so the pattern collapses for c >= 4 (Fig 11).
+
+The module maps each family onto a :class:`~repro.analysis.mintrh.PatternSpec`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import REFI_PER_REFW
+from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from .mintrh import PatternSpec, mintrh, mintrh_double_sided
+
+
+def _selection_slots(max_act: int, transitive: bool) -> int:
+    """URAND range: M slots, plus the transitive slot 0 when enabled."""
+    return max_act + 1 if transitive else max_act
+
+
+def pattern1_spec(max_act: int = 73, transitive: bool = False) -> PatternSpec:
+    """Single row, one activation per tREFI, 8192 repeats."""
+    p = 1.0 / _selection_slots(max_act, transitive)
+    return PatternSpec(
+        p=p,
+        trials_per_refw=REFI_PER_REFW,
+        acts_per_trial=1.0,
+        rows=1.0,
+        refi_per_trial=1.0,
+    )
+
+
+def pattern2_spec(
+    k: int, max_act: int = 73, transitive: bool = False
+) -> PatternSpec:
+    """k rows, one activation each per round.
+
+    For k <= M all rows fit in one tREFI (each row hammered once per
+    tREFI). For k > M the pattern spans ceil(k/M) tREFI per round
+    (the "Multi-TREFI" regime of Fig 10), so each row gets fewer trials
+    per tREFW.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    p = 1.0 / _selection_slots(max_act, transitive)
+    rounds_refi = max(1.0, k / max_act)
+    return PatternSpec(
+        p=p,
+        trials_per_refw=REFI_PER_REFW / rounds_refi,
+        acts_per_trial=1.0,
+        rows=float(k),
+        refi_per_trial=rounds_refi,
+    )
+
+
+def pattern3_spec(
+    copies: int, max_act: int = 73, transitive: bool = False
+) -> PatternSpec:
+    """floor(M/c) rows, c copies each, all slots filled each tREFI.
+
+    One *trial* is an entire tREFI: the row occupies c of the selection
+    slots, so its per-tREFI mitigation probability is c / slots — this
+    is the property that makes many-copy patterns ineffective against
+    MINT (selection is an exact uniform draw over slots, not IID
+    per-activation sampling).
+    """
+    if not 1 <= copies <= max_act:
+        raise ValueError(f"copies must be in [1, {max_act}]")
+    slots = _selection_slots(max_act, transitive)
+    rows = max(1, max_act // copies)
+    return PatternSpec(
+        p=min(1.0, copies / slots),
+        trials_per_refw=REFI_PER_REFW,
+        acts_per_trial=float(copies),
+        rows=float(rows),
+        refi_per_trial=1.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# MinTRH entry points
+# ----------------------------------------------------------------------
+
+def pattern1_mintrh(
+    max_act: int = 73,
+    transitive: bool = False,
+    target_ttf_years: float = 10_000.0,
+    timing: DDR5Timing = DEFAULT_TIMING,
+) -> int:
+    """MinTRH for pattern-1 (paper: 2461 at M=73, p=1/73)."""
+    return mintrh(pattern1_spec(max_act, transitive), target_ttf_years, timing)
+
+
+def pattern2_mintrh(
+    k: int,
+    max_act: int = 73,
+    transitive: bool = False,
+    target_ttf_years: float = 10_000.0,
+    timing: DDR5Timing = DEFAULT_TIMING,
+) -> int:
+    """MinTRH for pattern-2 with k attack rows (Fig 10)."""
+    return mintrh(pattern2_spec(k, max_act, transitive), target_ttf_years, timing)
+
+
+def pattern3_mintrh(
+    copies: int,
+    max_act: int = 73,
+    transitive: bool = False,
+    target_ttf_years: float = 10_000.0,
+    timing: DDR5Timing = DEFAULT_TIMING,
+) -> int:
+    """MinTRH for pattern-3 with c copies per row (Fig 11).
+
+    When c fills every slot the per-tREFI selection is guaranteed
+    (p = 1 without the transitive slot); probabilistic failure is then
+    impossible and the deterministic bound of ~2c activations (one
+    interval plus the mitigation latency) applies.
+    """
+    spec = pattern3_spec(copies, max_act, transitive)
+    if spec.p >= 1.0:
+        return 2 * copies
+    return mintrh(spec, target_ttf_years, timing)
+
+
+def pattern2_sweep(
+    ks: list[int] | None = None,
+    max_act: int = 73,
+    transitive: bool = False,
+    target_ttf_years: float = 10_000.0,
+) -> list[tuple[int, int]]:
+    """The Fig 10 series: (k, MinTRH) for k = 1..2M."""
+    if ks is None:
+        ks = list(range(1, 2 * max_act + 1))
+    return [
+        (k, pattern2_mintrh(k, max_act, transitive, target_ttf_years))
+        for k in ks
+    ]
+
+
+def pattern3_sweep(
+    copies_list: list[int] | None = None,
+    max_act: int = 73,
+    transitive: bool = False,
+    target_ttf_years: float = 10_000.0,
+) -> list[tuple[int, int]]:
+    """The Fig 11 series: (c, MinTRH) for c = 1..M."""
+    if copies_list is None:
+        copies_list = list(range(1, max_act + 1))
+    return [
+        (c, pattern3_mintrh(c, max_act, transitive, target_ttf_years))
+        for c in copies_list
+    ]
+
+
+def mint_mintrh(
+    max_act: int = 73,
+    transitive: bool = True,
+    target_ttf_years: float = 10_000.0,
+    timing: DDR5Timing = DEFAULT_TIMING,
+) -> int:
+    """MINT's overall MinTRH: worst case over the pattern families.
+
+    Pattern-2 at k = M dominates (Section V-D key takeaway); with the
+    transitive slot the selection probability is 1/74 and the paper's
+    number is 2800.
+    """
+    candidates = [
+        pattern1_mintrh(max_act, transitive, target_ttf_years, timing),
+        pattern2_mintrh(max_act, max_act, transitive, target_ttf_years, timing),
+    ]
+    # A few pattern-3 points; they never dominate but we verify that.
+    for copies in (2, 3, 4):
+        if copies <= max_act:
+            candidates.append(
+                pattern3_mintrh(copies, max_act, transitive, target_ttf_years, timing)
+            )
+    return max(candidates)
+
+
+def mint_mintrh_d(
+    max_act: int = 73,
+    transitive: bool = True,
+    target_ttf_years: float = 10_000.0,
+    timing: DDR5Timing = DEFAULT_TIMING,
+) -> int:
+    """MINT's double-sided threshold (paper: 1400)."""
+    return mintrh_double_sided(
+        mint_mintrh(max_act, transitive, target_ttf_years, timing)
+    )

@@ -1,0 +1,160 @@
+"""Refresh postponement analysis (paper Section VI, Table IV).
+
+DDR5 refresh postponement stretches the unguarded window from M = 73 to
+5M = 365 activations. The impact differs sharply by tracker class:
+
+* **Counter-based** (PRCT, Mithril): the selected row simply absorbs up
+  to 4M more activations before its delayed mitigation lands: MinTRH-D
+  grows by 2M = 146 (Section VI-A). No DMQ needed.
+* **Interval-tailored low-cost** (MINT, PARFM): activations past M are
+  invisible. Decoys fill the first M slots, then the attacker hammers
+  deterministically: 4/5 of the whole tREFW budget = ~478K unmitigated
+  activations (Section VI-B).
+* **Sampling-based** (InDRAM-PARA): the sampled entry must now survive
+  a 365-activation window, collapsing the mitigation probability.
+
+The Delayed Mitigation Queue restores all low-cost trackers to within
+the counter-based +146 adjustment (Section VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import MAX_POSTPONED_REFRESHES, REFI_PER_REFW
+from .adaptive import AdaConfig, worst_case_ada_mintrh
+from .comparison import (
+    indram_para_comparison,
+    mithril_comparison,
+    mint_comparison,
+    parfm_comparison,
+    prct_comparison,
+)
+from .mintrh import PatternSpec, mintrh, mintrh_double_sided
+
+
+@dataclass(frozen=True)
+class PostponementRow:
+    """One row of Table IV."""
+
+    name: str
+    entries: int
+    mintrh_d_no_postpone: int
+    mintrh_d_no_dmq: int
+    mintrh_d_with_dmq: int
+
+
+def deterministic_unmitigated_acts(
+    max_act: int = 73,
+    postponed: int = MAX_POSTPONED_REFRESHES,
+    refi_per_refw: int = REFI_PER_REFW,
+) -> int:
+    """The 478K blow-up (Section VI-B).
+
+    With batches of ``postponed + 1`` refreshes, the attacker spends the
+    first M activations of each super-window on decoys and the next
+    ``postponed * M`` hammering: a fraction postponed/(postponed+1) of
+    the full tREFW activation budget lands unmitigated.
+    """
+    total = max_act * refi_per_refw
+    return total * postponed // (postponed + 1)
+
+
+def para_postponed_mintrh_d(
+    max_act: int = 73, postponed: int = MAX_POSTPONED_REFRESHES
+) -> int:
+    """InDRAM-PARA under postponement, without DMQ (paper: 21.3K).
+
+    The super-window holds ``5M = 365`` activations but only one
+    mitigation survives (the SAR is single-entry). The attacker places
+    the target row in the first ``j`` positions of every super-window
+    and fills the rest with decoys whose samples dislodge the SAR: the
+    row is mitigated only if one of its own j activations is sampled
+    (``1 - (1-p)^j``) *and* no decoy overwrites it (``(1-p)^(5M-j)``).
+    We report the worst case over j.
+
+    Note: the paper reports 21.3K for this cell using the first-position
+    (j = 1) argument; sweeping j yields an even weaker tracker (the
+    attacker can push the tolerated threshold far higher), so our
+    number is larger. Either way the conclusion stands: postponement
+    demolishes the sampling tracker and the DMQ repairs it.
+    """
+    window = (postponed + 1) * max_act
+    p = 1.0 / max_act
+    worst = 0
+    for j in range(1, window + 1):
+        sample = 1.0 - (1.0 - p) ** j
+        survive = (1.0 - p) ** (window - j)
+        p_trial = sample * survive
+        if p_trial >= 1.0:
+            continue
+        spec = PatternSpec(
+            p=max(p_trial, 1e-12),
+            trials_per_refw=REFI_PER_REFW / (postponed + 1),
+            acts_per_trial=float(j),
+            rows=max(1.0, window / j),
+            refi_per_trial=float(postponed + 1),
+        )
+        worst = max(worst, mintrh(spec))
+    return mintrh_double_sided(worst)
+
+
+def counter_tracker_postponement_delta(
+    max_act: int = 73, postponed: int = MAX_POSTPONED_REFRESHES
+) -> int:
+    """+2M per double-sided row for counter-based trackers (+146)."""
+    return postponed * max_act // 2
+
+
+def dmq_tardiness_delta_d(postponed: int = MAX_POSTPONED_REFRESHES) -> int:
+    """DMQ delay cost for MINT-style single-copy patterns (+4, §VI-D).
+
+    A row selected by MINT receives one activation per interval while
+    queued, so waiting ``postponed`` intervals adds ``postponed``
+    activations to the double-sided per-row threshold.
+    """
+    return postponed
+
+
+def table4(max_act: int = 73) -> list[PostponementRow]:
+    """All rows of Table IV."""
+    delta = counter_tracker_postponement_delta(max_act)
+    blowup = deterministic_unmitigated_acts(max_act)
+
+    prct = prct_comparison(max_act)
+    mithril = mithril_comparison(max_act=max_act)
+    parfm = parfm_comparison(max_act)
+    para = indram_para_comparison(max_act)
+    mint = mint_comparison(max_act)
+
+    ada = AdaConfig(max_act=max_act, transitive=True)
+    _mp, mint_dmq = worst_case_ada_mintrh(ada, double_sided=True)
+
+    return [
+        PostponementRow(
+            "PRCT", prct.entries, prct.mintrh_d,
+            prct.mintrh_d + delta, prct.mintrh_d + delta,
+        ),
+        PostponementRow(
+            "Mithril", mithril.entries, mithril.mintrh_d,
+            mithril.mintrh_d + delta, mithril.mintrh_d + delta,
+        ),
+        PostponementRow(
+            "PARFM", parfm.entries, parfm.mintrh_d,
+            blowup, parfm.mintrh_d + delta,
+        ),
+        PostponementRow(
+            "InDRAM-PARA", para.entries, para.mintrh_d,
+            para_postponed_mintrh_d(max_act), para.mintrh_d + delta,
+        ),
+        PostponementRow(
+            "MINT", mint.entries, mint.mintrh_d,
+            blowup, mint_dmq,
+        ),
+    ]
+
+
+def mint_dmq_vs_prct_gap(max_act: int = 73) -> float:
+    """MINT+DMQ within 1.9x of PRCT under postponement (Section VI-D)."""
+    rows = {row.name: row for row in table4(max_act)}
+    return rows["MINT"].mintrh_d_with_dmq / rows["PRCT"].mintrh_d_with_dmq

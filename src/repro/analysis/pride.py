@@ -1,0 +1,135 @@
+"""PrIDE analysis: loss probability and tardiness (paper Section IX).
+
+PrIDE samples activations with probability p into a small FIFO and
+mitigates the oldest entry at each REF. Two quantities govern its
+security, both of which MINT eliminates:
+
+* **Loss probability** — a sampled entry is lost if it overflows the
+  FIFO before being mitigated. Single-entry PrIDE (= InDRAM-PARA)
+  loses ~63% of samples under full-rate traffic; the 4-entry FIFO cuts
+  that to ~10% (Section IX).
+* **Tardiness** — a sampled row waits in the FIFO while the attacker
+  keeps hammering it; with depth d the wait is up to d tREFI, i.e.
+  d * M extra activations.
+
+The resulting thresholds (paper: MinTRH-D 1750, 1900 with DMQ) sit
+~25% above MINT's.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import REFI_PER_REFW
+from .mintrh import PatternSpec, mintrh, mintrh_double_sided
+
+
+def pride_loss_probability(
+    fifo_depth: int, max_act: int = 73, p: float | None = None
+) -> float:
+    """Mean fraction of samples lost to FIFO overflow, full-rate traffic.
+
+    Exact steady-state computation: the queue length after each REF is
+    a Markov chain with Binomial(M, p) arrivals per tREFI and one
+    departure per REF; the loss rate is the expected overflow divided
+    by the expected arrivals. Matches the live tracker to within Monte
+    Carlo noise (see the test suite); the paper's "63% -> 10%" quotes
+    the worst-case (first-position) loss for depth 1 and roughly this
+    mean for depth 4.
+    """
+    if fifo_depth < 1:
+        raise ValueError("fifo_depth must be >= 1")
+    p = 1.0 / max_act if p is None else p
+    arrival = [
+        math.comb(max_act, k) * p ** k * (1.0 - p) ** (max_act - k)
+        for k in range(max_act + 1)
+    ]
+    d = fifo_depth
+    transition = np.zeros((d + 1, d + 1))
+    lost_given_state = np.zeros(d + 1)
+    for state in range(d + 1):
+        for count, probability in enumerate(arrival):
+            filled = min(d, state + count)
+            lost_given_state[state] += probability * max(
+                0, state + count - d
+            )
+            after_departure = max(0, filled - 1)
+            transition[state, after_departure] += probability
+    # Stationary distribution of the post-REF queue length.
+    eigenvalues, eigenvectors = np.linalg.eig(transition.T)
+    index = int(np.argmin(np.abs(eigenvalues - 1.0)))
+    pi = np.real(eigenvectors[:, index])
+    pi = np.abs(pi) / np.abs(pi).sum()
+    expected_lost = float(pi @ lost_given_state)
+    return expected_lost / (max_act * p)
+
+
+def pride_worst_position_loss(
+    fifo_depth: int, max_act: int = 73, p: float | None = None
+) -> float:
+    """Loss probability for the attacker-aligned worst position.
+
+    For depth 1 this is the paper's 63%: a sample at the first position
+    is lost if any of the remaining M-1 activations is sampled.
+    """
+    if fifo_depth < 1:
+        raise ValueError("fifo_depth must be >= 1")
+    p = 1.0 / max_act if p is None else p
+    q = 1.0 - p
+    remaining = max_act - 1
+    # Lost if at least `fifo_depth` further samples land before the
+    # entry reaches the head and is mitigated.
+    tail = 0.0
+    for k in range(fifo_depth):
+        tail += math.comb(remaining, k) * p ** k * q ** (remaining - k)
+    return 1.0 - tail
+
+
+def pride_tardiness_acts(fifo_depth: int, max_act: int = 73) -> int:
+    """Extra activations a queued row can absorb before mitigation."""
+    if fifo_depth < 1:
+        raise ValueError("fifo_depth must be >= 1")
+    return (fifo_depth - 1) * max_act
+
+
+def pride_mintrh_d(
+    fifo_depth: int = 4,
+    max_act: int = 73,
+    target_ttf_years: float = 10_000.0,
+    with_dmq: bool = False,
+) -> int:
+    """Double-sided threshold of PrIDE (paper: 1750; 1900 with DMQ).
+
+    The effective per-activation mitigation probability is the sampling
+    probability discounted by the loss probability; tardiness adds
+    (depth-1) * M activations to the threshold; the DMQ adds the same
+    +146 double-sided adjustment as for MINT plus its own queue wait.
+    """
+    p = 1.0 / max_act
+    loss = pride_loss_probability(fifo_depth, max_act, p)
+    effective = p * (1.0 - loss)
+    spec = PatternSpec(
+        p=effective,
+        trials_per_refw=REFI_PER_REFW,
+        acts_per_trial=1.0,
+        rows=float(max_act),
+        refi_per_trial=1.0,
+    )
+    single = mintrh(spec, target_ttf_years) + pride_tardiness_acts(
+        fifo_depth, max_act
+    )
+    result = mintrh_double_sided(single)
+    if with_dmq:
+        result += 2 * max_act  # postponement wait, double-sided share
+    return result
+
+
+def mint_vs_pride_gap(target_ttf_years: float = 10_000.0) -> float:
+    """PrIDE's threshold premium over MINT (paper: ~25%)."""
+    from .patterns import mint_mintrh_d
+
+    return pride_mintrh_d(4, target_ttf_years=target_ttf_years) / mint_mintrh_d(
+        target_ttf_years=target_ttf_years
+    )

@@ -1,0 +1,148 @@
+"""MINT + RFM scaling to lower thresholds (paper Section VII, Table V).
+
+RFM raises the mitigation rate: the memory controller issues an RFM to
+a bank whenever its RAA counter crosses RFMTH, so MINT's selection
+interval shrinks from 73 activations to RFMTH, and the URAND draw
+covers 0..RFMTH. Lower intervals mean a higher per-activation
+mitigation probability and therefore a lower tolerated threshold:
+
+=================  =====================  =========
+Scheme             Relative rate          MinTRH-D
+=================  =====================  =========
+MINT (0.5x)        one per two tREFI      2.70K
+MINT (1x)          one per tREFI          1.48K
+MINT+RFM32         ~two per tREFI         689
+MINT+RFM16         ~four per tREFI        356
+=================  =====================  =========
+
+All rows include the DMQ and are reported under the adaptive attack of
+Appendix B; JEDEC allows RFM commands to be delayed 3x-6x, which the
+DMQ absorbs (we model the worst case, 6 intervals of delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import MAX_POSTPONED_REFRESHES, REFI_PER_REFW
+from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from .adaptive import AdaConfig, worst_case_ada_mintrh
+
+
+@dataclass(frozen=True)
+class RfmSchemeResult:
+    """One row of Table V."""
+
+    name: str
+    relative_rate: str
+    interval_acts: int
+    mintrh_d: int
+
+
+def mint_rfm_config(
+    rfm_th: int,
+    timing: DDR5Timing = DEFAULT_TIMING,
+    rfm_delay_intervals: int = 6,
+    target_ttf_years: float = 10_000.0,
+) -> AdaConfig:
+    """ADA configuration for MINT co-designed with an RFM threshold.
+
+    The selection interval is RFMTH activations; the number of
+    mitigation intervals per tREFW equals the total activation budget
+    divided by RFMTH.
+    """
+    if rfm_th < 1:
+        raise ValueError("rfm_th must be >= 1")
+    intervals = timing.acts_per_refw / rfm_th
+    return AdaConfig(
+        max_act=rfm_th,
+        transitive=True,
+        intervals_per_refw=intervals,
+        delay_intervals=rfm_delay_intervals,
+        target_ttf_years=target_ttf_years,
+    )
+
+
+def mint_slow_config(
+    refi_per_mitigation: int = 2,
+    timing: DDR5Timing = DEFAULT_TIMING,
+    target_ttf_years: float = 10_000.0,
+) -> AdaConfig:
+    """ADA configuration for a reduced mitigation rate (0.5x row).
+
+    One mitigation every ``refi_per_mitigation`` tREFI: the selection
+    interval spans that many refresh intervals' worth of activations.
+    """
+    interval_acts = timing.max_act * refi_per_mitigation
+    return AdaConfig(
+        max_act=interval_acts,
+        transitive=True,
+        intervals_per_refw=REFI_PER_REFW / refi_per_mitigation,
+        delay_intervals=MAX_POSTPONED_REFRESHES,
+        target_ttf_years=target_ttf_years,
+    )
+
+
+def scheme_mintrh_d(cfg: AdaConfig) -> int:
+    """Double-sided threshold of a scheme under the adaptive attack."""
+    _mp, value = worst_case_ada_mintrh(cfg, double_sided=True)
+    return value
+
+
+def table5(
+    timing: DDR5Timing = DEFAULT_TIMING,
+    target_ttf_years: float = 10_000.0,
+) -> list[RfmSchemeResult]:
+    """All rows of Table V (MinTRH-D includes DMQ + adaptive attack)."""
+    rows = []
+    slow = mint_slow_config(2, timing, target_ttf_years)
+    rows.append(
+        RfmSchemeResult(
+            "MINT", "0.5x (one per two tREFI)", slow.max_act,
+            scheme_mintrh_d(slow),
+        )
+    )
+    base = AdaConfig(
+        max_act=timing.max_act,
+        transitive=True,
+        intervals_per_refw=REFI_PER_REFW,
+        delay_intervals=MAX_POSTPONED_REFRESHES,
+        target_ttf_years=target_ttf_years,
+    )
+    rows.append(
+        RfmSchemeResult(
+            "MINT", "1x (one per tREFI)", base.max_act,
+            scheme_mintrh_d(base),
+        )
+    )
+    for rfm_th, label in ((32, "2x (approx two per tREFI)"),
+                          (16, "4x (approx four per tREFI)")):
+        cfg = mint_rfm_config(rfm_th, timing, target_ttf_years=target_ttf_years)
+        rows.append(
+            RfmSchemeResult(
+                f"MINT+RFM{rfm_th}", label, rfm_th, scheme_mintrh_d(cfg)
+            )
+        )
+    return rows
+
+
+def ttf_sensitivity(
+    target_ttf_years_list: list[float] | None = None,
+    timing: DDR5Timing = DEFAULT_TIMING,
+) -> list[dict]:
+    """Table VII: MinTRH-D of MINT / +RFM32 / +RFM16 vs Target-TTF."""
+    targets = target_ttf_years_list or [1e3, 1e4, 1e5, 1e6]
+    out = []
+    for target in targets:
+        base = AdaConfig(target_ttf_years=target)
+        rfm32 = mint_rfm_config(32, timing, target_ttf_years=target)
+        rfm16 = mint_rfm_config(16, timing, target_ttf_years=target)
+        out.append(
+            {
+                "target_ttf_years": target,
+                "mint": scheme_mintrh_d(base),
+                "rfm32": scheme_mintrh_d(rfm32),
+                "rfm16": scheme_mintrh_d(rfm16),
+            }
+        )
+    return out

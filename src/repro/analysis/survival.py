@@ -1,0 +1,132 @@
+"""InDRAM-PARA survival/sampling analysis (paper Section III, Figs 3-6).
+
+The pitfalls of extending PARA into the DRAM chip:
+
+* **Overwrite variant** (Fig 2/3): a sampled row must *survive* in SAR
+  until REF. Survival of position K out of M is ``(1-p)^(M-K)``
+  (Equation 2): position 1 survives with only 0.37.
+* **No-overwrite variant** (Fig 4/5): sampling stops once SAR fills, so
+  position K is sampled with ``p * (1-p)^(K-1)`` (Equation 3): position
+  73's sampling probability is 0.37x of p.
+* Either way the most vulnerable position is mitigated 2.7x less often
+  than an ideal uniform policy (Fig 6), and with probability
+  ``(1-p)^M = 0.37`` *nothing* is selected in a full window (Eq 4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from ..trackers.para import InDramParaTracker
+
+
+def survival_probability(position: int, max_act: int = 73, p: float | None = None) -> float:
+    """S_K for the overwrite variant (Equation 2)."""
+    p = 1.0 / max_act if p is None else p
+    _check_position(position, max_act)
+    return (1.0 - p) ** (max_act - position)
+
+
+def sampling_probability_no_overwrite(
+    position: int, max_act: int = 73, p: float | None = None
+) -> float:
+    """P_K for the no-overwrite variant (Equation 3).
+
+    Absolute probability that position K is the one sampled; position 1
+    equals p, position M equals ``p * (1-p)^(M-1)`` (~0.37 p for M=73).
+    """
+    p = 1.0 / max_act if p is None else p
+    _check_position(position, max_act)
+    return p * (1.0 - p) ** (position - 1)
+
+
+def mitigation_probability(
+    position: int,
+    max_act: int = 73,
+    p: float | None = None,
+    overwrite: bool = True,
+) -> float:
+    """Absolute mitigation probability of position K (Equation 1).
+
+    Overwrite variant: P = p * survival. No-overwrite: P = sampling
+    (survival is 1 once sampled).
+    """
+    p = 1.0 / max_act if p is None else p
+    if overwrite:
+        return p * survival_probability(position, max_act, p)
+    return sampling_probability_no_overwrite(position, max_act, p)
+
+
+def relative_mitigation_curve(
+    max_act: int = 73, overwrite: bool = True
+) -> np.ndarray:
+    """Fig 6 series: mitigation probability normalised to ideal p."""
+    p = 1.0 / max_act
+    return np.array(
+        [
+            mitigation_probability(k, max_act, p, overwrite) / p
+            for k in range(1, max_act + 1)
+        ]
+    )
+
+
+def most_vulnerable_position(max_act: int = 73, overwrite: bool = True) -> int:
+    """Position the attacker targets (1 for overwrite, M otherwise)."""
+    curve = relative_mitigation_curve(max_act, overwrite)
+    return int(np.argmin(curve)) + 1
+
+
+def vulnerability_factor(max_act: int = 73, overwrite: bool = True) -> float:
+    """How much worse the weakest position is vs ideal (~2.7 for M=73)."""
+    curve = relative_mitigation_curve(max_act, overwrite)
+    return float(1.0 / curve.min())
+
+
+def effective_mitigation_probability(max_act: int = 73) -> float:
+    """Per-activation mitigation probability at the weakest position.
+
+    This is the ``p`` an optimal attacker faces against InDRAM-PARA and
+    the value the MinTRH analysis uses (Section V-G).
+    """
+    p = 1.0 / max_act
+    return p * (1.0 - p) ** (max_act - 1)
+
+
+def non_selection_probability(max_act: int = 73, p: float | None = None) -> float:
+    """Probability that a full window selects nothing (Equation 4)."""
+    p = 1.0 / max_act if p is None else p
+    return (1.0 - p) ** max_act
+
+
+def simulate_position_mitigation_rates(
+    max_act: int = 73,
+    overwrite: bool = True,
+    windows: int = 20_000,
+    seed: int = 2024,
+) -> np.ndarray:
+    """Monte-Carlo check of the analytic curves using the real tracker.
+
+    Runs ``windows`` tREFI intervals in which position K holds row K,
+    and measures how often each position's row is the one mitigated.
+    Used by the test suite to validate Equations 2-3 against the
+    implementation in :class:`~repro.trackers.para.InDramParaTracker`.
+    """
+    rng = random.Random(seed)
+    tracker = InDramParaTracker(
+        sample_probability=1.0 / max_act, overwrite=overwrite, rng=rng
+    )
+    hits = np.zeros(max_act, dtype=np.int64)
+    for _ in range(windows):
+        for position in range(1, max_act + 1):
+            tracker.on_activate(position)
+        for request in tracker.on_refresh():
+            hits[request.row - 1] += 1
+    return hits / windows
+
+
+def _check_position(position: int, max_act: int) -> None:
+    if not 1 <= position <= max_act:
+        raise ValueError(f"position must be in [1, {max_act}]")

@@ -1,0 +1,47 @@
+"""Attack-pattern library: every pattern family the paper analyses."""
+
+from .adaptive import adaptive_attack, repeated_adaptive_attack
+from .base import AttackParams, build_trace, spaced_rows
+from .blacksmith import (
+    FuzzedAggressor,
+    blacksmith,
+    fuzz_aggressors,
+    random_blacksmith,
+)
+from .classic import double_sided, one_location, single_sided
+from .decoy import (
+    expected_unmitigated_acts,
+    postponement_decoy,
+    postponement_decoy_multi,
+)
+from .feinting import FeintingOutcome, run_feinting
+from .halfdouble import half_double, half_double_distance
+from .manysided import decoy_assisted, many_sided
+from .multirow import pattern2, pattern2_double_sided, pattern3
+
+__all__ = [
+    "AttackParams",
+    "FeintingOutcome",
+    "FuzzedAggressor",
+    "adaptive_attack",
+    "blacksmith",
+    "build_trace",
+    "decoy_assisted",
+    "double_sided",
+    "expected_unmitigated_acts",
+    "fuzz_aggressors",
+    "half_double",
+    "half_double_distance",
+    "many_sided",
+    "one_location",
+    "pattern2",
+    "pattern2_double_sided",
+    "pattern3",
+    "postponement_decoy",
+    "postponement_decoy_multi",
+    "random_blacksmith",
+    "repeated_adaptive_attack",
+    "run_feinting",
+    "single_sided",
+    "spaced_rows",
+]

@@ -1,0 +1,76 @@
+"""The Adaptive Attack (ADA) trace generator (paper Appendix B).
+
+ADA runs the MINT-optimal pattern-2 for ``morphing_point`` intervals,
+then morphs into the DMQ-optimal repeated hammering: pick one attack
+row and hammer it through a full postponement super-window (365
+activations), banking on the row already carrying a high unmitigated
+count from the first phase.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import Interval, Trace
+from .base import AttackParams, spaced_rows
+
+
+def adaptive_attack(
+    morphing_point: int,
+    params: AttackParams | None = None,
+    postponed: int = 4,
+    k: int | None = None,
+    spacing: int = 8,
+    target_index: int = 0,
+) -> Trace:
+    """Build one ADA round: pattern-2 for MP intervals, then the DMQ phase.
+
+    ``target_index`` picks which of the k pattern-2 rows is hammered in
+    the DMQ phase (the attacker cannot observe counts, so any choice is
+    equivalent; experiments sweep it for averaging).
+    """
+    params = params or AttackParams()
+    if morphing_point < 1:
+        raise ValueError("morphing_point must be >= 1")
+    k = params.max_act if k is None else k
+    rows = spaced_rows(k, params.base_row, spacing)
+    target = rows[target_index % k]
+
+    intervals: list[Interval] = []
+    cursor = 0
+    for _ in range(morphing_point):
+        interval = []
+        for _slot in range(min(params.max_act, k)):
+            interval.append(rows[cursor % k])
+            cursor += 1
+        intervals.append(Interval.of(interval))
+    # DMQ phase: one postponement super-window hammering the target.
+    intervals.append(Interval.of([target] * params.max_act, postpone=True))
+    for i in range(postponed):
+        last = i == postponed - 1
+        intervals.append(
+            Interval.of([target] * params.max_act, postpone=not last)
+        )
+    return Trace(
+        name=f"ada(mp={morphing_point},target={target})", intervals=intervals
+    )
+
+
+def repeated_adaptive_attack(
+    morphing_point: int,
+    params: AttackParams | None = None,
+    postponed: int = 4,
+    k: int | None = None,
+) -> Trace:
+    """Chain as many ADA rounds as fit in ``params.intervals`` (tREFW)."""
+    params = params or AttackParams()
+    round_len = morphing_point + postponed + 1
+    rounds = max(1, params.intervals // round_len)
+    intervals: list[Interval] = []
+    for round_index in range(rounds):
+        chunk = adaptive_attack(
+            morphing_point, params, postponed, k, target_index=round_index
+        )
+        intervals.extend(chunk.intervals)
+    return Trace(
+        name=f"ada-repeated(mp={morphing_point},rounds={rounds})",
+        intervals=intervals,
+    )

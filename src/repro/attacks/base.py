@@ -1,0 +1,57 @@
+"""Base utilities for attack-trace generators.
+
+Each attack module exposes functions returning a
+:class:`~repro.sim.trace.Trace`. Generators take the interval budget
+(MaxACT) and the number of tREFI intervals to emit, plus
+pattern-specific parameters; rows are plain integers into the bank's
+row space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.trace import Interval, Trace
+
+
+@dataclass(frozen=True)
+class AttackParams:
+    """Common parameters shared by the attack generators."""
+
+    max_act: int = 73
+    intervals: int = 8192
+    base_row: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.max_act < 1:
+            raise ValueError("max_act must be >= 1")
+        if self.intervals < 1:
+            raise ValueError("intervals must be >= 1")
+        if self.base_row < 0:
+            raise ValueError("base_row must be non-negative")
+
+
+def build_trace(
+    name: str, per_interval_acts: list[list[int]], postpone_mask: list[bool] | None = None
+) -> Trace:
+    """Assemble a trace from per-interval activation lists."""
+    if postpone_mask is None:
+        postpone_mask = [False] * len(per_interval_acts)
+    if len(postpone_mask) != len(per_interval_acts):
+        raise ValueError("postpone_mask length must match interval count")
+    intervals = [
+        Interval.of(acts, postpone)
+        for acts, postpone in zip(per_interval_acts, postpone_mask)
+    ]
+    return Trace(name=name, intervals=intervals)
+
+
+def spaced_rows(count: int, base_row: int, spacing: int = 8) -> list[int]:
+    """``count`` attack rows far enough apart not to share victims.
+
+    A spacing of >= 2 * blast_radius + 2 guarantees no victim overlap;
+    8 leaves margin for the blast-radius-2 ablation.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return [base_row + i * spacing for i in range(count)]

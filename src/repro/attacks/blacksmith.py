@@ -1,0 +1,111 @@
+"""Blacksmith-style frequency-domain patterns (paper Section II-F).
+
+Blacksmith defeats deployed TRR by hammering aggressors with
+*non-uniform* per-row frequencies, phases, and amplitudes, synchronised
+to the refresh interval so the most intense hammering lands where the
+tracker is least attentive. We reproduce the structure: each aggressor
+row has a (frequency, phase, amplitude) triple describing how its
+activations are laid out across a period of tREFI intervals.
+
+Against MINT this structure buys nothing (selection is uniform over
+slots regardless of layout — Section V-D property 2), and the test
+suite confirms Blacksmith-patterned traffic is mitigated just like
+pattern-2; against the TRR model it wins, matching the paper's account
+of why deployed trackers fail.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..sim.trace import Trace
+from .base import AttackParams, build_trace, spaced_rows
+
+
+@dataclass(frozen=True)
+class FuzzedAggressor:
+    """One aggressor's schedule in the Blacksmith parameter space."""
+
+    row: int
+    frequency: int  # hammer every `frequency` intervals
+    phase: int      # offset within the period
+    amplitude: int  # activations per hammered interval
+
+    def __post_init__(self) -> None:
+        if self.frequency < 1:
+            raise ValueError("frequency must be >= 1")
+        if self.amplitude < 1:
+            raise ValueError("amplitude must be >= 1")
+        if not 0 <= self.phase < self.frequency:
+            raise ValueError("phase must be in [0, frequency)")
+
+
+def fuzz_aggressors(
+    count: int,
+    rng: random.Random,
+    base_row: int = 1000,
+    max_frequency: int = 4,
+    max_amplitude: int = 4,
+    spacing: int = 8,
+) -> list[FuzzedAggressor]:
+    """Randomly sample a Blacksmith parameter assignment."""
+    rows = spaced_rows(count, base_row, spacing)
+    aggressors = []
+    for row in rows:
+        frequency = rng.randint(1, max_frequency)
+        aggressors.append(
+            FuzzedAggressor(
+                row=row,
+                frequency=frequency,
+                phase=rng.randrange(frequency),
+                amplitude=rng.randint(1, max_amplitude),
+            )
+        )
+    return aggressors
+
+
+def blacksmith(
+    aggressors: list[FuzzedAggressor],
+    params: AttackParams | None = None,
+) -> Trace:
+    """Lay the fuzzed schedules out over the trace intervals.
+
+    Activations are interleaved round-robin within each interval and
+    clipped to the MaxACT budget (Blacksmith synchronises with REF, so
+    the budget models its refresh-interval alignment).
+    """
+    params = params or AttackParams()
+    if not aggressors:
+        raise ValueError("at least one aggressor required")
+    acts: list[list[int]] = []
+    for index in range(params.intervals):
+        due: list[list[int]] = []
+        for aggressor in aggressors:
+            if index % aggressor.frequency == aggressor.phase:
+                due.append([aggressor.row] * aggressor.amplitude)
+        interval: list[int] = []
+        # Round-robin interleave so no single aggressor hogs the budget.
+        cursor = 0
+        while due and len(interval) < params.max_act:
+            queue = due[cursor % len(due)]
+            interval.append(queue.pop(0))
+            if not queue:
+                due.remove(queue)
+            else:
+                cursor += 1
+        acts.append(interval)
+    return build_trace(f"blacksmith(n={len(aggressors)})", acts)
+
+
+def random_blacksmith(
+    count: int = 16,
+    params: AttackParams | None = None,
+    seed: int = 13,
+) -> Trace:
+    """A seeded Blacksmith instance (fuzzing loop collapsed to one draw)."""
+    params = params or AttackParams()
+    rng = random.Random(seed)
+    return blacksmith(
+        fuzz_aggressors(count, rng, params.base_row), params
+    )

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``attack``  run an attack pattern against a tracker in the simulator
+``mintrh``  compute the tolerated threshold of a MINT configuration
+``table``   print one of the paper's comparison tables
+``plan``    recommend a configuration for a device threshold
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .analysis.adaptive import AdaConfig, worst_case_ada_mintrh
+from .analysis.comparison import table3
+from .analysis.postponement import table4
+from .analysis.rfm_scaling import (
+    mint_rfm_config,
+    mint_slow_config,
+    table5,
+    ttf_sensitivity,
+)
+from .analysis.storage import table9
+from .attacks import (
+    AttackParams,
+    double_sided,
+    half_double,
+    many_sided,
+    pattern2,
+    random_blacksmith,
+    single_sided,
+)
+from .sim.engine import run_attack
+from .trackers import available_trackers, make_tracker
+
+_ATTACKS = {
+    "single-sided": lambda p: single_sided(p),
+    "double-sided": lambda p: double_sided(p, victim=p.base_row),
+    "many-sided": lambda p: many_sided(12, p),
+    "blacksmith": lambda p: random_blacksmith(16, p),
+    "half-double": lambda p: half_double(p),
+    "pattern2": lambda p: pattern2(p.max_act, p),
+}
+
+
+def _cmd_attack(args) -> int:
+    params = AttackParams(max_act=args.max_act, intervals=args.intervals)
+    trace = _ATTACKS[args.attack](params)
+    tracker = make_tracker(
+        args.tracker, rng=random.Random(args.seed), dmq=args.dmq,
+        max_act=args.max_act,
+    )
+    result = run_attack(
+        tracker, trace, trh=args.trh,
+        allow_postponement=args.allow_postponement,
+    )
+    print(result.summary())
+    if result.failed:
+        flip = result.flips[0]
+        print(f"first flip: row {flip.row} after {flip.disturbance:.0f} "
+              f"disturbances at {flip.time_ns / 1e6:.2f} ms")
+    return 1 if result.failed else 0
+
+
+def _cmd_mintrh(args) -> int:
+    if args.scheme == "mint":
+        cfg = AdaConfig(target_ttf_years=args.target_ttf)
+    elif args.scheme == "mint-0.5x":
+        cfg = mint_slow_config(2, target_ttf_years=args.target_ttf)
+    elif args.scheme == "rfm32":
+        cfg = mint_rfm_config(32, target_ttf_years=args.target_ttf)
+    elif args.scheme == "rfm16":
+        cfg = mint_rfm_config(16, target_ttf_years=args.target_ttf)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.scheme)
+    mp, value = worst_case_ada_mintrh(cfg, double_sided=True)
+    print(f"{args.scheme}: MinTRH-D = {value} "
+          f"(worst adaptive morphing point {mp}, "
+          f"target TTF {args.target_ttf:,.0f} years/bank)")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    if args.which == "3":
+        for row in table3():
+            print(f"{row.name:<14} {row.centric:<8} MinTRH-D={row.mintrh_d:<7}"
+                  f" entries={row.entries:<7} "
+                  f"{'vulnerable' if row.transitive_vulnerable else 'immune'}")
+    elif args.which == "4":
+        for row in table4():
+            print(f"{row.name:<14} entries={row.entries:<7} "
+                  f"none={row.mintrh_d_no_postpone:<7} "
+                  f"noDMQ={row.mintrh_d_no_dmq:<7} "
+                  f"DMQ={row.mintrh_d_with_dmq}")
+    elif args.which == "5":
+        for row in table5():
+            print(f"{row.name:<14} {row.relative_rate:<28} "
+                  f"MinTRH-D={row.mintrh_d}")
+    elif args.which == "7":
+        for row in ttf_sensitivity():
+            print(f"target={row['target_ttf_years']:>12,.0f}y "
+                  f"mint={row['mint']:<6} rfm32={row['rfm32']:<5} "
+                  f"rfm16={row['rfm16']}")
+    elif args.which == "9":
+        for row in table9():
+            print(f"TRH-D={row['trh_d']:<6} "
+                  f"graphene={row['graphene_kb_per_bank']:.1f}KB/bank "
+                  f"mint+dmq={row['mint_dmq_bytes_per_bank']:.1f}B/bank")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    options = [
+        ("MINT", AdaConfig()),
+        ("MINT+RFM32", mint_rfm_config(32)),
+        ("MINT+RFM16", mint_rfm_config(16)),
+    ]
+    for name, cfg in options:
+        _mp, tolerated = worst_case_ada_mintrh(cfg, double_sided=True)
+        if args.trh_d >= tolerated:
+            print(f"device TRH-D {args.trh_d}: use {name} "
+                  f"(tolerates {tolerated}, margin "
+                  f"{args.trh_d / tolerated:.2f}x)")
+            return 0
+    print(f"device TRH-D {args.trh_d}: below MINT+RFM16 reach; "
+          f"per-row counting (PRAC) required")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MINT (MICRO 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    attack = sub.add_parser("attack", help="simulate an attack vs a tracker")
+    attack.add_argument("--tracker", choices=available_trackers(),
+                        default="mint")
+    attack.add_argument("--attack", choices=sorted(_ATTACKS), required=True)
+    attack.add_argument("--trh", type=float, default=4800.0)
+    attack.add_argument("--intervals", type=int, default=2000)
+    attack.add_argument("--max-act", type=int, default=73)
+    attack.add_argument("--seed", type=int, default=1)
+    attack.add_argument("--dmq", action="store_true")
+    attack.add_argument("--allow-postponement", action="store_true")
+    attack.set_defaults(func=_cmd_attack)
+
+    mintrh = sub.add_parser("mintrh", help="tolerated threshold of a scheme")
+    mintrh.add_argument("--scheme", default="mint",
+                        choices=["mint", "mint-0.5x", "rfm32", "rfm16"])
+    mintrh.add_argument("--target-ttf", type=float, default=10_000.0)
+    mintrh.set_defaults(func=_cmd_mintrh)
+
+    table = sub.add_parser("table", help="print a paper table")
+    table.add_argument("--which", choices=["3", "4", "5", "7", "9"],
+                       required=True)
+    table.set_defaults(func=_cmd_table)
+
+    plan = sub.add_parser("plan", help="recommend a configuration")
+    plan.add_argument("--trh-d", type=int, required=True)
+    plan.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

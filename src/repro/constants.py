@@ -1,0 +1,35 @@
+"""Shared physical and experimental constants.
+
+These are the handful of values that appear across the analysis,
+simulation, and performance subsystems and must agree everywhere.
+"""
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+#: Default per-bank Target Time-to-Failure used by the paper (Section IV-C).
+DEFAULT_TARGET_TTF_YEARS = 10_000.0
+
+#: Number of tREFI intervals in one tREFW window (32 ms / 3.9 us = 8192).
+REFI_PER_REFW = 8192
+
+#: DDR5 allows postponing up to four refresh commands (Section VI).
+MAX_POSTPONED_REFRESHES = 4
+
+#: Rows refreshed on either side of an aggressor during a mitigation.
+DEFAULT_BLAST_RADIUS = 1
+
+#: Banks per rank in the paper's DDR5 configuration (Table VI).
+BANKS_PER_RANK = 32
+
+#: Banks usable concurrently given tFAW limits (Section VIII-B).
+CONCURRENT_BANKS = 22
+
+#: Rows per bank in the paper's configuration (Table VI).
+ROWS_PER_BANK = 128 * 1024
+
+#: Row-address register width (18 bits covers 128K rows + valid bit),
+#: from the paper's storage analysis (Section VIII-C).
+SAR_BITS = 18
+
+#: Width of MINT's CAN/SAN sequence counters (7 bits for M = 73).
+COUNTER_BITS = 7

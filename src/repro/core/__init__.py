@@ -1,0 +1,25 @@
+"""The paper's primary contribution: MINT, DMQ, RFM co-design, Row-Press."""
+
+from .dmq import DelayedMitigationQueue, DMQ_ENTRY_BITS
+from .mint import MintTracker, COUNTER_BITS, SAR_BITS
+from .rfm import RaaCounter, RfmConfig, RfmController, mint_interval_for_rfm
+from .rowpress import (
+    EACT_FRACTION_BITS,
+    RowPressMintTracker,
+    equivalent_activations,
+)
+
+__all__ = [
+    "COUNTER_BITS",
+    "DelayedMitigationQueue",
+    "DMQ_ENTRY_BITS",
+    "EACT_FRACTION_BITS",
+    "MintTracker",
+    "RaaCounter",
+    "RfmConfig",
+    "RfmController",
+    "RowPressMintTracker",
+    "SAR_BITS",
+    "equivalent_activations",
+    "mint_interval_for_rfm",
+]

@@ -1,0 +1,141 @@
+"""MINT: the Minimalist In-DRAM Tracker (paper Section V).
+
+MINT is *future-centric*: at each REF it draws, uniformly at random, the
+sequence number of the activation in the upcoming tREFI interval that
+will be mitigated at the next REF. Three registers implement it:
+
+``SAN`` (Selected Activation Number, 7 bits)
+    The position drawn at the last REF.
+``CAN`` (Current Activation Number, 7 bits)
+    Sequence number of activations since the last REF.
+``SAR`` (Selected Address Register, 18 bits incl. valid)
+    The row captured when ``CAN == SAN``; mitigated at the next REF.
+
+With the transitive-mitigation extension (Section V-E) the URAND draw
+covers 0..M instead of 1..M: drawing 0 preserves SAR across the REF and
+upgrades the pending mitigation to a transitive one (refresh the victims
+of the victim rows, i.e. aggressor±2); consecutive zeros increase the
+distance recursively.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..trackers.base import MitigationRequest, Tracker
+
+from ..constants import COUNTER_BITS, SAR_BITS
+
+
+class MintTracker(Tracker):
+    """The single-entry future-centric tracker.
+
+    Parameters
+    ----------
+    max_act:
+        M, the maximum number of activations per mitigation interval
+        (73 for the default DDR5 timing; 32/16 when co-designed with
+        RFM, Section VII).
+    transitive:
+        Enable the 0-slot transitive mitigation (on by default, as in
+        the final MINT design). With it the URAND covers ``0..M`` and the
+        selection probability becomes ``1/(M+1)``.
+    rng:
+        Source of randomness standing in for the in-DRAM TRNG.
+    """
+
+    name = "MINT"
+    centric = "future"
+    observes_mitigations = False
+
+    def __init__(
+        self,
+        max_act: int = 73,
+        transitive: bool = True,
+        rng: random.Random | None = None,
+    ) -> None:
+        if max_act < 1:
+            raise ValueError("max_act must be >= 1")
+        self.max_act = max_act
+        self.transitive = transitive
+        self.rng = rng or random.Random()
+        self.can = 0
+        self.sar: int | None = None
+        self._distance = 1
+        self.san: int | None = None
+        self._draw_san()
+        # Statistics
+        self.selections = 0
+        self.mitigations_issued = 0
+        self.transitive_mitigations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def selection_probability(self) -> float:
+        """Per-activation selection probability (1/M or 1/(M+1))."""
+        slots = self.max_act + 1 if self.transitive else self.max_act
+        return 1.0 / slots
+
+    def _draw_san(self) -> None:
+        """Draw the selected activation number for the next interval.
+
+        Drawing 0 (only possible with the transitive extension) keeps
+        the current SAR and marks the pending mitigation transitive.
+        """
+        low = 0 if self.transitive else 1
+        draw = self.rng.randint(low, self.max_act)
+        if draw == 0:
+            # Slot 0: preserve SAR; its mitigation distance grows by one.
+            # No new selection happens during the upcoming interval.
+            if self.sar is not None:
+                self._distance += 1
+            self.san = None
+        else:
+            self.sar = None
+            self._distance = 1
+            self.san = draw
+
+    # ------------------------------------------------------------------
+    def on_activate(self, row: int) -> None:
+        self.can += 1
+        if self.san is not None and self.can == self.san:
+            self.sar = row
+            self.selections += 1
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        requests = []
+        if self.sar is not None:
+            requests.append(MitigationRequest(self.sar, self._distance))
+            self.mitigations_issued += 1
+            if self._distance > 1:
+                self.transitive_mitigations += 1
+        self.can = 0
+        self._draw_san()
+        return requests
+
+    def pseudo_refresh(self) -> list[MitigationRequest]:
+        """DMQ boundary: same selection hand-over as a refresh.
+
+        MINT already counts activations in CAN, so the DMQ reuses it
+        (Section VI-C: "MINT already does this with CAN").
+        """
+        return self.on_refresh()
+
+    def reset(self) -> None:
+        self.can = 0
+        self.sar = None
+        self._distance = 1
+        self._draw_san()
+        self.selections = 0
+        self.mitigations_issued = 0
+        self.transitive_mitigations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> int:
+        return 1
+
+    @property
+    def storage_bits(self) -> int:
+        """CAN (7) + SAN (7) + SAR (18) = 32 bits = 4 bytes (§VIII-C)."""
+        return 2 * COUNTER_BITS + SAR_BITS

@@ -1,0 +1,88 @@
+"""Refresh Management (RFM) co-design — paper Section VII.
+
+DDR5's RFM feature lets the memory controller grant the DRAM extra
+mitigation slots. The controller keeps a Rolling Accumulation of ACTs
+(RAA) counter per bank; when it crosses ``rfm_th`` the counter resets
+and an RFM command is sent to that bank, giving the in-DRAM tracker one
+additional mitigation opportunity.
+
+MINT co-designed with RFM simply shrinks its interval: with RFMTH = 32
+the URAND selection covers 0..32, with RFMTH = 16 it covers 0..16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RfmConfig:
+    """RFM policy parameters.
+
+    ``rfm_th`` is the RAA threshold (32 for MINT+RFM32, 16 for
+    MINT+RFM16). ``max_delay_intervals`` models the JEDEC allowance for
+    RFM commands to be delayed (3x-6x, Section VII) — the DMQ absorbs
+    that delay just as it absorbs REF postponement.
+    """
+
+    rfm_th: int = 32
+    max_delay_intervals: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rfm_th < 1:
+            raise ValueError("rfm_th must be >= 1")
+
+
+class RaaCounter:
+    """Per-bank Rolling Accumulation of ACTs counter at the controller."""
+
+    def __init__(self, config: RfmConfig) -> None:
+        self.config = config
+        self.count = 0
+        self.rfms_issued = 0
+
+    def on_activate(self) -> bool:
+        """Count one ACT. Returns True when an RFM must be issued."""
+        self.count += 1
+        if self.count >= self.config.rfm_th:
+            self.count = 0
+            self.rfms_issued += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.count = 0
+        self.rfms_issued = 0
+
+
+class RfmController:
+    """RAA counters for every bank of a rank."""
+
+    def __init__(self, num_banks: int, config: RfmConfig | None = None) -> None:
+        if num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        self.config = config or RfmConfig()
+        self.counters = [RaaCounter(self.config) for _ in range(num_banks)]
+
+    def on_activate(self, bank: int) -> bool:
+        """Record an ACT to ``bank``; True if an RFM fires for it."""
+        return self.counters[bank].on_activate()
+
+    @property
+    def total_rfms(self) -> int:
+        return sum(counter.rfms_issued for counter in self.counters)
+
+    def reset(self) -> None:
+        for counter in self.counters:
+            counter.reset()
+
+
+def mint_interval_for_rfm(rfm_th: int) -> int:
+    """The M value MINT uses when co-designed with an RFM threshold.
+
+    Section VII: "we modify MINT to select URAND(0,32) or URAND(0,16)"
+    — the mitigation interval equals the RAA threshold.
+    """
+    if rfm_th < 1:
+        raise ValueError("rfm_th must be >= 1")
+    return rfm_th

@@ -1,0 +1,112 @@
+"""Row-Press tolerance via ImPress-style equivalent activations (App. C).
+
+Row-Press keeps a row open for a long time (tON), leaking charge from
+neighbours with far fewer activations than TRH. ImPress converts row
+open-time into an Equivalent number of ACTivations:
+
+    EACT = (tON + tPRE) / tRC        (Equation 9)
+
+MINT then increments its CAN register by EACT (a fixed-point value with
+7 fractional bits) instead of by 1, so long-open rows are proportionally
+more likely to be selected for mitigation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from ..trackers.base import MitigationRequest, Tracker
+from .mint import COUNTER_BITS, SAR_BITS
+
+#: Fractional bits of the fixed-point CAN register (Appendix C).
+EACT_FRACTION_BITS = 7
+
+
+def equivalent_activations(
+    t_on_ns: float, timing: DDR5Timing = DEFAULT_TIMING
+) -> float:
+    """EACT for a row kept open ``t_on_ns`` nanoseconds (Equation 9)."""
+    if t_on_ns < 0:
+        raise ValueError("t_on_ns must be non-negative")
+    return (t_on_ns + timing.t_rp_ns) / timing.t_rc_ns
+
+
+class RowPressMintTracker(Tracker):
+    """MINT with the ImPress fixed-point CAN extension.
+
+    ``on_activate_timed`` accepts the row-open time; plain
+    ``on_activate`` assumes a minimal open time (tRAS-like, one EACT).
+    The selection rule becomes "CAN crosses SAN" because CAN now
+    advances in fractional steps.
+    """
+
+    name = "MINT+ImPress"
+    centric = "future"
+    observes_mitigations = False
+
+    def __init__(
+        self,
+        max_act: int = 73,
+        transitive: bool = True,
+        timing: DDR5Timing = DEFAULT_TIMING,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.max_act = max_act
+        self.transitive = transitive
+        self.timing = timing
+        self.rng = rng or random.Random()
+        self.can = 0.0
+        self.sar: int | None = None
+        self._distance = 1
+        self.san: int | None = None
+        self._draw_san()
+
+    def _draw_san(self) -> None:
+        low = 0 if self.transitive else 1
+        draw = self.rng.randint(low, self.max_act)
+        if draw == 0:
+            if self.sar is not None:
+                self._distance += 1
+            self.san = None
+        else:
+            self.sar = None
+            self._distance = 1
+            self.san = draw
+
+    def on_activate(self, row: int) -> None:
+        # A normal activation: the row is open for roughly tRC - tRP.
+        self.on_activate_timed(row, self.timing.t_rc_ns - self.timing.t_rp_ns)
+
+    def on_activate_timed(self, row: int, t_on_ns: float) -> None:
+        """Observe an activation whose row stayed open ``t_on_ns``."""
+        eact = equivalent_activations(t_on_ns, self.timing)
+        # Quantize to the fixed-point resolution of the CAN register.
+        step = round(eact * (1 << EACT_FRACTION_BITS)) / (1 << EACT_FRACTION_BITS)
+        before = self.can
+        self.can = before + step
+        if self.san is not None and before < self.san <= self.can:
+            self.sar = row
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        requests = []
+        if self.sar is not None:
+            requests.append(MitigationRequest(self.sar, self._distance))
+        self.can = 0.0
+        self._draw_san()
+        return requests
+
+    def reset(self) -> None:
+        self.can = 0.0
+        self.sar = None
+        self._distance = 1
+        self._draw_san()
+
+    @property
+    def entries(self) -> int:
+        return 1
+
+    @property
+    def storage_bits(self) -> int:
+        """Fixed-point CAN (14) + SAN (7) + SAR (18) bits (Appendix C)."""
+        return (COUNTER_BITS + EACT_FRACTION_BITS) + COUNTER_BITS + SAR_BITS

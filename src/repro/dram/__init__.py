@@ -1,0 +1,39 @@
+"""DDR5 device substrate: timing, banks, refresh, and the disturbance oracle."""
+
+from .bank import Bank, BankStats
+from .commands import Command, CommandKind, act, drfm, ref, rfm
+from .device import DeviceConfig, DramDevice
+from .mapping import RowMapping, ScrambledRowMapping
+from .refresh import RefreshEvent, RefreshScheduler
+from .rowstate import FlipEvent, RowDisturbanceModel
+from .timing import (
+    DDR5Timing,
+    DEFAULT_TIMING,
+    SPEED_BINS,
+    maxact_range,
+    timing_for_bin,
+)
+
+__all__ = [
+    "Bank",
+    "BankStats",
+    "Command",
+    "CommandKind",
+    "DDR5Timing",
+    "DEFAULT_TIMING",
+    "DeviceConfig",
+    "DramDevice",
+    "FlipEvent",
+    "RefreshEvent",
+    "RefreshScheduler",
+    "RowDisturbanceModel",
+    "RowMapping",
+    "SPEED_BINS",
+    "ScrambledRowMapping",
+    "act",
+    "drfm",
+    "maxact_range",
+    "ref",
+    "rfm",
+    "timing_for_bin",
+]

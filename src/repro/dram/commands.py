@@ -1,0 +1,60 @@
+"""DRAM command vocabulary shared by the security and performance models.
+
+The security simulator (``repro.sim``) consumes the logical stream of
+ACT/REF/RFM commands; the performance simulator (``repro.perf``) adds the
+timing cost of each command class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CommandKind(enum.Enum):
+    """The DDR5 commands relevant to Rowhammer mitigation."""
+
+    ACT = "act"            #: Activate a row (a potential hammer).
+    PRE = "pre"            #: Precharge (close) the open row.
+    READ = "read"          #: Column read on the open row.
+    WRITE = "write"        #: Column write on the open row.
+    REF = "ref"            #: All-bank refresh; mitigation piggybacks here.
+    RFM = "rfm"            #: Refresh Management: extra mitigation slot.
+    DRFM = "drfm"          #: Directed RFM: MC names the row to mitigate.
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command directed at a bank.
+
+    ``row`` is meaningful for ACT and DRFM; ``None`` otherwise.
+    """
+
+    kind: CommandKind
+    bank: int = 0
+    row: int | None = None
+
+    def __post_init__(self) -> None:
+        needs_row = self.kind in (CommandKind.ACT, CommandKind.DRFM)
+        if needs_row and self.row is None:
+            raise ValueError(f"{self.kind.value} command requires a row")
+
+
+def act(row: int, bank: int = 0) -> Command:
+    """Shorthand constructor for an activate command."""
+    return Command(CommandKind.ACT, bank=bank, row=row)
+
+
+def ref(bank: int = 0) -> Command:
+    """Shorthand constructor for a refresh command."""
+    return Command(CommandKind.REF, bank=bank)
+
+
+def rfm(bank: int = 0) -> Command:
+    """Shorthand constructor for an RFM command."""
+    return Command(CommandKind.RFM, bank=bank)
+
+
+def drfm(row: int, bank: int = 0) -> Command:
+    """Shorthand constructor for a directed-RFM command."""
+    return Command(CommandKind.DRFM, bank=bank, row=row)

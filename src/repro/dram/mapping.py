@@ -1,0 +1,66 @@
+"""Logical-to-physical row address mapping.
+
+DRAM vendors remap row addresses internally (Section II-D: "DRAM chips
+internally use proprietary mapping"). In-DRAM trackers see physical rows;
+memory-controller-side schemes see logical rows and must rely on DRFM.
+We model the remap as a keyed bijective permutation so experiments can
+show why MC-side victim refresh needs the device's help.
+"""
+
+from __future__ import annotations
+
+
+class RowMapping:
+    """Identity mapping: logical row == physical row."""
+
+    def __init__(self, num_rows: int) -> None:
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        self.num_rows = num_rows
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return physical
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise ValueError(f"row {row} out of range [0, {self.num_rows})")
+
+
+class ScrambledRowMapping(RowMapping):
+    """A keyed bijective remap modelling proprietary internal topology.
+
+    Uses a multiplicative permutation ``physical = (a * logical + b) mod N``
+    with ``gcd(a, N) == 1``. This captures the property that matters for
+    the experiments: logically adjacent rows are generally not physically
+    adjacent, so an MC-side scheme refreshing ``logical ± 1`` misses the
+    true victims.
+    """
+
+    def __init__(self, num_rows: int, key: int = 0x5DEECE66D) -> None:
+        super().__init__(num_rows)
+        # Choose an odd multiplier co-prime with num_rows.
+        a = (key | 1) % num_rows
+        while _gcd(a, num_rows) != 1:
+            a = (a + 2) % num_rows or 1
+        self._a = a
+        self._b = (key >> 16) % num_rows
+        self._a_inv = pow(self._a, -1, num_rows)
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return (self._a * logical + self._b) % self.num_rows
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return ((physical - self._b) * self._a_inv) % self.num_rows
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

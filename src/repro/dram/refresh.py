@@ -1,0 +1,69 @@
+"""Refresh scheduling with DDR5 postponement semantics (Section VI).
+
+DDR5 issues one REF per tREFI and permits the memory controller to
+postpone up to four REF commands; at most five are then batched and
+executed back-to-back. Between a postponed REF and the batch, demand
+activations keep flowing — which is exactly what breaks naive low-cost
+trackers (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import MAX_POSTPONED_REFRESHES
+
+
+@dataclass
+class RefreshEvent:
+    """A batch of back-to-back REF commands executed at one instant.
+
+    ``count`` is 1 for a timely refresh and up to 5 when four postponed
+    refreshes are flushed together.
+    """
+
+    count: int
+    interval_index: int
+
+
+class RefreshScheduler:
+    """Tracks the refresh debt of one bank.
+
+    The scheduler is driven once per tREFI boundary via :meth:`tick`.
+    The caller decides whether it *wants* to postpone (modelling an
+    adversarial or throughput-oriented memory controller); the scheduler
+    enforces the DDR5 ceiling of four postponed refreshes.
+    """
+
+    def __init__(self, max_postponed: int = MAX_POSTPONED_REFRESHES) -> None:
+        if max_postponed < 0:
+            raise ValueError("max_postponed must be >= 0")
+        self.max_postponed = max_postponed
+        self.postponed = 0
+        self.interval_index = 0
+        self.total_refreshes = 0
+
+    def tick(self, want_postpone: bool = False) -> RefreshEvent | None:
+        """Advance one tREFI. Returns the refresh batch executed, if any.
+
+        If ``want_postpone`` is True and headroom remains, the REF is
+        deferred and ``None`` is returned. Otherwise all owed refreshes
+        (the current one plus any postponed) execute as a single batch.
+        """
+        self.interval_index += 1
+        if want_postpone and self.postponed < self.max_postponed:
+            self.postponed += 1
+            return None
+        count = self.postponed + 1
+        self.postponed = 0
+        self.total_refreshes += count
+        return RefreshEvent(count=count, interval_index=self.interval_index)
+
+    def flush(self) -> RefreshEvent | None:
+        """Execute all owed refreshes immediately (end of simulation)."""
+        if self.postponed == 0:
+            return None
+        count = self.postponed
+        self.postponed = 0
+        self.total_refreshes += count
+        return RefreshEvent(count=count, interval_index=self.interval_index)

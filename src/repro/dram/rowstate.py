@@ -1,0 +1,168 @@
+"""Per-row disturbance accounting: the Rowhammer failure oracle.
+
+This module models the physical effect the trackers defend against. Every
+activation of row ``r`` disturbs its neighbours within the blast radius;
+a refresh of a row (auto-refresh or mitigative victim refresh) resets the
+disturbance accumulated on that row. A row whose accumulated disturbance
+reaches the device's Rowhammer threshold (TRH) is flagged as flipped.
+
+The model is deliberately the same abstraction the paper analyses at:
+activation counts versus a scalar threshold. Mitigative refreshes are
+*silent activations* of the victim rows — they disturb the victims'
+neighbours in turn, which is exactly the mechanism behind transitive
+(Half-Double) attacks, so the oracle reproduces them for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlipEvent:
+    """Record of a row crossing the Rowhammer threshold."""
+
+    row: int
+    disturbance: float
+    time_ns: float
+
+
+class RowDisturbanceModel:
+    """Tracks disturbance per row and detects threshold crossings.
+
+    Parameters
+    ----------
+    num_rows:
+        Rows in the bank. Row indices outside ``[0, num_rows)`` are
+        silently clipped (edge rows simply have fewer neighbours).
+    trh:
+        Rowhammer threshold: disturbances a row can absorb between
+        refreshes before flipping. The paper's per-row double-sided
+        threshold (TRH-D) corresponds to each neighbour contributing
+        one disturbance per activation.
+    blast_radius:
+        How many rows on either side of an activated row are disturbed.
+        The paper uses 1 for analysis; 2 is modelled for the ablation.
+    decay:
+        Disturbance contributed to a neighbour at distance ``d`` is
+        ``decay ** (d - 1)``. The paper's analysis uses distance-1 only,
+        i.e. within the blast radius every neighbour counts fully; keep
+        ``decay=1.0`` to reproduce the paper.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        trh: float,
+        blast_radius: int = 1,
+        decay: float = 1.0,
+    ) -> None:
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        if trh <= 0:
+            raise ValueError("trh must be positive")
+        if blast_radius < 1:
+            raise ValueError("blast_radius must be >= 1")
+        self.num_rows = num_rows
+        self.trh = float(trh)
+        self.blast_radius = blast_radius
+        self.decay = decay
+        # Sparse map row -> accumulated disturbance. Attacks touch a
+        # handful of rows out of 128K, so a dict beats a dense array.
+        self._disturbance: dict[int, float] = {}
+        # Historical per-row maxima (refreshes reset disturbance but
+        # not the peak): the "max unmitigated hammers" metric.
+        self._peak: dict[int, float] = {}
+        self.flips: list[FlipEvent] = []
+        self._flipped: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Disturbance events
+    # ------------------------------------------------------------------
+    def activate(self, row: int, time_ns: float = 0.0, weight: float = 1.0) -> None:
+        """Record one activation of ``row`` and disturb its neighbours.
+
+        An activation is a full row cycle (read + restore), so it also
+        refreshes the activated row itself — without this, a hammered
+        aggressor would spuriously accumulate disturbance from its own
+        victims' mitigative refreshes.
+        """
+        self._disturbance.pop(row, None)
+        for distance in range(1, self.blast_radius + 1):
+            contribution = weight * self.decay ** (distance - 1)
+            for victim in (row - distance, row + distance):
+                if 0 <= victim < self.num_rows:
+                    self._bump(victim, contribution, time_ns)
+
+    def refresh_row(self, row: int, time_ns: float = 0.0) -> None:
+        """Refresh ``row``: resets its disturbance (charge restored).
+
+        Note this does *not* disturb the refreshed row's neighbours; use
+        :meth:`mitigate` for a victim refresh performed as a mitigative
+        activation, which does disturb (the transitive-attack channel).
+        """
+        self._disturbance.pop(row, None)
+
+    def mitigate(self, aggressor: int, time_ns: float = 0.0) -> list[int]:
+        """Mitigative refresh of the victims of ``aggressor``.
+
+        Every row within the blast radius of the aggressor is refreshed.
+        Each such refresh is itself an activation of the victim row and
+        disturbs *its* neighbours — the transitive channel exploited by
+        Half-Double. Returns the list of refreshed rows.
+        """
+        refreshed = []
+        for distance in range(1, self.blast_radius + 1):
+            for victim in (aggressor - distance, aggressor + distance):
+                if 0 <= victim < self.num_rows:
+                    refreshed.append(victim)
+        # Refresh first (restore charge), then account the disturbance
+        # the refresh activations cause to rows beyond the refreshed set.
+        for victim in refreshed:
+            self.refresh_row(victim, time_ns)
+        for victim in refreshed:
+            self.activate(victim, time_ns)
+        # Refreshing restores the refreshed rows regardless of what the
+        # sibling victim's activation deposited on them during this same
+        # mitigation; clear again so a single mitigation is self-consistent.
+        for victim in refreshed:
+            self._disturbance.pop(victim, None)
+        return refreshed
+
+    def auto_refresh_all(self, time_ns: float = 0.0) -> None:
+        """tREFW rollover: every row has been refreshed once."""
+        self._disturbance.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def disturbance(self, row: int) -> float:
+        """Accumulated disturbance on ``row`` since its last refresh."""
+        return self._disturbance.get(row, 0.0)
+
+    def max_disturbance(self) -> float:
+        """Largest disturbance currently accumulated on any row."""
+        return max(self._disturbance.values(), default=0.0)
+
+    def most_disturbed_row(self) -> int | None:
+        """Row with the highest accumulated disturbance, if any."""
+        if not self._disturbance:
+            return None
+        return max(self._disturbance, key=self._disturbance.__getitem__)
+
+    @property
+    def any_flip(self) -> bool:
+        return bool(self.flips)
+
+    def peak_disturbance(self, row: int) -> float:
+        """Highest disturbance ``row`` ever reached between refreshes."""
+        return self._peak.get(row, 0.0)
+
+    def _bump(self, row: int, amount: float, time_ns: float) -> None:
+        total = self._disturbance.get(row, 0.0) + amount
+        self._disturbance[row] = total
+        if total > self._peak.get(row, 0.0):
+            self._peak[row] = total
+        if total >= self.trh and row not in self._flipped:
+            self._flipped.add(row)
+            self.flips.append(FlipEvent(row=row, disturbance=total, time_ns=time_ns))

@@ -1,0 +1,117 @@
+"""DDR5 timing parameters (paper Table I and Appendix A).
+
+The two derived quantities that drive every security result in the paper
+are ``max_act`` (the maximum number of activations that fit in one tREFI
+window, M = 73 by default) and ``refi_per_refw`` (the number of refresh
+commands per refresh window, 8192).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DDR5Timing:
+    """Timing parameters of a DDR5 device.
+
+    All times are in nanoseconds unless the name says otherwise. Default
+    values correspond to the paper's DDR5-5200B / 32 Gb configuration
+    (Table I).
+    """
+
+    #: Refresh window: every row is refreshed once per tREFW.
+    t_refw_ms: float = 32.0
+    #: Interval between successive REF commands.
+    t_refi_ns: float = 3900.0
+    #: Execution time of a REF command (also the DRFM penalty).
+    t_rfc_ns: float = 410.0
+    #: Minimum time between successive ACTs to the same bank.
+    t_rc_ns: float = 48.0
+    #: Row-to-column delay (used by the performance model).
+    t_rcd_ns: float = 16.0
+    #: Column access latency.
+    t_cl_ns: float = 16.0
+    #: Precharge latency.
+    t_rp_ns: float = 16.0
+    #: Same-bank RFM penalty: half of tRFC per the paper (Section VIII-A).
+    t_rfm_sb_ns: float = 205.0
+    #: Same-bank DRFM penalty: equal to tRFC (Section VIII-A).
+    t_drfm_sb_ns: float = 410.0
+
+    @property
+    def t_refw_ns(self) -> float:
+        return self.t_refw_ms * 1e6
+
+    @property
+    def max_act(self) -> int:
+        """Maximum ACTs per tREFI: M = (tREFI - tRFC) / tRC (Table I).
+
+        The raw quotient for the default parameters is 72.7; the paper
+        (and the JEDEC budget) round to the nearest integer, M = 73.
+        """
+        return round((self.t_refi_ns - self.t_rfc_ns) / self.t_rc_ns)
+
+    @property
+    def refi_per_refw(self) -> int:
+        """Number of REF commands per refresh window (8192 for DDR5)."""
+        return round(self.t_refw_ns / self.t_refi_ns)
+
+    @property
+    def acts_per_refw(self) -> int:
+        """Maximum demand activations per tREFW window (73 * 8192)."""
+        return self.max_act * self.refi_per_refw
+
+    def with_max_act(self, max_act: int) -> "DDR5Timing":
+        """Return a copy whose tRC is adjusted to yield ``max_act``.
+
+        Used by the Appendix-A sweep (Fig 18), which varies MaxACT from
+        65 to 80 across the JEDEC speed-bin envelope.
+        """
+        t_rc = (self.t_refi_ns - self.t_rfc_ns) / max_act
+        return DDR5Timing(
+            t_refw_ms=self.t_refw_ms,
+            t_refi_ns=self.t_refi_ns,
+            t_rfc_ns=self.t_rfc_ns,
+            t_rc_ns=t_rc,
+            t_rcd_ns=self.t_rcd_ns,
+            t_cl_ns=self.t_cl_ns,
+            t_rp_ns=self.t_rp_ns,
+            t_rfm_sb_ns=self.t_rfm_sb_ns,
+            t_drfm_sb_ns=self.t_drfm_sb_ns,
+        )
+
+
+#: JEDEC DDR5 speed-bin envelope discussed in Appendix A. The tuple holds
+#: (transfer rate label, tRC in ns, tRFC in ns).
+SPEED_BINS = {
+    "DDR5-3200A": (3200, 46.0, 350.0),
+    "DDR5-3200B": (3200, 48.0, 410.0),
+    "DDR5-4800B": (4800, 48.0, 410.0),
+    "DDR5-5200B": (5200, 48.0, 410.0),
+    "DDR5-6400B": (6400, 49.5, 410.0),
+    "DDR5-7200B": (7200, 49.5, 410.0),
+}
+
+
+def timing_for_bin(name: str) -> DDR5Timing:
+    """Build a :class:`DDR5Timing` for a named JEDEC speed bin."""
+    try:
+        _rate, t_rc, t_rfc = SPEED_BINS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown speed bin {name!r}; known bins: {sorted(SPEED_BINS)}"
+        ) from None
+    return DDR5Timing(t_rc_ns=t_rc, t_rfc_ns=t_rfc)
+
+
+def maxact_range() -> tuple[int, int]:
+    """The viable MaxACT range across all DDR5 speed bins (Appendix A)."""
+    values = []
+    for _rate, t_rc, t_rfc in SPEED_BINS.values():
+        values.append(int((3900.0 - t_rfc) / t_rc))
+    return min(values), max(values)
+
+
+DEFAULT_TIMING = DDR5Timing()

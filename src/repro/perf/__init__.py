@@ -1,0 +1,51 @@
+"""Performance substrate: the trace-driven Gem5 substitute."""
+
+from .energy import (
+    ACT_ENERGY_SHARE,
+    DMQ_POWER_W,
+    DRAM_POWER_W,
+    TRNG_POWER_W,
+    EnergyBreakdown,
+    mitigation_act_overhead,
+    scheme_energy,
+    table8,
+)
+from .memctrl import MemorySystemSim, MitigationPolicy, PerfResult
+from .runner import (
+    NormalizedPerf,
+    evaluate_workload,
+    figure16,
+    figure17,
+    geometric_mean,
+)
+from .workloads import (
+    RATE_WORKLOADS,
+    Workload,
+    all_rate_names,
+    mixed_workloads,
+    rate_mix,
+)
+
+__all__ = [
+    "ACT_ENERGY_SHARE",
+    "DMQ_POWER_W",
+    "DRAM_POWER_W",
+    "EnergyBreakdown",
+    "MemorySystemSim",
+    "MitigationPolicy",
+    "NormalizedPerf",
+    "PerfResult",
+    "RATE_WORKLOADS",
+    "TRNG_POWER_W",
+    "Workload",
+    "all_rate_names",
+    "evaluate_workload",
+    "figure16",
+    "figure17",
+    "geometric_mean",
+    "mitigation_act_overhead",
+    "mixed_workloads",
+    "rate_mix",
+    "scheme_energy",
+    "table8",
+]

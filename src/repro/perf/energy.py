@@ -1,0 +1,100 @@
+"""Memory energy accounting (paper Section VIII-D, Table VIII).
+
+The paper's energy story has three parts: the TRNG (290 uW), the DMQ
+(86 uW) — both four orders of magnitude below DRAM power — and the
+extra activations from mitigative victim refreshes. Activation energy
+is ~13% of total memory energy, so even a 25% ACT increase moves the
+total by only ~3%.
+
+We account energy from simulation statistics: every demand activation
+costs one ACT; every mitigation refreshes ``2 * blast_radius`` victim
+rows, each a silent ACT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Share of total memory energy spent on activations (Section VIII-D).
+ACT_ENERGY_SHARE = 0.13
+
+#: Static + dynamic power of the 7-bit TRNG, in watts (Section VIII-D).
+TRNG_POWER_W = 290e-6
+
+#: Static + dynamic power of the DMQ, in watts (CACTI estimate, §VIII-D).
+DMQ_POWER_W = 86e-6
+
+#: Ballpark DRAM device power for the "four orders of magnitude" claim.
+DRAM_POWER_W = 4.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Relative memory energy of a scheme vs the unprotected baseline."""
+
+    scheme: str
+    act_energy: float       # relative to baseline ACT energy
+    non_act_energy: float   # relative to baseline non-ACT energy
+
+    @property
+    def total(self) -> float:
+        return (
+            ACT_ENERGY_SHARE * self.act_energy
+            + (1.0 - ACT_ENERGY_SHARE) * self.non_act_energy
+        )
+
+
+def mitigation_act_overhead(
+    demand_acts: int, mitigations: int, blast_radius: int = 1
+) -> float:
+    """Relative ACT energy: (demand + victim-refresh ACTs) / demand."""
+    if demand_acts <= 0:
+        raise ValueError("demand_acts must be positive")
+    mitigative = mitigations * 2 * blast_radius
+    return (demand_acts + mitigative) / demand_acts
+
+
+def scheme_energy(
+    scheme: str,
+    demand_acts: int,
+    mitigations: int,
+    blast_radius: int = 1,
+    auxiliary_power_w: float = TRNG_POWER_W + DMQ_POWER_W,
+) -> EnergyBreakdown:
+    """Energy breakdown from simulation counters.
+
+    Auxiliary structures (TRNG, DMQ) contribute to the non-ACT bucket;
+    at microwatts against watts the effect is ~1e-4 and the paper rounds
+    it to 1.00x.
+    """
+    act = mitigation_act_overhead(demand_acts, mitigations, blast_radius)
+    non_act = 1.0 + auxiliary_power_w / DRAM_POWER_W
+    return EnergyBreakdown(scheme=scheme, act_energy=act, non_act_energy=non_act)
+
+
+def table8(
+    demand_acts_per_interval: float = 30.0,
+    max_act: int = 73,
+) -> list[EnergyBreakdown]:
+    """Table VIII rows from first principles.
+
+    ``demand_acts_per_interval`` is the average demand activation count
+    per bank per tREFI across the workload suite (SPEC-like traffic
+    keeps banks well below the MaxACT ceiling). MINT mitigates once per
+    tREFI; RFM32/RFM16 add one mitigation per 32/16 activations.
+    """
+    demand = demand_acts_per_interval
+    rows = [
+        scheme_energy("Base (No Mitig)", int(demand * 1000), 0),
+        scheme_energy("MINT", int(demand * 1000), 1000),
+    ]
+    for rfm_th in (32, 16):
+        extra = demand * 1000 / rfm_th
+        rows.append(
+            scheme_energy(
+                f"MINT+RFM{rfm_th}",
+                int(demand * 1000),
+                int(1000 + extra),
+            )
+        )
+    return rows

@@ -1,0 +1,245 @@
+"""Discrete-event memory-system model (the Gem5 substitute).
+
+A closed-loop queueing simulation: each core keeps a bounded number of
+outstanding misses (MLP tokens). A token thinks for the time the core
+needs to reach its next miss, then queues a DRAM request; the bank
+serves requests in arrival order with row-buffer state and tRC
+enforcement; REF blocks every bank each tREFI for tRFC.
+
+Mitigation overheads are injected exactly as the paper describes
+(Section VIII-A):
+
+* **MINT** mitigations ride inside the REF's tRFC — zero added time.
+* **RFM**: when a bank's RAA counter crosses RFMTH, a same-bank RFM
+  blocks it for tRFM_sb = 205 ns.
+* **MC-PARA**: each activation triggers, with probability p, a DRFM
+  blocking the bank for tDRFM_sb = 410 ns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from ..dram.bank import Bank
+from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from .workloads import Workload
+
+
+@dataclass
+class MitigationPolicy:
+    """Which mitigation overhead the memory system pays.
+
+    ``kind`` is one of ``"none"`` (baseline / MINT: both add zero bank
+    time), ``"rfm"`` (RAA counters + same-bank RFM), or ``"mc-para"``
+    (probabilistic DRFM per activation).
+    """
+
+    kind: str = "none"
+    rfm_th: int = 32
+    para_probability: float = 1.0 / 74.0
+    #: JEDEC rate limit: at most one DRFM per this many tREFI per bank
+    #: (Section VIII-A notes the paper lifts the limit; 0 disables it).
+    drfm_per_trefi: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("none", "rfm", "mc-para"):
+            raise ValueError(f"unknown policy kind {self.kind!r}")
+        if self.drfm_per_trefi < 0:
+            raise ValueError("drfm_per_trefi must be non-negative")
+
+
+@dataclass
+class PerfResult:
+    """Outcome of one simulation run."""
+
+    policy: str
+    sim_time_ns: float
+    instructions: list[int]
+    requests: list[int]
+    demand_activations: int
+    rfm_commands: int
+    drfm_commands: int
+    refreshes: int
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions)
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per nanosecond (arbitrary clock)."""
+        if self.sim_time_ns <= 0:
+            return 0.0
+        return self.total_instructions / self.sim_time_ns
+
+
+class MemorySystemSim:
+    """Closed-loop DES over banks, cores, REF/RFM/DRFM events.
+
+    ``cores`` is a list of workloads (one per core). Each core has
+    ``mlp`` tokens cycling between think time and memory service.
+    """
+
+    #: Core clock used to convert CPI into nanoseconds (3 GHz, Table VI).
+    CORE_GHZ = 3.0
+
+    def __init__(
+        self,
+        cores: list[Workload],
+        policy: MitigationPolicy | None = None,
+        timing: DDR5Timing = DEFAULT_TIMING,
+        num_banks: int = 32,
+        rows_per_bank: int = 1 << 17,
+        seed: int = 99,
+    ) -> None:
+        if not cores:
+            raise ValueError("at least one core required")
+        self.cores = cores
+        self.policy = policy or MitigationPolicy()
+        self.timing = timing
+        self.banks = [Bank(timing) for _ in range(num_banks)]
+        self.rows_per_bank = rows_per_bank
+        self.rng = random.Random(seed)
+        # Separate stream for mitigation decisions so every policy sees
+        # an identical demand-address sequence (run-to-run comparability).
+        self.policy_rng = random.Random(seed ^ 0xC0FFEE)
+        self._raa = [0] * num_banks
+        self._rfm_owed = [0] * num_banks
+        self._last_drfm_ns = [-1e18] * num_banks
+        self.drfm_suppressed = 0
+        #: JEDEC lets the controller defer RFMs; beyond this many owed
+        #: commands the next one issues immediately (blocking).
+        self.max_deferred_rfm = 4
+        self._last_row: dict[tuple[int, int], int] = {}
+        self.instructions = [0] * len(cores)
+        self.requests = [0] * len(cores)
+        self.demand_activations = 0
+        self.rfm_commands = 0
+        self.drfm_commands = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    def _think_time_ns(self, core: int) -> float:
+        """Time for a core to produce its next miss (1000/MPKI instrs)."""
+        workload = self.cores[core]
+        if workload.mpki <= 0:
+            return float("inf")
+        instructions = 1000.0 / workload.mpki
+        cycles = instructions * workload.base_cpi
+        return cycles / self.CORE_GHZ
+
+    def _choose_address(self, core: int) -> tuple[int, int, bool]:
+        """(bank, row, is_row_hit) for the next request of ``core``."""
+        workload = self.cores[core]
+        bank = self.rng.randrange(len(self.banks))
+        key = (core, bank)
+        if key in self._last_row and self.rng.random() < workload.row_hit_rate:
+            return bank, self._last_row[key], True
+        row = self.rng.randrange(self.rows_per_bank)
+        self._last_row[key] = row
+        return bank, row, False
+
+    # ------------------------------------------------------------------
+    def run(self, sim_time_ns: float = 2_000_000.0) -> PerfResult:
+        """Simulate ``sim_time_ns`` of wall-clock DRAM time."""
+        events: list[tuple[float, int, int]] = []  # (time, seq, core)
+        seq = 0
+        for core in range(len(self.cores)):
+            for _ in range(self.cores[core].mlp):
+                heapq.heappush(events, (self._think_time_ns(core), seq, core))
+                seq += 1
+        next_ref = self.timing.t_refi_ns
+        instructions_per_miss = [
+            1000.0 / w.mpki if w.mpki > 0 else 0.0 for w in self.cores
+        ]
+        while events:
+            time_ns, _, core = heapq.heappop(events)
+            if time_ns > sim_time_ns:
+                break
+            # All-bank refresh boundaries that elapsed before this event.
+            while next_ref <= time_ns:
+                for bank in self.banks:
+                    bank.refresh(next_ref)
+                self.refreshes += 1
+                next_ref += self.timing.t_refi_ns
+            bank_index, row, expect_hit = self._choose_address(core)
+            bank = self.banks[bank_index]
+            self._drain_deferred_rfm(bank_index, time_ns)
+            was_open = bank.open_row == row
+            done = bank.access(row, time_ns)
+            if not was_open:
+                self.demand_activations += 1
+                # The mitigation command is scheduled behind the demand
+                # access: it blocks the bank for *subsequent* requests
+                # but does not delay the request that triggered it.
+                self._mitigation_overhead(bank_index, done)
+            self.requests[core] += 1
+            self.instructions[core] += int(instructions_per_miss[core])
+            heapq.heappush(
+                events, (done + self._think_time_ns(core), seq, core)
+            )
+            seq += 1
+        return PerfResult(
+            policy=self.policy.kind,
+            sim_time_ns=sim_time_ns,
+            instructions=list(self.instructions),
+            requests=list(self.requests),
+            demand_activations=self.demand_activations,
+            rfm_commands=self.rfm_commands,
+            drfm_commands=self.drfm_commands,
+            refreshes=self.refreshes,
+        )
+
+    # ------------------------------------------------------------------
+    def _drain_deferred_rfm(self, bank_index: int, now_ns: float) -> None:
+        """Execute owed RFMs inside bank-idle gaps (free), or force one
+        blocking RFM when the deferral ceiling is hit.
+
+        This models the memory controller's latitude to schedule RFM
+        commands opportunistically, which is why the paper measures
+        RFM32 at ~0.1% slowdown despite each RFM costing 205 ns.
+        """
+        bank = self.banks[bank_index]
+        owed = self._rfm_owed[bank_index]
+        t = self.timing
+        while owed > 0 and now_ns - bank.free_at_ns >= t.t_rfm_sb_ns:
+            # The RFM fits entirely in elapsed idle time: no delay.
+            bank.rfm(bank.free_at_ns)
+            self.rfm_commands += 1
+            owed -= 1
+        if owed > self.max_deferred_rfm:
+            bank.rfm(now_ns)
+            self.rfm_commands += 1
+            owed -= 1
+        self._rfm_owed[bank_index] = owed
+
+    def _mitigation_overhead(self, bank_index: int, now_ns: float) -> None:
+        """Queue the policy's per-activation cost on the bank."""
+        policy = self.policy
+        bank = self.banks[bank_index]
+        if policy.kind == "rfm":
+            self._raa[bank_index] += 1
+            if self._raa[bank_index] >= policy.rfm_th:
+                self._raa[bank_index] = 0
+                self._rfm_owed[bank_index] += 1
+        elif policy.kind == "mc-para":
+            # DRFM cannot be deferred: it must capture the aggressor
+            # address in-flight, so every mitigation blocks the bank
+            # (Section VIII-E: "all mitigations block the bank").
+            if self.policy_rng.random() < policy.para_probability:
+                if policy.drfm_per_trefi > 0:
+                    # JEDEC rate limit: drop mitigations that arrive
+                    # inside the per-bank exclusion window. This is the
+                    # security-relevant cost of the limit (Section II-D:
+                    # it "places a high limit on the TRH tolerated").
+                    window = (
+                        policy.drfm_per_trefi * self.timing.t_refi_ns
+                    )
+                    if now_ns - self._last_drfm_ns[bank_index] < window:
+                        self.drfm_suppressed += 1
+                        return
+                    self._last_drfm_ns[bank_index] = now_ns
+                self.drfm_commands += 1
+                bank.drfm(now_ns)

@@ -1,0 +1,129 @@
+"""Experiment runner for the performance figures (Fig 16, Fig 17).
+
+For each workload the runner simulates the baseline (no mitigation,
+which also represents MINT: its mitigations ride inside tRFC and cost
+nothing — Section VIII-A), the RFM co-designs, and MC-PARA, then
+reports performance normalised to the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from .memctrl import MemorySystemSim, MitigationPolicy, PerfResult
+from .workloads import RATE_WORKLOADS, Workload, mixed_workloads, rate_mix
+
+
+@dataclass
+class NormalizedPerf:
+    """Relative performance of each scheme on one workload."""
+
+    workload: str
+    mint: float
+    rfm32: float
+    rfm16: float
+    mc_para: float | None = None
+
+
+def _run(
+    cores: list[Workload],
+    policy: MitigationPolicy,
+    sim_time_ns: float,
+    seed: int,
+    timing: DDR5Timing,
+) -> PerfResult:
+    sim = MemorySystemSim(cores, policy, timing=timing, seed=seed)
+    return sim.run(sim_time_ns)
+
+
+def evaluate_workload(
+    name: str,
+    cores: list[Workload],
+    sim_time_ns: float = 2_000_000.0,
+    seed: int = 99,
+    timing: DDR5Timing = DEFAULT_TIMING,
+    include_mc_para: bool = False,
+    mc_para_probability: float = 1.0 / 74.0,
+) -> NormalizedPerf:
+    """Relative performance of MINT / RFM32 / RFM16 (and MC-PARA)."""
+    base = _run(cores, MitigationPolicy("none"), sim_time_ns, seed, timing)
+    base_ipc = max(base.ipc, 1e-12)
+    rfm32 = _run(
+        cores, MitigationPolicy("rfm", rfm_th=32), sim_time_ns, seed, timing
+    )
+    rfm16 = _run(
+        cores, MitigationPolicy("rfm", rfm_th=16), sim_time_ns, seed, timing
+    )
+    mc_para = None
+    if include_mc_para:
+        para = _run(
+            cores,
+            MitigationPolicy("mc-para", para_probability=mc_para_probability),
+            sim_time_ns,
+            seed,
+            timing,
+        )
+        mc_para = para.ipc / base_ipc
+    return NormalizedPerf(
+        workload=name,
+        mint=1.0,  # MINT's mitigations are free by construction (§VIII-A).
+        rfm32=rfm32.ipc / base_ipc,
+        rfm16=rfm16.ipc / base_ipc,
+        mc_para=mc_para,
+    )
+
+
+def figure16(
+    sim_time_ns: float = 2_000_000.0,
+    include_mixes: bool = True,
+    seed: int = 99,
+) -> list[NormalizedPerf]:
+    """The Fig 16 bars: every rate workload (and mixes) x every scheme."""
+    results = []
+    for workload in RATE_WORKLOADS:
+        results.append(
+            evaluate_workload(
+                workload.name, rate_mix(workload), sim_time_ns, seed
+            )
+        )
+    if include_mixes:
+        for index, mix in enumerate(mixed_workloads()):
+            name = f"mix{index + 1}"
+            results.append(
+                evaluate_workload(name, mix, sim_time_ns, seed)
+            )
+    return results
+
+
+def figure17(
+    sim_time_ns: float = 2_000_000.0,
+    seed: int = 99,
+    mc_para_probability: float = 1.0 / 74.0,
+) -> list[NormalizedPerf]:
+    """The Fig 17 comparison: MINT vs MC-PARA at similar MinTRH."""
+    results = []
+    for workload in RATE_WORKLOADS:
+        results.append(
+            evaluate_workload(
+                workload.name,
+                rate_mix(workload),
+                sim_time_ns,
+                seed,
+                include_mc_para=True,
+                mc_para_probability=mc_para_probability,
+            )
+        )
+    return results
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geomean used for the "average slowdown" summaries."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("values must be positive")
+        product *= value
+    return product ** (1.0 / len(values))

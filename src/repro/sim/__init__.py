@@ -1,0 +1,28 @@
+"""Security simulation: trace-driven bank-level Rowhammer engine."""
+
+from .engine import BankSimulator, EngineConfig, run_attack, with_dmq
+from .rank import RankResult, RankSimulator, system_mttf_years
+from .montecarlo import (
+    MonteCarloResult,
+    estimate_failure_probability,
+    scaled_timing,
+)
+from .results import SimResult
+from .trace import Interval, Trace, repeat_interval
+
+__all__ = [
+    "BankSimulator",
+    "EngineConfig",
+    "Interval",
+    "MonteCarloResult",
+    "RankResult",
+    "RankSimulator",
+    "SimResult",
+    "Trace",
+    "estimate_failure_probability",
+    "repeat_interval",
+    "run_attack",
+    "scaled_timing",
+    "system_mttf_years",
+    "with_dmq",
+]

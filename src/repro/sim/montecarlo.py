@@ -1,0 +1,96 @@
+"""Monte-Carlo cross-validation of the analytical security model.
+
+The analytical MinTRH numbers rest on the Saroiu-Wolman recurrence; at
+realistic parameters (p ~ 1/74, failure probability ~ 1e-13) no
+simulation can observe failures directly. Instead we validate the model
+in a scaled-down regime — small M, small tREFW, aggressive thresholds —
+where failures are frequent enough to measure, and check the empirical
+failure rate against the same formulas evaluated at the scaled
+parameters. The test suite pins the agreement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dram.timing import DDR5Timing
+from ..trackers.base import Tracker
+from .engine import BankSimulator, EngineConfig
+from .trace import Trace
+
+
+@dataclass
+class MonteCarloResult:
+    """Empirical failure statistics over repeated tREFW windows."""
+
+    windows: int
+    failures: int
+    total_mitigations: int
+
+    @property
+    def failure_probability(self) -> float:
+        if self.windows == 0:
+            return 0.0
+        return self.failures / self.windows
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the failure probability."""
+        p = self.failure_probability
+        if self.windows == 0:
+            return (0.0, 1.0)
+        half = z * (p * (1.0 - p) / self.windows) ** 0.5
+        return (max(0.0, p - half), min(1.0, p + half))
+
+
+def scaled_timing(max_act: int, refi_per_refw: int) -> DDR5Timing:
+    """A toy DDR5 whose window holds ``max_act`` ACTs per tREFI."""
+    t_refi = 3900.0
+    t_rfc = 410.0
+    t_rc = (t_refi - t_rfc) / max_act
+    t_refw_ms = refi_per_refw * t_refi * 1e-6
+    return DDR5Timing(
+        t_refw_ms=t_refw_ms, t_refi_ns=t_refi, t_rfc_ns=t_rfc, t_rc_ns=t_rc
+    )
+
+
+def estimate_failure_probability(
+    tracker_factory: Callable[[random.Random], Tracker],
+    trace_factory: Callable[[random.Random], Trace],
+    trh: float,
+    max_act: int,
+    refi_per_refw: int,
+    windows: int = 2000,
+    num_rows: int = 1024,
+    seed: int = 7,
+    allow_postponement: bool = False,
+) -> MonteCarloResult:
+    """Run ``windows`` independent tREFW windows; count flip events.
+
+    Each window gets a fresh tracker, fresh device state, and a fresh
+    trace (patterns with randomised placement can vary per window).
+    """
+    rng = random.Random(seed)
+    timing = scaled_timing(max_act, refi_per_refw)
+    failures = 0
+    mitigations = 0
+    for index in range(windows):
+        window_rng = random.Random(rng.getrandbits(64))
+        tracker = tracker_factory(window_rng)
+        trace = trace_factory(window_rng)
+        config = EngineConfig(
+            timing=timing,
+            trh=trh,
+            num_rows=num_rows,
+            allow_postponement=allow_postponement,
+            refi_per_refw=refi_per_refw,
+        )
+        simulator = BankSimulator(tracker, config)
+        result = simulator.run(trace)
+        mitigations += result.mitigations
+        if result.failed:
+            failures += 1
+    return MonteCarloResult(
+        windows=windows, failures=failures, total_mitigations=mitigations
+    )

@@ -1,0 +1,47 @@
+"""Result records produced by the security simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.rowstate import FlipEvent
+
+
+@dataclass
+class SimResult:
+    """Outcome of running one trace against one tracker."""
+
+    tracker: str
+    trace: str
+    intervals: int
+    demand_acts: int
+    refreshes: int
+    mitigations: int
+    transitive_mitigations: int
+    pseudo_mitigations: int
+    flips: list[FlipEvent]
+    max_disturbance: float
+    most_disturbed_row: int | None
+    max_unmitigated: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """True if any row crossed the Rowhammer threshold."""
+        return bool(self.flips)
+
+    @property
+    def mitigation_rate(self) -> float:
+        """Mitigations per refresh (at most 1 for in-DRAM trackers)."""
+        if self.refreshes == 0:
+            return 0.0
+        return self.mitigations / self.refreshes
+
+    def summary(self) -> str:
+        status = "FLIP" if self.failed else "ok"
+        return (
+            f"[{status}] {self.tracker} vs {self.trace}: "
+            f"{self.demand_acts} ACTs / {self.intervals} tREFI, "
+            f"{self.mitigations} mitigations "
+            f"({self.transitive_mitigations} transitive), "
+            f"max disturbance {self.max_disturbance:.0f}"
+        )

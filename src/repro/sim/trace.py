@@ -1,0 +1,65 @@
+"""Attack-trace representation for the security simulator.
+
+A trace is a sequence of :class:`Interval` objects — one per tREFI.
+Each interval carries up to MaxACT row activations (the tRC budget)
+and a flag asking the memory controller to postpone the REF that would
+close the interval (granted only while fewer than four are owed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One tREFI worth of demand activations."""
+
+    acts: tuple[int, ...]
+    postpone: bool = False
+
+    @staticmethod
+    def of(acts: Iterable[int], postpone: bool = False) -> "Interval":
+        return Interval(tuple(acts), postpone)
+
+
+@dataclass
+class Trace:
+    """A named, bounded stream of intervals."""
+
+    name: str
+    intervals: list[Interval] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def total_acts(self) -> int:
+        return sum(len(interval.acts) for interval in self.intervals)
+
+    def rows_touched(self) -> set[int]:
+        rows: set[int] = set()
+        for interval in self.intervals:
+            rows.update(interval.acts)
+        return rows
+
+    def validate(self, max_act: int) -> None:
+        """Reject traces that exceed the per-interval ACT budget."""
+        for index, interval in enumerate(self.intervals):
+            if len(interval.acts) > max_act:
+                raise ValueError(
+                    f"interval {index} has {len(interval.acts)} ACTs, "
+                    f"but at most {max_act} fit in one tREFI"
+                )
+
+
+def repeat_interval(
+    acts: Iterable[int], count: int, postpone: bool = False
+) -> list[Interval]:
+    """``count`` identical intervals (the classic-attack building block)."""
+    interval = Interval.of(acts, postpone)
+    return [interval] * count

@@ -1,0 +1,35 @@
+"""The tracker zoo: every design the paper compares (Table III)."""
+
+from .base import MitigationRequest, NullTracker, Tracker
+from .graphene import GrapheneTracker
+from .mithril import MithrilTracker
+from .para import InDramParaTracker, McParaPolicy
+from .parfm import ParfmTracker
+from .prac import PracTracker, prac_throughput_cost, prac_timing
+from .prct import PrctTracker
+from .pride import PrideTracker
+from .protrr import ProTrrTracker, VictimRefreshRequest
+from .registry import available_trackers, make_tracker, register
+from .trr import TrrTracker
+
+__all__ = [
+    "GrapheneTracker",
+    "InDramParaTracker",
+    "McParaPolicy",
+    "MithrilTracker",
+    "MitigationRequest",
+    "NullTracker",
+    "ParfmTracker",
+    "PracTracker",
+    "PrctTracker",
+    "PrideTracker",
+    "ProTrrTracker",
+    "Tracker",
+    "TrrTracker",
+    "VictimRefreshRequest",
+    "available_trackers",
+    "make_tracker",
+    "prac_throughput_cost",
+    "prac_timing",
+    "register",
+]

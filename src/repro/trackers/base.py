@@ -1,0 +1,108 @@
+"""Common interface for in-DRAM (and MC-side) aggressor trackers.
+
+Every tracker in the paper fits one life-cycle:
+
+* :meth:`Tracker.on_activate` is called for each demand activation.
+* :meth:`Tracker.on_refresh` is called at each REF command; the tracker
+  returns the (possibly empty) list of mitigations to perform now.
+* :meth:`Tracker.pseudo_refresh` is called by the Delayed Mitigation
+  Queue when activations exceed MaxACT under refresh postponement: the
+  tracker must hand over its current selection and reset its interval
+  state exactly as if a REF had occurred, without any mitigation being
+  executed yet.
+
+A mitigation is a :class:`MitigationRequest` — an aggressor row plus a
+*distance*: 1 for a normal victim refresh (aggressor±1), 2 for a
+transitive mitigation (aggressor±2, Section V-E), etc.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MitigationRequest:
+    """Ask the device to refresh the victims of ``row`` at ``distance``."""
+
+    row: int
+    distance: int = 1
+
+    def __post_init__(self) -> None:
+        if self.distance < 1:
+            raise ValueError("mitigation distance must be >= 1")
+
+
+class Tracker(abc.ABC):
+    """Abstract aggressor tracker.
+
+    Class attributes describe the tracker for the comparison tables:
+
+    ``name``
+        Human-readable identifier used in reports.
+    ``centric``
+        The paper's taxonomy: ``"past"``, ``"present"`` or ``"future"``.
+    ``observes_mitigations``
+        True for counter-based designs whose counters are incremented by
+        the activations that victim refreshes perform (this is what makes
+        PRCT and Mithril immune to transitive attacks, Section V-G).
+    """
+
+    name: str = "tracker"
+    centric: str = "past"
+    observes_mitigations: bool = False
+
+    @abc.abstractmethod
+    def on_activate(self, row: int) -> None:
+        """Observe one demand activation of ``row``."""
+
+    @abc.abstractmethod
+    def on_refresh(self) -> list[MitigationRequest]:
+        """REF boundary: return mitigations to perform, reset interval."""
+
+    def on_mitigation_activate(self, row: int) -> None:
+        """Observe the silent activation a victim refresh performs.
+
+        Only called when :attr:`observes_mitigations` is True. Default
+        implementation treats it like a demand activation.
+        """
+        self.on_activate(row)
+
+    def pseudo_refresh(self) -> list[MitigationRequest]:
+        """Hand over the current selection for DMQ queueing.
+
+        Default: identical to a refresh boundary. Trackers whose refresh
+        has side effects beyond selection may override.
+        """
+        return self.on_refresh()
+
+    def reset(self) -> None:
+        """Restore power-on state. Subclasses should override."""
+
+    @property
+    def entries(self) -> int:
+        """Number of row-tracking entries (for Table III)."""
+        return 1
+
+    @property
+    def storage_bits(self) -> int:
+        """SRAM bits used per bank (for Section VIII-C / Table IX)."""
+        return 0
+
+
+class NullTracker(Tracker):
+    """A tracker that never mitigates — the unprotected baseline."""
+
+    name = "none"
+    centric = "none"
+
+    def on_activate(self, row: int) -> None:
+        pass
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        return []
+
+    @property
+    def entries(self) -> int:
+        return 0

@@ -1,0 +1,87 @@
+"""Graphene: MC-side Misra-Gries tracking (paper Section IX, Table IX).
+
+Graphene maintains a Misra-Gries frequent-items table at the memory
+controller and issues a (directed) mitigation whenever a row's counter
+crosses the hammer threshold divided by a safety factor. Its SRAM cost
+grows inversely with the threshold (Table IX: 56.5 KB per bank at
+TRH-D = 3K, 565 KB at 300), which is the point of comparison against
+MINT's 15 bytes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import SAR_BITS
+from .base import MitigationRequest, Tracker
+
+
+class GrapheneTracker(Tracker):
+    """Misra-Gries aggressor table with threshold-triggered mitigation."""
+
+    name = "Graphene"
+    centric = "past"
+    observes_mitigations = False  # MC-side: cannot see in-DRAM refreshes.
+
+    def __init__(
+        self,
+        trh: int,
+        acts_per_refw: int = 73 * 8192,
+        safety_factor: int = 4,
+        counter_bits: int | None = None,
+    ) -> None:
+        if trh < safety_factor:
+            raise ValueError("trh must be >= safety_factor")
+        self.trh = trh
+        self.safety_factor = safety_factor
+        #: Counter value at which a mitigation is issued immediately.
+        self.mitigation_threshold = max(1, trh // safety_factor)
+        #: Misra-Gries table size: enough entries that no row can cross
+        #: the threshold untracked within one tREFW.
+        self.num_entries = max(1, acts_per_refw // self.mitigation_threshold)
+        self.counter_bits = counter_bits or max(
+            1, math.ceil(math.log2(self.mitigation_threshold + 1))
+        )
+        self.counters: dict[int, int] = {}
+        self._pending: list[MitigationRequest] = []
+        self.mitigations_issued = 0
+
+    def on_activate(self, row: int) -> None:
+        if row in self.counters:
+            self.counters[row] += 1
+        elif len(self.counters) < self.num_entries:
+            self.counters[row] = 1
+        else:
+            for key in list(self.counters):
+                self.counters[key] -= 1
+                if self.counters[key] <= 0:
+                    del self.counters[key]
+            return
+        if self.counters[row] >= self.mitigation_threshold:
+            # Graphene mitigates as soon as the threshold trips, not at
+            # REF; queue it for the next command slot.
+            del self.counters[row]
+            self._pending.append(MitigationRequest(row))
+            self.mitigations_issued += 1
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        pending, self._pending = self._pending, []
+        return pending
+
+    def drain(self) -> list[MitigationRequest]:
+        """Collect threshold-triggered mitigations between refreshes."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self._pending.clear()
+        self.mitigations_issued = 0
+
+    @property
+    def entries(self) -> int:
+        return self.num_entries
+
+    @property
+    def storage_bits(self) -> int:
+        return self.num_entries * (SAR_BITS + self.counter_bits)

@@ -1,0 +1,60 @@
+"""PARFM: buffer every activation, pick one at random at REF (§V-G).
+
+A past-centric probabilistic design from the Mithril paper: all (up to
+M) activations of the tREFI window are buffered; at REF one buffered
+entry is selected uniformly at random and mitigated, and the buffer is
+cleared. Needs M = 73 entries per bank and is vulnerable to transitive
+attacks because only demand activations are buffered.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constants import SAR_BITS
+from .base import MitigationRequest, Tracker
+
+
+class ParfmTracker(Tracker):
+    """73-entry buffered uniform-random selector."""
+
+    name = "PARFM"
+    centric = "past"
+    observes_mitigations = False
+
+    def __init__(
+        self, max_act: int = 73, rng: random.Random | None = None
+    ) -> None:
+        if max_act < 1:
+            raise ValueError("max_act must be >= 1")
+        self.max_act = max_act
+        self.rng = rng or random.Random()
+        self.buffer: list[int] = []
+        self.dropped_activations = 0
+
+    def on_activate(self, row: int) -> None:
+        if len(self.buffer) < self.max_act:
+            self.buffer.append(row)
+        else:
+            # Refresh postponement: activations beyond M are invisible.
+            # This is precisely the vulnerability Table IV quantifies.
+            self.dropped_activations += 1
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        requests = []
+        if self.buffer:
+            requests.append(MitigationRequest(self.rng.choice(self.buffer)))
+        self.buffer.clear()
+        return requests
+
+    def reset(self) -> None:
+        self.buffer.clear()
+        self.dropped_activations = 0
+
+    @property
+    def entries(self) -> int:
+        return self.max_act
+
+    @property
+    def storage_bits(self) -> int:
+        return self.max_act * SAR_BITS

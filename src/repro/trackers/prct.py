@@ -1,0 +1,70 @@
+"""PRCT: the idealized Per-Row Counter-Table (paper Section II-H).
+
+One counter per row in SRAM. At each REF the row with the highest count
+is mitigated and its counter cleared. Impractical (128K counters per
+bank) but it bounds what *any* tracker can achieve at a given mitigation
+rate; the paper measures MINT's gap against it (2.25x, 1.9x under
+postponement).
+
+Counters are also incremented by the activations victim refreshes
+perform, which makes PRCT immune to transitive attacks (Section V-G).
+"""
+
+from __future__ import annotations
+
+from ..constants import ROWS_PER_BANK
+from .base import MitigationRequest, Tracker
+
+
+class PrctTracker(Tracker):
+    """Idealized one-counter-per-row tracker."""
+
+    name = "PRCT"
+    centric = "past"
+    observes_mitigations = True
+
+    def __init__(
+        self,
+        num_rows: int = ROWS_PER_BANK,
+        counter_bits: int = 12,
+        mitigation_threshold: int = 1,
+    ) -> None:
+        if num_rows < 1:
+            raise ValueError("num_rows must be >= 1")
+        self.num_rows = num_rows
+        self.counter_bits = counter_bits
+        # The paper's PRCT mitigates whenever any counter is non-zero
+        # (footnote 1); a practical design would use a higher threshold.
+        self.mitigation_threshold = mitigation_threshold
+        self.counters: dict[int, int] = {}
+
+    def on_activate(self, row: int) -> None:
+        self.counters[row] = self.counters.get(row, 0) + 1
+
+    def on_mitigation_activate(self, row: int) -> None:
+        # Victim-refresh activations count too: transitive immunity.
+        self.on_activate(row)
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        if not self.counters:
+            return []
+        top = max(self.counters, key=self.counters.__getitem__)
+        if self.counters[top] < self.mitigation_threshold:
+            return []
+        del self.counters[top]
+        return [MitigationRequest(top)]
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def count(self, row: int) -> int:
+        """Current activation count of ``row``."""
+        return self.counters.get(row, 0)
+
+    @property
+    def entries(self) -> int:
+        return self.num_rows
+
+    @property
+    def storage_bits(self) -> int:
+        return self.num_rows * self.counter_bits

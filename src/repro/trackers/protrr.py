@@ -1,0 +1,99 @@
+"""ProTRR: Misra-Gries *victim* tracking (paper Section II-G).
+
+ProTRR tracks the top victim rows with a Misra-Gries frequent-items
+sketch: each activation of row r credits its neighbours r-1 and r+1.
+At REF the victim with the highest counter is refreshed and removed.
+
+Because ProTRR tracks victims directly (rather than aggressors), a
+victim refresh is recorded as a reset of that victim's counter; the
+silent activations the refresh performs credit *their* neighbours,
+preserving transitive immunity.
+"""
+
+from __future__ import annotations
+
+from ..constants import SAR_BITS
+from .base import MitigationRequest, Tracker
+
+
+class ProTrrTracker(Tracker):
+    """m-entry Misra-Gries victim tracker with proactive refresh."""
+
+    name = "ProTRR"
+    centric = "past"
+    observes_mitigations = True
+
+    def __init__(
+        self,
+        num_entries: int = 677,
+        counter_bits: int = 12,
+        blast_radius: int = 1,
+        num_rows: int | None = None,
+    ) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be >= 1")
+        self.num_entries = num_entries
+        self.counter_bits = counter_bits
+        self.blast_radius = blast_radius
+        self.num_rows = num_rows
+        self.counters: dict[int, int] = {}
+
+    def _credit(self, victim: int) -> None:
+        if self.num_rows is not None and not 0 <= victim < self.num_rows:
+            return
+        if victim in self.counters:
+            self.counters[victim] += 1
+        elif len(self.counters) < self.num_entries:
+            self.counters[victim] = 1
+        else:
+            # Misra-Gries: decrement everything; drop zeros.
+            for key in list(self.counters):
+                self.counters[key] -= 1
+                if self.counters[key] <= 0:
+                    del self.counters[key]
+
+    def on_activate(self, row: int) -> None:
+        for distance in range(1, self.blast_radius + 1):
+            self._credit(row - distance)
+            self._credit(row + distance)
+
+    def on_mitigation_activate(self, row: int) -> None:
+        self.on_activate(row)
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        if not self.counters:
+            return []
+        victim = max(self.counters, key=self.counters.__getitem__)
+        del self.counters[victim]
+        # ProTRR refreshes the victim row itself. Our mitigation
+        # interface is aggressor-based, so we express "refresh row v"
+        # as a distance-1 mitigation centred on v's neighbour — instead
+        # we return the victim directly with distance 0 semantics via
+        # the VictimRefresh request type below.
+        return [VictimRefreshRequest(victim)]
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    @property
+    def entries(self) -> int:
+        return self.num_entries
+
+    @property
+    def storage_bits(self) -> int:
+        return self.num_entries * (SAR_BITS + self.counter_bits)
+
+
+class VictimRefreshRequest(MitigationRequest):
+    """A request to refresh ``row`` itself (victim-centric mitigation).
+
+    ProTRR names victims, not aggressors. The simulation engine checks
+    for this subtype and refreshes the named row directly (the refresh
+    still performs a silent activation disturbing the row's neighbours).
+    """
+
+    def __init__(self, row: int) -> None:
+        # Distance is irrelevant for a direct victim refresh; keep 1 to
+        # satisfy the base-class invariant.
+        object.__setattr__(self, "row", row)
+        object.__setattr__(self, "distance", 1)

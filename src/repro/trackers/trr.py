@@ -1,0 +1,69 @@
+"""DDR4-style TRR: the deployed-but-broken low-cost tracker (§II-F).
+
+Vendor TRR implementations track 1-30 entries with simple frequency
+heuristics and mitigate the hottest entry during (some) REF commands.
+TRRespass and Blacksmith defeat them by hammering more aggressor rows
+than the tracker has entries, or by inserting decoys that thrash the
+table.
+
+This model captures the *mechanism* that makes TRR breakable: a small
+Misra-Gries-style table whose entries are evicted by decoy traffic, so
+a many-sided pattern keeps true aggressors out of the table. It is the
+foil for the "secure" trackers in the comparison experiments.
+"""
+
+from __future__ import annotations
+
+from ..constants import SAR_BITS
+from .base import MitigationRequest, Tracker
+
+
+class TrrTracker(Tracker):
+    """A small, thrashable in-DRAM tracker modelled on DDR4 TRR."""
+
+    name = "TRR"
+    centric = "past"
+    observes_mitigations = False
+
+    def __init__(self, num_entries: int = 4, counter_bits: int = 10) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be >= 1")
+        self.num_entries = num_entries
+        self.counter_bits = counter_bits
+        self.counters: dict[int, int] = {}
+
+    def on_activate(self, row: int) -> None:
+        if row in self.counters:
+            self.counters[row] += 1
+        elif len(self.counters) < self.num_entries:
+            self.counters[row] = 1
+        else:
+            # The thrash-friendly eviction real TRRs exhibit: decrement
+            # all entries; a stream of distinct decoys drains the table
+            # before any true aggressor accumulates weight.
+            for key in list(self.counters):
+                self.counters[key] -= 1
+                if self.counters[key] <= 0:
+                    del self.counters[key]
+
+    def on_refresh(self) -> list[MitigationRequest]:
+        if not self.counters:
+            return []
+        top = max(self.counters, key=self.counters.__getitem__)
+        # TRR mitigates only rows that look "hot enough"; a single
+        # observation is ignored, which many-sided patterns exploit.
+        if self.counters[top] < 2:
+            return []
+        del self.counters[top]
+        return [MitigationRequest(top)]
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    @property
+    def entries(self) -> int:
+        return self.num_entries
+
+    @property
+    def storage_bits(self) -> int:
+        return self.num_entries * (SAR_BITS + self.counter_bits)

@@ -1,0 +1,111 @@
+"""Tests for the adaptive-attack Markov model (paper Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adaptive import (
+    AdaConfig,
+    ada_curve,
+    ada_failure_probability,
+    ada_mintrh,
+    count_distribution,
+    worst_case_ada_mintrh,
+)
+
+
+class TestMarkovChain:
+    def test_distribution_sums_to_one(self):
+        dist = count_distribution(mp=100, p=1 / 74)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_geometric_shape(self):
+        """P(A = a) = p q^a for a < MP (paper Fig 20)."""
+        p = 0.1
+        dist = count_distribution(mp=20, p=p)
+        for a in range(20):
+            assert dist[a] == pytest.approx(p * (1 - p) ** a)
+        assert dist[20] == pytest.approx(0.9 ** 20)
+
+    def test_tail_telescopes(self):
+        """P(A >= a0) = q^a0 — the identity the model exploits."""
+        p = 1 / 74
+        dist = count_distribution(mp=500, p=p)
+        for a0 in (0, 100, 400):
+            assert dist[a0:].sum() == pytest.approx((1 - p) ** a0, rel=1e-9)
+
+    def test_never_negative(self):
+        dist = count_distribution(mp=1000, p=1 / 74)
+        assert np.all(dist >= 0)
+
+
+class TestAdaConfig:
+    def test_extra_acts_is_365(self):
+        """5 batched windows x 73 ACTs = 365 (Appendix B)."""
+        assert AdaConfig().extra_acts == 365
+
+    def test_selection_probability(self):
+        assert AdaConfig(transitive=True).selection_p == pytest.approx(1 / 74)
+        assert AdaConfig(transitive=False).selection_p == pytest.approx(1 / 73)
+
+
+class TestFailureModel:
+    def test_monotone_decreasing_in_trh(self):
+        cfg = AdaConfig()
+        values = [
+            ada_failure_probability(t, 2000, cfg) for t in (1000, 2000, 3000)
+        ]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_guaranteed_failure_when_extra_covers_trh(self):
+        cfg = AdaConfig()
+        assert ada_failure_probability(300, 1000, cfg) == 1.0
+
+    def test_mp_too_small_no_ada_contribution(self):
+        cfg = AdaConfig()
+        # TRH far above what MP intervals + 365 can reach.
+        assert ada_failure_probability(5000, 100, cfg) == 0.0
+
+
+class TestPaperNumbers:
+    def test_double_sided_peak_near_1482(self):
+        """Appendix B: MinTRH-D of MINT+DMQ under ADA = 1482."""
+        mp, value = worst_case_ada_mintrh(double_sided=True)
+        assert value == pytest.approx(1482, rel=0.02)
+
+    def test_double_sided_peak_mp_in_paper_range(self):
+        """Paper: peak between MP 1299 and 1456."""
+        mp, _value = worst_case_ada_mintrh(double_sided=True)
+        assert 1200 <= mp <= 1600
+
+    def test_single_sided_peak_near_2899(self):
+        _mp, value = worst_case_ada_mintrh(double_sided=False)
+        assert value == pytest.approx(2899, rel=0.03)
+
+    def test_floor_is_pattern2_plus_dmq(self):
+        """Below the effective MP the curve sits at the no-ADA value."""
+        floor = ada_mintrh(200, double_sided=True)
+        assert floor == pytest.approx(1404, rel=0.02)
+
+
+class TestFig21Shape:
+    def test_curve_rises_then_declines(self):
+        curve = dict(
+            ada_curve([400, 1400, 4000, 8000], double_sided=True)
+        )
+        assert curve[1400] > curve[400]      # ADA kicks in
+        assert curve[1400] >= curve[4000] >= curve[8000]  # repeats decline
+
+    def test_double_sided_effective_earlier_than_single(self):
+        """Paper: D-ADA effective after MP ~1200, S-ADA after ~2400."""
+        d_floor = ada_mintrh(200, double_sided=True)
+        d_at_1400 = ada_mintrh(1400, double_sided=True)
+        s_at_1400 = ada_mintrh(1400, double_sided=False)
+        s_floor = ada_mintrh(200, double_sided=False)
+        assert d_at_1400 > d_floor          # already effective
+        assert s_at_1400 == pytest.approx(s_floor, rel=0.01)  # not yet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ada_mintrh(0)
+        with pytest.raises(ValueError):
+            ada_failure_probability(0, 100, AdaConfig())

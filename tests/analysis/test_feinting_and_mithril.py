@@ -1,0 +1,85 @@
+"""Tests for the Feinting analysis (PRCT) and the Mithril bound (§V-G)."""
+
+import pytest
+
+from repro.analysis.feinting import (
+    feinting_attack_prct,
+    feinting_level_closed_form,
+    prct_mintrh_d,
+)
+from repro.analysis.mithril_bound import (
+    mithril_entries_for,
+    mithril_mintrh_d,
+    mithril_mintrh_d_postponed,
+)
+
+
+class TestFeinting:
+    def test_prct_mintrh_d_near_623(self):
+        """Section V-G: the Feinting attack bounds PRCT at ~623 D."""
+        result = feinting_attack_prct()
+        assert result.mintrh_d == pytest.approx(623, rel=0.02)
+
+    def test_victim_sees_double(self):
+        result = feinting_attack_prct()
+        assert result.mintrh == 2 * result.mintrh_d
+
+    def test_closed_form_matches_simulation(self):
+        """Water level ~ M * (H_8192 - 1)."""
+        simulated = feinting_attack_prct().per_row_activations
+        analytic = feinting_level_closed_form()
+        assert simulated == pytest.approx(analytic, rel=0.02)
+
+    def test_completes_within_refresh_window(self):
+        result = feinting_attack_prct()
+        assert result.rounds_used <= 8192
+
+    def test_more_mitigations_hurt_attacker(self):
+        slow = feinting_attack_prct(mitigations_per_round=1)
+        fast = feinting_attack_prct(mitigations_per_round=2)
+        assert fast.mintrh_d < slow.mintrh_d
+
+    def test_postponement_adds_146(self):
+        """Section VI-A: PRCT 623 -> 769 under postponement."""
+        base = prct_mintrh_d()
+        postponed = prct_mintrh_d(postponed_refreshes=4)
+        assert postponed - base == 146
+        assert postponed == pytest.approx(769, rel=0.02)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            feinting_attack_prct(initial_rows=1)
+        with pytest.raises(ValueError):
+            feinting_attack_prct(mitigations_per_round=0)
+
+
+class TestMithrilBound:
+    def test_677_entries_give_1400(self):
+        """The paper's calibration point (Table III)."""
+        assert mithril_mintrh_d(677) == pytest.approx(1400, rel=0.01)
+
+    def test_inverse_near_677(self):
+        entries = mithril_entries_for(1400)
+        assert entries == pytest.approx(677, abs=5)
+
+    def test_bound_decreases_then_increases(self):
+        """M*H_m + W/m has a minimum in m: more entries help until the
+        feinting term dominates."""
+        assert mithril_mintrh_d(100) > mithril_mintrh_d(1000)
+        assert mithril_mintrh_d(100_000) > mithril_mintrh_d(8192)
+
+    def test_postponement_adds_146(self):
+        """Table IV: Mithril 1400 -> 1546."""
+        base = mithril_mintrh_d(677)
+        assert mithril_mintrh_d_postponed(677) - base == pytest.approx(146)
+
+    def test_lower_threshold_needs_more_entries(self):
+        assert mithril_entries_for(1000) > mithril_entries_for(1400)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            mithril_entries_for(10)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            mithril_entries_for(0)

@@ -1,0 +1,57 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.figures import ascii_multi_plot, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_extremes(self):
+        chart = ascii_plot([1, 2, 3, 4, 5], width=10, height=5)
+        assert "5" in chart and "1" in chart
+        assert "*" in chart
+
+    def test_label_line(self):
+        chart = ascii_plot([1, 2], label="Fig X", width=8, height=4)
+        assert chart.splitlines()[0] == "Fig X"
+
+    def test_monotone_series_renders_diagonal(self):
+        chart = ascii_plot(list(range(10)), width=10, height=10)
+        lines = [l.split("|")[1] for l in chart.splitlines() if "|" in l]
+        first_stars = [line.index("*") for line in lines if "*" in line]
+        # Higher rows (earlier lines) hold later x positions.
+        assert first_stars == sorted(first_stars, reverse=True)
+
+    def test_flat_series_single_row(self):
+        chart = ascii_plot([3, 3, 3], width=12, height=6)
+        star_rows = [
+            i for i, line in enumerate(chart.splitlines()) if "*" in line
+        ]
+        assert len(star_rows) == 1
+
+    def test_x_axis_annotation(self):
+        chart = ascii_plot([1, 2], xs=[65, 80], width=30, height=4)
+        assert "65" in chart and "80" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            ascii_plot([1], height=1)
+
+
+class TestMultiPlot:
+    def test_legend_and_glyphs(self):
+        chart = ascii_multi_plot({"a": [1, 2, 3], "b": [3, 2, 1]}, width=12)
+        assert "*=a" in chart and "o=b" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_shared_scale(self):
+        chart = ascii_multi_plot({"low": [0, 1], "high": [9, 10]}, width=12)
+        assert "10" in chart and any(
+            line.startswith(" " * 9 + "0") for line in chart.splitlines()
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_multi_plot({})

@@ -1,0 +1,26 @@
+"""Cross-validation of the Fig 20 Markov chain implementations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adaptive import count_distribution, evolve_markov_chain
+
+
+class TestChainEquivalence:
+    @pytest.mark.parametrize("mp,p", [(10, 0.1), (50, 1 / 74), (200, 1 / 33)])
+    def test_explicit_evolution_matches_closed_form(self, mp, p):
+        """Stepping the Fig 20 chain state-by-state reproduces the
+        geometric closed form used by the ADA analysis."""
+        explicit = evolve_markov_chain(mp, p)
+        closed = count_distribution(mp, p)
+        np.testing.assert_allclose(explicit, closed, atol=1e-12)
+
+    def test_mass_conserved(self):
+        dist = evolve_markov_chain(100, 1 / 74)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_single_step(self):
+        dist = evolve_markov_chain(1, 0.25)
+        # One step from A=0: reset (p) stays 0, escape (q) reaches 1.
+        assert dist[0] == pytest.approx(0.25)
+        assert dist[1] == pytest.approx(0.75)

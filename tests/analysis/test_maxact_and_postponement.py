@@ -1,0 +1,62 @@
+"""Tests for the MaxACT sweep (Fig 18) and postponement analysis (§VI)."""
+
+import pytest
+
+from repro.analysis.maxact import (
+    maxact_sweep,
+    mint_mintrh_d_for_maxact,
+    para_mintrh_d_for_maxact,
+)
+from repro.analysis.postponement import (
+    counter_tracker_postponement_delta,
+    deterministic_unmitigated_acts,
+    para_postponed_mintrh_d,
+)
+
+
+class TestFig18:
+    def test_thresholds_grow_with_maxact(self):
+        """More slots per interval => lower mitigation probability."""
+        mint = [mint_mintrh_d_for_maxact(m) for m in (65, 73, 80)]
+        para = [para_mintrh_d_for_maxact(m) for m in (65, 73, 80)]
+        assert mint == sorted(mint)
+        assert para == sorted(para)
+
+    def test_gap_roughly_constant(self):
+        """Appendix A: the MINT advantage holds across the DDR5 range.
+
+        The paper quotes the 2.7x *probability* gap; the exact threshold
+        ratio computed from the full model is ~2.4x and stays flat.
+        """
+        points = maxact_sweep([65, 70, 73, 77, 80])
+        ratios = [point.ratio for point in points]
+        assert max(ratios) - min(ratios) < 0.3
+        for ratio in ratios:
+            assert 2.2 <= ratio <= 2.8
+
+    def test_default_point_matches_table3(self):
+        from repro.analysis.comparison import mint_comparison
+
+        assert mint_mintrh_d_for_maxact(73) == mint_comparison().mintrh_d
+
+
+class TestPostponementPrimitives:
+    def test_blowup_formula(self):
+        """478K = 4/5 of the tREFW activation budget (Section VI-B)."""
+        assert deterministic_unmitigated_acts() == 73 * 8192 * 4 // 5
+
+    def test_blowup_scales_with_ceiling(self):
+        assert deterministic_unmitigated_acts(postponed=2) < (
+            deterministic_unmitigated_acts(postponed=4)
+        )
+
+    def test_counter_delta_is_146(self):
+        assert counter_tracker_postponement_delta() == 146
+
+    def test_para_postponed_much_worse_than_base(self):
+        """The sampled entry cannot survive a 365-activation window."""
+        from repro.analysis.comparison import indram_para_comparison
+
+        base = indram_para_comparison().mintrh_d
+        postponed = para_postponed_mintrh_d()
+        assert postponed > 3 * base

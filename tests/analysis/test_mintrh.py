@@ -1,0 +1,97 @@
+"""Tests for the MinTRH search machinery (paper Section IV-C)."""
+
+import pytest
+
+from repro.analysis.mintrh import (
+    PatternSpec,
+    mintrh,
+    mintrh_double_sided,
+    refw_failure_probability,
+)
+from repro.analysis.saroiu_wolman import target_refw_probability
+
+
+def basic_spec(**overrides):
+    defaults = dict(p=1 / 73, trials_per_refw=8192, acts_per_trial=1.0,
+                    rows=1.0, refi_per_trial=1.0)
+    defaults.update(overrides)
+    return PatternSpec(**defaults)
+
+
+class TestFailureProbability:
+    def test_monotone_decreasing_in_trh(self):
+        spec = basic_spec()
+        values = [refw_failure_probability(spec, t) for t in (500, 1000, 2000)]
+        assert values[0] > values[1] > values[2]
+
+    def test_rows_union_bound(self):
+        one = refw_failure_probability(basic_spec(rows=1), 1500)
+        many = refw_failure_probability(basic_spec(rows=50), 1500)
+        assert many == pytest.approx(50 * one, rel=1e-9)
+
+    def test_impossible_pattern_is_safe(self):
+        # Needing more trials than fit in a window: cannot fail.
+        spec = basic_spec(trials_per_refw=100)
+        assert refw_failure_probability(spec, 200) == 0.0
+
+    def test_guaranteed_mitigation_is_safe(self):
+        spec = basic_spec(p=1.0)
+        assert refw_failure_probability(spec, 10) == 0.0
+
+    def test_acts_per_trial_scaling(self):
+        # 4 acts per trial: threshold 400 needs only 100 escaping trials.
+        grouped = basic_spec(acts_per_trial=4.0)
+        single = basic_spec()
+        assert refw_failure_probability(grouped, 400) > refw_failure_probability(
+            single, 400
+        )
+
+    def test_exact_and_approx_agree(self):
+        spec = basic_spec(rows=73.0)
+        for trh in (1500, 2500):
+            a = refw_failure_probability(spec, trh, exact=False)
+            b = refw_failure_probability(spec, trh, exact=True)
+            assert a == pytest.approx(b, rel=1e-6)
+
+
+class TestMintrhSearch:
+    def test_boundary_is_tight(self):
+        """MinTRH is the *smallest* safe threshold: T-1 must fail."""
+        spec = basic_spec(rows=73.0)
+        result = mintrh(spec)
+        target = target_refw_probability(10_000.0)
+        assert refw_failure_probability(spec, result) <= target
+        assert refw_failure_probability(spec, result - 1) > target
+
+    def test_monotone_in_target_ttf(self):
+        spec = basic_spec(rows=73.0)
+        loose = mintrh(spec, target_ttf_years=1e3)
+        strict = mintrh(spec, target_ttf_years=1e6)
+        assert strict > loose
+
+    def test_monotone_in_mitigation_probability(self):
+        weak = mintrh(basic_spec(p=1 / 146))
+        strong = mintrh(basic_spec(p=1 / 36))
+        assert weak > strong
+
+    def test_double_sided_halves(self):
+        assert mintrh_double_sided(2800) == 1400
+        assert mintrh_double_sided(2801) == 1400
+
+
+class TestValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            PatternSpec(p=0.0, trials_per_refw=10)
+        with pytest.raises(ValueError):
+            PatternSpec(p=1.5, trials_per_refw=10)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            PatternSpec(p=0.5, trials_per_refw=0)
+        with pytest.raises(ValueError):
+            PatternSpec(p=0.5, trials_per_refw=10, rows=0.5)
+
+    def test_rejects_bad_trh(self):
+        with pytest.raises(ValueError):
+            refw_failure_probability(basic_spec(), 0)

@@ -1,0 +1,73 @@
+"""Coverage for the smaller analysis helpers and attack utilities."""
+
+import pytest
+
+from repro.analysis.mintrh import PatternSpec, scale_pattern
+from repro.attacks.base import AttackParams, build_trace
+from repro.attacks.halfdouble import half_double_distance
+
+
+class TestScalePattern:
+    def test_returns_modified_copy(self):
+        spec = PatternSpec(p=0.1, trials_per_refw=100)
+        scaled = scale_pattern(spec, rows=5.0)
+        assert scaled.rows == 5.0
+        assert scaled.p == 0.1
+        assert spec.rows == 1.0  # original untouched
+
+    def test_validation_still_applies(self):
+        spec = PatternSpec(p=0.1, trials_per_refw=100)
+        with pytest.raises(ValueError):
+            scale_pattern(spec, p=2.0)
+
+
+class TestBuildTrace:
+    def test_postpone_mask(self):
+        trace = build_trace("t", [[1], [2]], [True, False])
+        assert trace.intervals[0].postpone
+        assert not trace.intervals[1].postpone
+
+    def test_mask_length_checked(self):
+        with pytest.raises(ValueError):
+            build_trace("t", [[1], [2]], [True])
+
+    def test_default_mask_is_no_postpone(self):
+        trace = build_trace("t", [[1], [2]])
+        assert not any(i.postpone for i in trace.intervals)
+
+
+class TestHalfDoubleDistance:
+    def test_labels_distance(self):
+        trace = half_double_distance(3, AttackParams(intervals=5), center=700)
+        assert "distance=3" in trace.name
+        assert trace.rows_touched() == {700}
+
+    def test_rejects_direct_distances(self):
+        with pytest.raises(ValueError):
+            half_double_distance(1, AttackParams(intervals=5))
+
+
+class TestAttackParamsValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_act": 0},
+            {"intervals": 0},
+            {"base_row": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AttackParams(**kwargs)
+
+
+class TestFeintingClosedForm:
+    def test_scales_with_initial_rows(self):
+        from repro.analysis.feinting import feinting_level_closed_form
+
+        small = feinting_level_closed_form(initial_rows=256)
+        large = feinting_level_closed_form(initial_rows=8192)
+        assert large > small
+        # Harmonic growth: doubling rows adds ~M * ln 2.
+        delta = feinting_level_closed_form(initial_rows=512) - small
+        assert delta == pytest.approx(73 * 0.693, rel=0.02)

@@ -1,0 +1,104 @@
+"""Tests for the pattern analysis (paper Section V-D, Figs 10/11)."""
+
+import pytest
+
+from repro.analysis.patterns import (
+    mint_mintrh,
+    mint_mintrh_d,
+    pattern1_mintrh,
+    pattern2_mintrh,
+    pattern2_sweep,
+    pattern3_mintrh,
+    pattern3_sweep,
+)
+
+
+class TestPaperNumbers:
+    def test_pattern1_is_2461(self):
+        """Section V-D: single-row single-copy MinTRH = 2461."""
+        assert pattern1_mintrh() == pytest.approx(2461, abs=10)
+
+    def test_pattern2_k73_is_2763(self):
+        """Section V-D: 73-row pattern MinTRH = 2763."""
+        assert pattern2_mintrh(73) == pytest.approx(2763, abs=10)
+
+    def test_mint_with_transitive_is_2800(self):
+        """Section V-E: the 74-slot MINT MinTRH = 2800."""
+        assert mint_mintrh() == pytest.approx(2800, rel=0.01)
+
+    def test_mint_double_sided_is_1400(self):
+        assert mint_mintrh_d() == pytest.approx(1400, rel=0.01)
+
+
+class TestFig10Shape:
+    def test_increases_with_k_up_to_max(self):
+        values = [pattern2_mintrh(k) for k in (1, 10, 30, 50, 73)]
+        assert values == sorted(values)
+
+    def test_peaks_at_k_equals_m(self):
+        peak = pattern2_mintrh(73)
+        assert peak >= pattern2_mintrh(72)
+        assert peak >= pattern2_mintrh(100)
+        assert peak >= pattern2_mintrh(146)
+
+    def test_multi_trefi_declines(self):
+        """Beyond k = M the per-row trial count shrinks (Fig 10)."""
+        assert pattern2_mintrh(146) < pattern2_mintrh(73)
+
+    def test_sweep_shape(self):
+        sweep = dict(pattern2_sweep(ks=[1, 73, 146]))
+        assert sweep[1] < sweep[73]
+        assert sweep[146] < sweep[73]
+
+    def test_range_matches_fig10_axis(self):
+        """Fig 10's y-axis runs ~2450-2770."""
+        sweep = pattern2_sweep(ks=list(range(1, 147, 5)))
+        values = [v for _, v in sweep]
+        assert min(values) > 2400
+        assert max(values) < 2850
+
+
+class TestFig11Shape:
+    def test_flat_for_one_to_three_copies(self):
+        """Within ~0.5-1% for c in 1..3 (Section V-D)."""
+        base = pattern3_mintrh(1)
+        for copies in (2, 3):
+            assert pattern3_mintrh(copies) == pytest.approx(base, rel=0.01)
+
+    def test_drops_for_four_plus(self):
+        assert pattern3_mintrh(8) < pattern3_mintrh(1)
+        assert pattern3_mintrh(24) < pattern3_mintrh(8)
+
+    def test_collapses_at_full_occupancy(self):
+        """c = 73 fills every slot: guaranteed selection, tiny MinTRH."""
+        assert pattern3_mintrh(73) < 300
+
+    def test_sweep_monotone_after_knee(self):
+        sweep = dict(pattern3_sweep(copies_list=[4, 8, 16, 32, 64]))
+        values = [sweep[c] for c in (4, 8, 16, 32, 64)]
+        assert values == sorted(values, reverse=True)
+
+    def test_copies_validated(self):
+        with pytest.raises(ValueError):
+            pattern3_mintrh(0)
+        with pytest.raises(ValueError):
+            pattern3_mintrh(74)
+
+
+class TestKeyTakeaway:
+    def test_pattern2_dominates(self):
+        """The worst case for MINT is pattern-2 at k = M: stealthy
+        single activations (Section V-D key takeaway). The paper notes
+        pattern-3 with 1-3 copies sits within 0.5% of pattern-2, so the
+        dominance check allows that sliver.
+        """
+        p2 = pattern2_mintrh(73, transitive=True)
+        assert p2 >= pattern1_mintrh(transitive=True)
+        for copies in (2, 4, 16):
+            assert p2 >= pattern3_mintrh(copies, transitive=True) * 0.99
+
+    def test_transitive_slot_costs_a_little(self):
+        """Going from 73 to 74 slots raises MinTRH slightly (2763->2800)."""
+        without = pattern2_mintrh(73, transitive=False)
+        with_slot = pattern2_mintrh(73, transitive=True)
+        assert 0 < with_slot - without < 100

@@ -1,0 +1,78 @@
+"""Tests for the PrIDE analysis (paper Section IX)."""
+
+import random
+
+import pytest
+
+from repro.analysis.pride import (
+    mint_vs_pride_gap,
+    pride_loss_probability,
+    pride_mintrh_d,
+    pride_tardiness_acts,
+    pride_worst_position_loss,
+)
+from repro.trackers.pride import PrideTracker
+
+
+class TestLossProbability:
+    def test_worst_position_depth1_is_63_percent(self):
+        """The paper's 63% figure: first-position loss, single entry."""
+        assert pride_worst_position_loss(1) == pytest.approx(0.63, abs=0.01)
+
+    def test_mean_loss_matches_live_tracker(self):
+        """The exact queue chain matches the implementation."""
+        for depth in (1, 2, 4):
+            tracker = PrideTracker(
+                fifo_depth=depth,
+                sample_probability=1 / 73,
+                rng=random.Random(3),
+            )
+            for _ in range(40_000):
+                for _ in range(73):
+                    tracker.on_activate(7)
+                tracker.on_refresh()
+            predicted = pride_loss_probability(depth)
+            assert tracker.loss_probability == pytest.approx(
+                predicted, abs=0.02
+            )
+
+    def test_loss_decreases_with_depth(self):
+        values = [pride_loss_probability(d) for d in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_depth4_near_paper_10_percent(self):
+        assert pride_loss_probability(4) == pytest.approx(0.10, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pride_loss_probability(0)
+        with pytest.raises(ValueError):
+            pride_worst_position_loss(0)
+
+
+class TestThreshold:
+    def test_tardiness(self):
+        assert pride_tardiness_acts(4) == 3 * 73
+        assert pride_tardiness_acts(1) == 0
+
+    def test_mintrh_d_near_paper(self):
+        """Paper: 1750; our exact-loss model lands ~5% below."""
+        assert pride_mintrh_d(4) == pytest.approx(1750, rel=0.07)
+
+    def test_dmq_version_near_paper(self):
+        """Paper: 1900 with DMQ."""
+        assert pride_mintrh_d(4, with_dmq=True) == pytest.approx(1900, rel=0.07)
+
+    def test_pride_worse_than_mint(self):
+        """Section IX: PrIDE's threshold sits above MINT's (~25%)."""
+        gap = mint_vs_pride_gap()
+        assert 1.05 < gap < 1.35
+
+    def test_deeper_fifo_tradeoff(self):
+        """More depth cuts loss but adds tardiness: the threshold is not
+        monotone in depth (the reason PrIDE stops at 4)."""
+        shallow = pride_mintrh_d(1)
+        standard = pride_mintrh_d(4)
+        deep = pride_mintrh_d(16)
+        assert standard < shallow  # 4 entries beat single-entry
+        assert deep > standard     # tardiness eventually dominates

@@ -1,0 +1,124 @@
+"""Tests for the Saroiu-Wolman failure model (paper Section IV)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.saroiu_wolman import (
+    approx_failure_probability,
+    auto_refresh_correction,
+    failure_probability,
+    failure_probability_sequence,
+    mttf_years,
+    target_refw_probability,
+)
+
+
+def reference_recurrence(num_acts, p, trh):
+    """Direct, unoptimised transcription of Equations 5-7."""
+    probs = [0.0] * (num_acts + 1)
+    q_pow_t = (1.0 - p) ** trh
+    for k in range(1, num_acts + 1):
+        if k < trh:
+            probs[k] = 0.0
+        elif k == trh:
+            probs[k] = q_pow_t
+        else:
+            lagged = probs[k - trh - 1] if k - trh - 1 >= 1 else 0.0
+            probs[k] = p * q_pow_t * (1.0 - lagged) + probs[k - 1]
+    return probs[1:]
+
+
+class TestRecurrenceCorrectness:
+    @pytest.mark.parametrize(
+        "num_acts,p,trh",
+        [(50, 0.2, 5), (200, 0.05, 20), (500, 1 / 73, 40), (64, 0.5, 3)],
+    )
+    def test_matches_reference_implementation(self, num_acts, p, trh):
+        fast = failure_probability_sequence(num_acts, p, trh)
+        slow = reference_recurrence(num_acts, p, trh)
+        np.testing.assert_allclose(fast, slow, rtol=1e-12)
+
+    def test_zero_below_threshold(self):
+        probs = failure_probability_sequence(10, 0.1, 20)
+        assert np.all(probs == 0.0)
+
+    def test_at_threshold_equals_escape_probability(self):
+        probs = failure_probability_sequence(5, 0.3, 5)
+        assert probs[-1] == pytest.approx(0.7 ** 5)
+
+    def test_monotone_in_k(self):
+        probs = failure_probability_sequence(300, 0.05, 10)
+        assert np.all(np.diff(probs) >= -1e-15)
+
+    def test_monotone_decreasing_in_trh(self):
+        values = [failure_probability(500, 1 / 73, t) for t in (50, 100, 200)]
+        assert values[0] > values[1] > values[2]
+
+    def test_bounded_by_one(self):
+        probs = failure_probability_sequence(10_000, 0.001, 5)
+        assert np.all(probs <= 1.0)
+
+    def test_certain_mitigation_never_fails(self):
+        assert failure_probability(1000, 1.0, 10) == 0.0
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("trh", [1000, 2000, 2800])
+    def test_matches_exact_in_secure_regime(self, trh):
+        """The closed form's relative error is on the order of P itself,
+        so in the ~1e-13 regime it is essentially exact."""
+        exact = failure_probability(8192, 1 / 74, trh)
+        approx = approx_failure_probability(8192, 1 / 74, trh)
+        assert approx == pytest.approx(exact, rel=max(1e-9, 3 * exact))
+
+    def test_zero_below_threshold(self):
+        assert approx_failure_probability(100, 0.1, 200) == 0.0
+
+    def test_upper_bounds_exact(self):
+        # Dropping the (1 - P) factors can only overestimate.
+        for trh in (5, 10, 20):
+            exact = failure_probability(500, 0.05, trh)
+            approx = approx_failure_probability(500, 0.05, trh)
+            assert approx >= exact - 1e-15
+
+
+class TestAutoRefreshCorrection:
+    def test_short_sequence_barely_corrected(self):
+        assert auto_refresh_correction(1) == pytest.approx(1 - 1 / 8192)
+
+    def test_full_window_fully_corrected(self):
+        assert auto_refresh_correction(8192) == 0.0
+
+    def test_never_negative(self):
+        assert auto_refresh_correction(10_000) == 0.0
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            auto_refresh_correction(-1)
+
+
+class TestMttf:
+    def test_equation_eight(self):
+        """MTTF = tREFW / P_REFW."""
+        p_refw = 1e-10
+        years = mttf_years(p_refw)
+        expected = 0.032 / p_refw / (365.25 * 24 * 3600)
+        assert years == pytest.approx(expected)
+
+    def test_banks_scale_failure_rate(self):
+        assert mttf_years(1e-10, banks=22) == pytest.approx(
+            mttf_years(1e-10) / 22
+        )
+
+    def test_zero_probability_is_infinite(self):
+        assert math.isinf(mttf_years(0.0))
+
+    def test_target_round_trip(self):
+        target = target_refw_probability(10_000.0)
+        assert mttf_years(target) == pytest.approx(10_000.0)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            target_refw_probability(0.0)

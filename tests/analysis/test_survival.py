@@ -1,0 +1,99 @@
+"""Tests for the InDRAM-PARA survival analysis (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.survival import (
+    effective_mitigation_probability,
+    mitigation_probability,
+    most_vulnerable_position,
+    non_selection_probability,
+    relative_mitigation_curve,
+    sampling_probability_no_overwrite,
+    simulate_position_mitigation_rates,
+    survival_probability,
+    vulnerability_factor,
+)
+
+
+class TestEquations:
+    def test_equation2_endpoints(self):
+        """Fig 3: position 1 survives with 0.37, position 73 with 1.0."""
+        assert survival_probability(73) == 1.0
+        assert survival_probability(1) == pytest.approx(0.372, abs=0.005)
+
+    def test_equation3_endpoints(self):
+        """Fig 5: position 1 samples with p; position 73 with 0.37 p."""
+        p = 1 / 73
+        assert sampling_probability_no_overwrite(1) == pytest.approx(p)
+        assert sampling_probability_no_overwrite(73) == pytest.approx(
+            0.372 * p, rel=0.02
+        )
+
+    def test_equation4_non_selection(self):
+        """37% of full windows select nothing."""
+        assert non_selection_probability() == pytest.approx(0.366, abs=0.005)
+
+    def test_survival_monotone_in_position(self):
+        values = [survival_probability(k) for k in range(1, 74)]
+        assert values == sorted(values)
+
+    def test_sampling_monotone_decreasing(self):
+        values = [sampling_probability_no_overwrite(k) for k in range(1, 74)]
+        assert values == sorted(values, reverse=True)
+
+    def test_position_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            survival_probability(0)
+        with pytest.raises(ValueError):
+            survival_probability(74)
+
+
+class TestVulnerability:
+    def test_factor_is_2_7_both_variants(self):
+        """Fig 6: both variants dip 2.7x below ideal."""
+        assert vulnerability_factor(overwrite=True) == pytest.approx(2.7, abs=0.05)
+        assert vulnerability_factor(overwrite=False) == pytest.approx(2.7, abs=0.05)
+
+    def test_most_vulnerable_positions_differ(self):
+        """Overwrite: first position; no-overwrite: last position."""
+        assert most_vulnerable_position(overwrite=True) == 1
+        assert most_vulnerable_position(overwrite=False) == 73
+
+    def test_curves_mirror_each_other(self):
+        over = relative_mitigation_curve(overwrite=True)
+        no_over = relative_mitigation_curve(overwrite=False)
+        np.testing.assert_allclose(over, no_over[::-1], rtol=0.05)
+
+    def test_effective_probability_is_weakest_position(self):
+        p_eff = effective_mitigation_probability()
+        assert p_eff == pytest.approx(
+            mitigation_probability(1, overwrite=True)
+        )
+        assert 1 / p_eff == pytest.approx(73 * 2.7, rel=0.02)
+
+
+class TestMonteCarloValidation:
+    def test_overwrite_curve_matches_tracker(self):
+        """The analytic Fig 3 curve matches the actual tracker code."""
+        measured = simulate_position_mitigation_rates(
+            overwrite=True, windows=30_000, seed=5
+        )
+        predicted = np.array(
+            [mitigation_probability(k, overwrite=True) for k in range(1, 74)]
+        )
+        # Aggregate agreement (per-position noise is ~10% at this depth).
+        assert measured.sum() == pytest.approx(predicted.sum(), rel=0.05)
+        assert measured[0] == pytest.approx(predicted[0], rel=0.25)
+        assert measured[-1] == pytest.approx(predicted[-1], rel=0.25)
+
+    def test_no_overwrite_curve_matches_tracker(self):
+        measured = simulate_position_mitigation_rates(
+            overwrite=False, windows=30_000, seed=6
+        )
+        predicted = np.array(
+            [mitigation_probability(k, overwrite=False) for k in range(1, 74)]
+        )
+        assert measured.sum() == pytest.approx(predicted.sum(), rel=0.05)
+        assert measured[0] == pytest.approx(predicted[0], rel=0.25)
+        assert measured[-1] == pytest.approx(predicted[-1], rel=0.25)

@@ -1,0 +1,195 @@
+"""Tests for the assembled comparison tables (Tables III, IV, V, VII, IX)."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    mc_para_probability_for,
+    mint_comparison,
+    mint_vs_prct_gap,
+    table3,
+)
+from repro.analysis.postponement import (
+    deterministic_unmitigated_acts,
+    dmq_tardiness_delta_d,
+    mint_dmq_vs_prct_gap,
+    table4,
+)
+from repro.analysis.rfm_scaling import table5, ttf_sensitivity
+from repro.analysis.storage import (
+    graphene_storage,
+    mint_dmq_storage,
+    mint_storage,
+    table9,
+)
+from repro.analysis.literature import TRH_HISTORY, lowest_known_trh_d
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.name: row for row in table3()}
+
+    def test_all_designs_present(self, rows):
+        assert set(rows) == {"PRCT", "Mithril", "PARFM", "InDRAM-PARA", "MINT"}
+
+    def test_mint_single_entry(self, rows):
+        assert rows["MINT"].entries == 1
+        assert rows["MINT"].centric == "future"
+
+    def test_mint_matches_mithril_threshold(self, rows):
+        """The headline: 1 entry matches a ~677-entry Mithril."""
+        assert rows["MINT"].mintrh_d == pytest.approx(
+            rows["Mithril"].mintrh_d, rel=0.02
+        )
+        assert rows["Mithril"].entries == pytest.approx(677, abs=10)
+
+    def test_ordering_matches_paper(self, rows):
+        """PRCT < MINT ~ Mithril < InDRAM-PARA < PARFM."""
+        assert rows["PRCT"].mintrh_d < rows["MINT"].mintrh_d
+        assert rows["MINT"].mintrh_d < rows["InDRAM-PARA"].mintrh_d
+        assert rows["InDRAM-PARA"].mintrh_d < rows["PARFM"].mintrh_d
+
+    def test_parfm_transitive_vulnerable(self, rows):
+        assert rows["PARFM"].transitive_vulnerable
+        assert not rows["MINT"].transitive_vulnerable
+        assert not rows["PRCT"].transitive_vulnerable
+
+    def test_parfm_is_4096(self, rows):
+        """Half of the 8192 per-tREFW victim refreshes (Section V-G)."""
+        assert rows["PARFM"].mintrh_d == 4096
+
+    def test_gap_to_prct_near_2_25(self):
+        """Section V-G: MINT within 2.25x of the idealized PRCT."""
+        assert mint_vs_prct_gap() == pytest.approx(2.25, abs=0.15)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.name: row for row in table4()}
+
+    def test_counter_trackers_gain_146(self, rows):
+        for name in ("PRCT", "Mithril"):
+            row = rows[name]
+            assert row.mintrh_d_no_dmq - row.mintrh_d_no_postpone == 146
+            assert row.mintrh_d_with_dmq == row.mintrh_d_no_dmq
+
+    def test_mint_and_parfm_demolished_without_dmq(self, rows):
+        """Section VI-B: ~478K deterministic activations."""
+        blowup = deterministic_unmitigated_acts()
+        assert blowup == pytest.approx(478_000, rel=0.01)
+        assert rows["MINT"].mintrh_d_no_dmq == blowup
+        assert rows["PARFM"].mintrh_d_no_dmq == blowup
+
+    def test_para_degrades_without_dmq(self, rows):
+        row = rows["InDRAM-PARA"]
+        assert row.mintrh_d_no_dmq > 3 * row.mintrh_d_no_postpone
+
+    def test_dmq_restores_mint_to_1482(self, rows):
+        assert rows["MINT"].mintrh_d_with_dmq == pytest.approx(1482, rel=0.02)
+
+    def test_dmq_restores_parfm_to_4242(self, rows):
+        assert rows["PARFM"].mintrh_d_with_dmq == pytest.approx(4242, rel=0.01)
+
+    def test_gap_to_prct_under_2x(self):
+        """Section VI-D: MINT+DMQ within 1.9x of PRCT."""
+        assert mint_dmq_vs_prct_gap() == pytest.approx(1.9, abs=0.15)
+
+    def test_tardiness_delta(self):
+        assert dmq_tardiness_delta_d() == 4
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table5()
+
+    def test_paper_values(self, rows):
+        """MINT 0.5x=2.70K, 1x=1.48K, RFM32=689, RFM16=356."""
+        values = [row.mintrh_d for row in rows]
+        paper = [2700, 1482, 689, 356]
+        for measured, expected in zip(values, paper):
+            assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_threshold_scales_with_rate(self, rows):
+        values = [row.mintrh_d for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_rfm16_lowest(self, rows):
+        assert rows[-1].name == "MINT+RFM16"
+        assert rows[-1].mintrh_d < 400
+
+
+class TestTable7:
+    def test_threshold_grows_with_target(self):
+        rows = ttf_sensitivity([1e3, 1e4, 1e5, 1e6])
+        mints = [row["mint"] for row in rows]
+        assert mints == sorted(mints)
+
+    def test_paper_10k_row(self):
+        row = ttf_sensitivity([1e4])[0]
+        assert row["mint"] == pytest.approx(1482, rel=0.02)
+        assert row["rfm32"] == pytest.approx(689, rel=0.05)
+        assert row["rfm16"] == pytest.approx(356, rel=0.05)
+
+    def test_sensitivity_is_mild(self):
+        """Three decades of Target-TTF move MinTRH-D by < 20% (Table VII)."""
+        rows = ttf_sensitivity([1e3, 1e6])
+        assert rows[1]["mint"] / rows[0]["mint"] < 1.25
+
+
+class TestTable9AndStorage:
+    def test_mint_four_bytes(self):
+        assert mint_storage().bytes == 4.0
+
+    def test_mint_dmq_under_15_bytes(self):
+        assert mint_dmq_storage().bytes < 15.0
+
+    def test_graphene_calibration_points(self):
+        """Table IX: 56.5 KB @ 3K, 565 KB @ 300."""
+        assert graphene_storage(3000).bytes / 1024 == pytest.approx(56.5, rel=0.01)
+        assert graphene_storage(300).bytes / 1024 == pytest.approx(565.0, rel=0.01)
+
+    def test_table9_rows(self):
+        rows = table9()
+        assert rows[0]["trh_d"] == 3000
+        # The point of the table: three-plus orders of magnitude apart.
+        ratio = (
+            rows[0]["graphene_kb_per_bank"] * 1024
+            / rows[0]["mint_dmq_bytes_per_bank"]
+        )
+        assert ratio > 1000
+
+    def test_per_rank_is_32x(self):
+        budget = mint_dmq_storage()
+        assert budget.per_rank_bytes() == pytest.approx(32 * budget.bytes)
+
+
+class TestMcParaTuning:
+    def test_matched_probability_near_mint(self):
+        """Fig 17 setup: MC-PARA tuned to MINT's threshold needs
+        p ~ 1/74-1/80 — the same ballpark as MINT's selection odds."""
+        p = mc_para_probability_for(1482)
+        assert 1 / 90 < p < 1 / 65
+
+    def test_lower_threshold_needs_more_drfm(self):
+        aggressive = mc_para_probability_for(400)
+        relaxed = mc_para_probability_for(2000)
+        assert aggressive > relaxed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mc_para_probability_for(0)
+
+
+class TestTable2:
+    def test_history_is_decreasing(self):
+        """Table II: thresholds drop monotonically across generations."""
+        lows = []
+        for row in TRH_HISTORY:
+            values = row.trh_single_sided or row.trh_double_sided
+            lows.append(values[0])
+        assert lows == sorted(lows, reverse=True)
+
+    def test_lowest_is_4800(self):
+        assert lowest_known_trh_d() == 4800

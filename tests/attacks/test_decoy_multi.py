@@ -1,0 +1,83 @@
+"""Tests for the multi-target decoy generator and rate-limited DRFM."""
+
+import pytest
+
+from repro.attacks import AttackParams, postponement_decoy_multi
+
+
+class TestMultiTargetDecoy:
+    def test_one_target_per_postponed_interval(self):
+        params = AttackParams(max_act=73, intervals=20)
+        targets = [100, 200, 300, 400]
+        trace = postponement_decoy_multi(targets, params)
+        window = trace.intervals[:5]
+        assert window[0].postpone  # decoy interval
+        for i, target in enumerate(targets):
+            assert set(window[1 + i].acts) == {target}
+        assert not window[4].postpone  # last interval refreshes
+
+    def test_targets_repeat_across_windows(self):
+        params = AttackParams(max_act=73, intervals=20)
+        targets = [100, 200, 300, 400]
+        trace = postponement_decoy_multi(targets, params)
+        # Window 2 spans intervals 5-9: decoy then the same 4 targets.
+        assert set(trace.intervals[6].acts) == {100}
+        assert set(trace.intervals[7].acts) == {200}
+
+    def test_requires_enough_targets(self):
+        params = AttackParams(max_act=73, intervals=20)
+        with pytest.raises(ValueError):
+            postponement_decoy_multi([1, 2], params, postponed=4)
+
+    def test_budget_respected(self):
+        params = AttackParams(max_act=73, intervals=30)
+        trace = postponement_decoy_multi([1, 2, 3, 4], params)
+        trace.validate(73)
+
+
+class TestDrfmRateLimit:
+    def test_rate_limit_suppresses_drfms(self):
+        from repro.perf.memctrl import MemorySystemSim, MitigationPolicy
+        from repro.perf.workloads import RATE_WORKLOADS, rate_mix
+
+        cores = rate_mix(RATE_WORKLOADS[0])
+        limited = MemorySystemSim(
+            cores,
+            MitigationPolicy(
+                "mc-para", para_probability=1 / 20, drfm_per_trefi=2.0
+            ),
+            seed=5,
+        )
+        result = limited.run(400_000.0)
+        assert limited.drfm_suppressed > 0
+        # At most one DRFM per bank per two tREFI.
+        ceiling = 32 * (400_000.0 / 3900.0) / 2.0
+        assert result.drfm_commands <= ceiling + 32
+
+    def test_unlimited_issues_more(self):
+        from repro.perf.memctrl import MemorySystemSim, MitigationPolicy
+        from repro.perf.workloads import RATE_WORKLOADS, rate_mix
+
+        cores = rate_mix(RATE_WORKLOADS[0])
+        free = MemorySystemSim(
+            cores,
+            MitigationPolicy("mc-para", para_probability=1 / 20),
+            seed=5,
+        )
+        limited = MemorySystemSim(
+            cores,
+            MitigationPolicy(
+                "mc-para", para_probability=1 / 20, drfm_per_trefi=2.0
+            ),
+            seed=5,
+        )
+        assert (
+            free.run(400_000.0).drfm_commands
+            > limited.run(400_000.0).drfm_commands
+        )
+
+    def test_negative_limit_rejected(self):
+        from repro.perf.memctrl import MitigationPolicy
+
+        with pytest.raises(ValueError):
+            MitigationPolicy("mc-para", drfm_per_trefi=-1.0)

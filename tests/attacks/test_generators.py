@@ -1,0 +1,184 @@
+"""Tests for the attack-trace generators."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    AttackParams,
+    adaptive_attack,
+    blacksmith,
+    decoy_assisted,
+    double_sided,
+    expected_unmitigated_acts,
+    fuzz_aggressors,
+    half_double,
+    many_sided,
+    one_location,
+    pattern2,
+    pattern2_double_sided,
+    pattern3,
+    postponement_decoy,
+    random_blacksmith,
+    repeated_adaptive_attack,
+    single_sided,
+    spaced_rows,
+)
+
+PARAMS = AttackParams(max_act=73, intervals=20)
+
+
+class TestClassic:
+    def test_single_sided_fills_every_slot(self):
+        trace = single_sided(PARAMS)
+        assert all(len(i.acts) == 73 for i in trace)
+        assert trace.rows_touched() == {PARAMS.base_row}
+
+    def test_double_sided_alternates_neighbours(self):
+        trace = double_sided(PARAMS, victim=500)
+        assert trace.rows_touched() == {499, 501}
+        first = trace.intervals[0].acts
+        assert first[0] != first[1]
+
+    def test_one_location_is_single_act(self):
+        trace = one_location(PARAMS)
+        assert all(len(i.acts) == 1 for i in trace)
+
+    def test_double_sided_needs_lower_neighbour(self):
+        with pytest.raises(ValueError):
+            double_sided(PARAMS, victim=0)
+
+
+class TestMultiRow:
+    def test_pattern2_touches_k_rows(self):
+        trace = pattern2(10, PARAMS)
+        assert len(trace.rows_touched()) == 10
+
+    def test_pattern2_single_copy_per_interval(self):
+        """Stealth property: at most one activation per row per tREFI."""
+        trace = pattern2(73, PARAMS)
+        for interval in trace:
+            counts = {}
+            for row in interval.acts:
+                counts[row] = counts.get(row, 0) + 1
+            assert max(counts.values()) == 1
+
+    def test_pattern2_multi_trefi(self):
+        """k > M spans multiple intervals per round."""
+        trace = pattern2(146, PARAMS)
+        assert len(trace.rows_touched()) == 146
+        assert all(len(i.acts) == 73 for i in trace)
+
+    def test_pattern3_copies_per_interval(self):
+        trace = pattern3(4, PARAMS)
+        interval = trace.intervals[0]
+        counts = {}
+        for row in interval.acts:
+            counts[row] = counts.get(row, 0) + 1
+        assert max(counts.values()) == 4
+
+    def test_pattern2_double_sided_pairs(self):
+        trace = pattern2_double_sided(pairs=5, params=PARAMS)
+        rows = trace.rows_touched()
+        assert len(rows) == 10
+        victims = spaced_rows(5, PARAMS.base_row, 8)
+        for victim in victims:
+            assert victim - 1 in rows and victim + 1 in rows
+
+    def test_budget_respected(self):
+        for trace in (pattern2(30, PARAMS), pattern3(8, PARAMS)):
+            trace.validate(73)
+
+
+class TestManySidedAndBlacksmith:
+    def test_many_sided_rotates(self):
+        trace = many_sided(9, PARAMS)
+        assert len(trace.rows_touched()) == 9
+
+    def test_decoy_assisted_mixes_target_and_decoys(self):
+        trace = decoy_assisted(42, decoys=8, hammers_per_interval=5, params=PARAMS)
+        interval = trace.intervals[0]
+        assert interval.acts.count(42) == 5
+        assert len(interval.acts) == 73
+
+    def test_decoy_hammer_budget_checked(self):
+        with pytest.raises(ValueError):
+            decoy_assisted(42, decoys=8, hammers_per_interval=80, params=PARAMS)
+
+    def test_blacksmith_respects_budget(self):
+        trace = random_blacksmith(16, PARAMS)
+        trace.validate(73)
+
+    def test_blacksmith_frequencies_respected(self):
+        aggressors = fuzz_aggressors(4, random.Random(1))
+        trace = blacksmith(aggressors, PARAMS)
+        for aggressor in aggressors:
+            hit_intervals = [
+                index
+                for index, interval in enumerate(trace)
+                if aggressor.row in interval.acts
+            ]
+            for index in hit_intervals:
+                assert index % aggressor.frequency == aggressor.phase
+
+    def test_blacksmith_requires_aggressors(self):
+        with pytest.raises(ValueError):
+            blacksmith([], PARAMS)
+
+
+class TestPostponementAttacks:
+    def test_decoy_pattern_structure(self):
+        trace = postponement_decoy(999, PARAMS)
+        # 5-interval super-windows: decoy interval then 4 hammer ones.
+        assert trace.intervals[0].postpone
+        assert 999 not in trace.intervals[0].acts
+        assert set(trace.intervals[1].acts) == {999}
+        # Last interval of the super-window stops postponing.
+        assert not trace.intervals[4].postpone
+
+    def test_expected_blowup_478k_at_full_scale(self):
+        params = AttackParams(max_act=73, intervals=8192)
+        assert expected_unmitigated_acts(params) == pytest.approx(478_000, rel=0.01)
+
+    def test_adaptive_attack_phases(self):
+        trace = adaptive_attack(morphing_point=5, params=PARAMS)
+        # First 5 intervals: pattern-2 (many rows); then DMQ hammering.
+        assert len(set(trace.intervals[0].acts)) > 1
+        assert len(set(trace.intervals[5].acts)) == 1
+        assert trace.intervals[5].postpone
+
+    def test_repeated_ada_rounds_fit_budget(self):
+        params = AttackParams(max_act=73, intervals=100)
+        trace = repeated_adaptive_attack(morphing_point=5, params=params)
+        assert len(trace) <= 100 + 10
+        trace.validate(73)
+
+    def test_ada_validates_mp(self):
+        with pytest.raises(ValueError):
+            adaptive_attack(0, PARAMS)
+
+
+class TestHalfDouble:
+    def test_trace_is_single_sided(self):
+        trace = half_double(PARAMS, center=300)
+        assert trace.rows_touched() == {300}
+
+    def test_distance_validated(self):
+        with pytest.raises(ValueError):
+            half_double_distance_bad()
+
+
+def half_double_distance_bad():
+    from repro.attacks.halfdouble import half_double_distance
+
+    return half_double_distance(1, PARAMS)
+
+
+class TestSpacedRows:
+    def test_spacing(self):
+        rows = spaced_rows(4, 1000, spacing=8)
+        assert rows == [1000, 1008, 1016, 1024]
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            spaced_rows(0, 1000)

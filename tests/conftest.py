@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.attacks import AttackParams
+from repro.dram.timing import DDR5Timing
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; per-test isolation via fresh seeding."""
+    return random.Random(0xDEC0DE)
+
+
+@pytest.fixture
+def small_params():
+    """A fast attack-parameter set for simulation tests."""
+    return AttackParams(max_act=73, intervals=200)
+
+
+@pytest.fixture
+def toy_timing():
+    """A miniature DDR5 with M = 8 ACTs per interval for Monte-Carlo."""
+    t_refi, t_rfc = 3900.0, 410.0
+    return DDR5Timing(
+        t_refw_ms=64 * t_refi * 1e-6,
+        t_refi_ns=t_refi,
+        t_rfc_ns=t_rfc,
+        t_rc_ns=(t_refi - t_rfc) / 8,
+    )

@@ -1,0 +1,152 @@
+"""Tests for the Delayed Mitigation Queue (paper Section VI-C/D)."""
+
+import random
+
+import pytest
+
+from repro.core.dmq import DelayedMitigationQueue
+from repro.core.mint import MintTracker
+from repro.trackers.base import MitigationRequest, Tracker
+from repro.trackers.parfm import ParfmTracker
+
+
+class _ScriptedTracker(Tracker):
+    """A tracker whose refresh hands over a scripted row sequence."""
+
+    name = "scripted"
+
+    def __init__(self, rows):
+        self.rows = list(rows)
+        self.activations = 0
+        self.refreshes = 0
+
+    def on_activate(self, row):
+        self.activations += 1
+
+    def on_refresh(self):
+        self.refreshes += 1
+        if self.rows:
+            return [MitigationRequest(self.rows.pop(0))]
+        return []
+
+
+def make_dmq(rows=(1, 2, 3, 4, 5), max_act=4, depth=4):
+    return DelayedMitigationQueue(_ScriptedTracker(rows), max_act=max_act, depth=depth)
+
+
+class TestPseudoMitigation:
+    def test_triggers_past_max_act(self):
+        dmq = make_dmq(max_act=4)
+        for row in range(5):  # 5th activation exceeds M=4
+            dmq.on_activate(row)
+        assert dmq.pseudo_mitigations == 1
+        assert len(dmq.queue) == 1
+
+    def test_no_trigger_within_budget(self):
+        dmq = make_dmq(max_act=4)
+        for row in range(4):
+            dmq.on_activate(row)
+        assert dmq.pseudo_mitigations == 0
+
+    def test_act_counter_resets_at_refresh(self):
+        dmq = make_dmq(max_act=4)
+        for row in range(4):
+            dmq.on_activate(row)
+        dmq.on_refresh()
+        for row in range(4):
+            dmq.on_activate(row)
+        assert dmq.pseudo_mitigations == 0
+
+
+class TestFifoOrder:
+    def test_oldest_first(self):
+        dmq = make_dmq(rows=(11, 22, 33), max_act=2)
+        for _ in range(6):  # forces two pseudo-mitigations (rows 11, 22)
+            dmq.on_activate(0)
+        first = dmq.on_refresh()
+        second = dmq.on_refresh()
+        assert first == [MitigationRequest(11)]
+        # The refresh also collected the tracker's fresh selections,
+        # which queue behind 22.
+        assert second == [MitigationRequest(22)]
+
+    def test_fresh_selection_queued_behind(self):
+        dmq = make_dmq(rows=(11, 22), max_act=2)
+        for _ in range(3):
+            dmq.on_activate(0)  # pseudo-mitigation: 11 queued
+        result = dmq.on_refresh()  # fresh selection 22 joins queue
+        assert result == [MitigationRequest(11)]
+        assert list(dmq.queue) == [MitigationRequest(22)]
+
+    def test_empty_queue_passthrough(self):
+        dmq = make_dmq(rows=(77,), max_act=10)
+        dmq.on_activate(0)
+        assert dmq.on_refresh() == [MitigationRequest(77)]
+
+
+class TestBoundedDelay:
+    def test_mint_dmq_caps_decoy_attack(self):
+        """The §VI-D bound: a queued row absorbs at most 4M = 292 extra
+        activations before its mitigation lands."""
+        rng = random.Random(3)
+        mint = MintTracker(max_act=73, rng=rng)
+        dmq = DelayedMitigationQueue(mint, max_act=73, depth=4)
+        # Hammer one row through a postponed 5-interval super-window.
+        target = 500
+        unmitigated = 0
+        worst = 0
+        for interval in range(200):
+            for _ in range(73):
+                dmq.on_activate(target)
+                unmitigated += 1
+                worst = max(worst, unmitigated)
+            if interval % 5 == 4:  # batch of 5 refreshes
+                for _ in range(5):
+                    for request in dmq.on_refresh():
+                        if request.row == target:
+                            unmitigated = 0
+        assert worst <= 5 * 73 + 4 * 73  # selection latency + queue delay
+
+    def test_depth_bounds_queue(self):
+        dmq = make_dmq(rows=range(100), max_act=1, depth=4)
+        for _ in range(50):
+            dmq.on_activate(0)
+        assert len(dmq.queue) <= 4
+        assert dmq.overflow_drops > 0
+
+
+class TestIntegrationWithRealTrackers:
+    def test_wraps_parfm(self):
+        parfm = ParfmTracker(max_act=8, rng=random.Random(1))
+        dmq = DelayedMitigationQueue(parfm, max_act=8)
+        for _ in range(20):
+            dmq.on_activate(5)
+        requests = dmq.on_refresh()
+        assert requests and requests[0].row == 5
+
+    def test_name_and_storage(self):
+        mint = MintTracker(rng=random.Random(0))
+        dmq = DelayedMitigationQueue(mint, max_act=73)
+        assert dmq.name == "MINT+DMQ"
+        # MINT 32 bits + 4 x 19-bit entries = 108 bits = 13.5 bytes,
+        # under the paper's 15-byte budget.
+        assert dmq.storage_bits == 32 + 4 * 19
+        assert dmq.storage_bits / 8 < 15
+
+    def test_reset_clears_everything(self):
+        dmq = make_dmq(max_act=1)
+        for _ in range(10):
+            dmq.on_activate(0)
+        dmq.reset()
+        assert not dmq.queue
+        assert dmq.num_acts == 0
+
+
+class TestValidation:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            DelayedMitigationQueue(_ScriptedTracker([]), depth=0)
+
+    def test_rejects_bad_max_act(self):
+        with pytest.raises(ValueError):
+            DelayedMitigationQueue(_ScriptedTracker([]), max_act=0)

@@ -1,0 +1,194 @@
+"""Tests for the MINT tracker (paper Section V)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.mint import MintTracker
+from repro.trackers.base import MitigationRequest
+
+
+def make(seed=1, **kwargs):
+    return MintTracker(rng=random.Random(seed), **kwargs)
+
+
+class TestSelection:
+    def test_selects_row_at_san(self):
+        tracker = make()
+        tracker.san = 3
+        tracker.sar = None
+        tracker.can = 0
+        for position, row in enumerate([10, 11, 12, 13, 14], start=1):
+            tracker.on_activate(row)
+        assert tracker.sar == 12
+
+    def test_no_selection_before_san(self):
+        tracker = make()
+        tracker.san = 5
+        tracker.sar = None
+        tracker.can = 0
+        tracker.on_activate(10)
+        assert tracker.sar is None
+
+    def test_selection_never_overwritten(self):
+        """The defining fix over InDRAM-PARA: exactly one selection."""
+        tracker = make()
+        tracker.san = 1
+        tracker.sar = None
+        tracker.can = 0
+        for row in range(100, 173):
+            tracker.on_activate(row)
+        assert tracker.sar == 100
+
+    def test_full_window_guarantees_selection(self):
+        """A row occupying all M slots is always selected (§V-C)."""
+        for seed in range(20):
+            tracker = make(seed=seed, transitive=False)
+            tracker.on_refresh()
+            for _ in range(73):
+                tracker.on_activate(42)
+            requests = tracker.on_refresh()
+            assert requests and requests[0].row == 42
+
+    def test_mitigation_probability_value(self):
+        assert make(transitive=False).selection_probability == pytest.approx(1 / 73)
+        assert make(transitive=True).selection_probability == pytest.approx(1 / 74)
+
+
+class TestRefreshCycle:
+    def test_refresh_returns_selection(self):
+        tracker = make()
+        tracker.san = 1
+        tracker.sar = None
+        tracker.can = 0
+        tracker.on_activate(55)
+        requests = tracker.on_refresh()
+        assert requests == [MitigationRequest(55, 1)]
+
+    def test_refresh_without_selection_is_empty(self):
+        tracker = make(transitive=False)
+        tracker.on_refresh()
+        assert tracker.on_refresh() == []
+
+    def test_can_resets_each_interval(self):
+        tracker = make()
+        for row in range(5):
+            tracker.on_activate(row)
+        tracker.on_refresh()
+        assert tracker.can == 0
+
+    def test_reset_restores_power_on_state(self):
+        tracker = make()
+        for row in range(10):
+            tracker.on_activate(row)
+        tracker.reset()
+        assert tracker.can == 0
+        assert tracker.sar is None
+        assert tracker.selections == 0
+
+
+class TestUniformity:
+    def test_selection_uniform_over_positions(self):
+        """Property 2 of Section V-D: every position equally likely.
+
+        Chi-square-style bound: with 73 positions and N windows each
+        position's hit count should be near N/73.
+        """
+        tracker = make(seed=7, transitive=False)
+        windows = 20_000
+        hits = Counter()
+        for _ in range(windows):
+            tracker.on_refresh()
+            for position in range(1, 74):
+                tracker.on_activate(position)
+            for request in tracker.on_refresh():
+                hits[request.row] += 1
+            tracker.on_refresh()
+        expected = sum(hits.values()) / 73
+        for position in range(1, 74):
+            assert abs(hits[position] - expected) < 6 * expected ** 0.5
+
+    def test_n_copies_n_times_likelier(self):
+        """Property 3: c copies => c-times higher selection odds."""
+        tracker = make(seed=11, transitive=False)
+        windows = 12_000
+        hits = Counter()
+        for _ in range(windows):
+            tracker.on_refresh()
+            # Row 1 occupies 8 slots, rows 2..66 one slot each.
+            for _ in range(8):
+                tracker.on_activate(1)
+            for row in range(2, 67):
+                tracker.on_activate(row)
+            for request in tracker.on_refresh():
+                hits[request.row] += 1
+        single = sum(hits[row] for row in range(2, 67)) / 65
+        assert hits[1] == pytest.approx(8 * single, rel=0.25)
+
+
+class TestTransitiveSlot:
+    def test_slot_zero_preserves_sar_and_raises_distance(self):
+        tracker = make(transitive=True)
+        tracker.sar = 99
+        tracker._distance = 1
+        tracker.san = None
+        # Force the zero draw.
+        tracker.rng = _ForcedRng([0])
+        tracker._draw_san()
+        assert tracker.sar == 99
+        assert tracker._distance == 2
+
+    def test_consecutive_zeros_recurse(self):
+        tracker = make(transitive=True)
+        tracker.sar = 99
+        tracker._distance = 1
+        tracker.rng = _ForcedRng([0, 0])
+        tracker._draw_san()
+        tracker._draw_san()
+        assert tracker._distance == 3
+
+    def test_transitive_mitigation_rate_near_one_over_74(self):
+        tracker = make(seed=3, transitive=True)
+        windows = 30_000
+        transitive = 0
+        for _ in range(windows):
+            for _ in range(73):
+                tracker.on_activate(7)
+            for request in tracker.on_refresh():
+                if request.distance > 1:
+                    transitive += 1
+        rate = transitive / windows
+        assert rate == pytest.approx(1 / 74, rel=0.25)
+
+    def test_non_transitive_never_draws_zero(self):
+        tracker = make(seed=5, transitive=False)
+        for _ in range(2000):
+            requests = tracker.on_refresh()
+            for request in requests:
+                assert request.distance == 1
+
+
+class TestStorage:
+    def test_four_bytes_per_bank(self):
+        """Section VIII-C: CAN(7) + SAN(7) + SAR(18) = 32 bits."""
+        assert make().storage_bits == 32
+
+    def test_single_entry(self):
+        assert make().entries == 1
+
+
+class TestValidation:
+    def test_rejects_bad_max_act(self):
+        with pytest.raises(ValueError):
+            MintTracker(max_act=0)
+
+
+class _ForcedRng:
+    """Deterministic stand-in returning a scripted randint sequence."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def randint(self, lo, hi):
+        return self.values.pop(0)

@@ -1,0 +1,57 @@
+"""Tests for the RFM co-design machinery (paper Section VII)."""
+
+import pytest
+
+from repro.core.rfm import RaaCounter, RfmConfig, RfmController, mint_interval_for_rfm
+
+
+class TestRaaCounter:
+    def test_fires_at_threshold(self):
+        counter = RaaCounter(RfmConfig(rfm_th=4))
+        fired = [counter.on_activate() for _ in range(8)]
+        assert fired == [False, False, False, True, False, False, False, True]
+
+    def test_resets_after_fire(self):
+        counter = RaaCounter(RfmConfig(rfm_th=2))
+        counter.on_activate()
+        counter.on_activate()
+        assert counter.count == 0
+        assert counter.rfms_issued == 1
+
+    def test_reset_method(self):
+        counter = RaaCounter(RfmConfig(rfm_th=4))
+        counter.on_activate()
+        counter.reset()
+        assert counter.count == 0
+
+
+class TestRfmController:
+    def test_per_bank_independence(self):
+        controller = RfmController(num_banks=2, config=RfmConfig(rfm_th=2))
+        assert not controller.on_activate(0)
+        assert not controller.on_activate(1)
+        assert controller.on_activate(0)
+        assert controller.total_rfms == 1
+
+    def test_total_rfms_accumulates(self):
+        controller = RfmController(num_banks=4, config=RfmConfig(rfm_th=1))
+        for bank in range(4):
+            controller.on_activate(bank)
+        assert controller.total_rfms == 4
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            RfmController(num_banks=0)
+
+
+class TestMintCoDesign:
+    @pytest.mark.parametrize("rfm_th", [16, 32])
+    def test_interval_equals_threshold(self, rfm_th):
+        """Section VII: MINT+RFM32 selects URAND(0,32), etc."""
+        assert mint_interval_for_rfm(rfm_th) == rfm_th
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            mint_interval_for_rfm(0)
+        with pytest.raises(ValueError):
+            RfmConfig(rfm_th=0)

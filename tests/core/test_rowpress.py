@@ -1,0 +1,89 @@
+"""Tests for the Row-Press / ImPress extension (paper Appendix C)."""
+
+import random
+
+import pytest
+
+from repro.core.rowpress import (
+    EACT_FRACTION_BITS,
+    RowPressMintTracker,
+    equivalent_activations,
+)
+from repro.dram.timing import DEFAULT_TIMING
+
+
+class TestEquivalentActivations:
+    def test_equation_nine(self):
+        """EACT = (tON + tPRE) / tRC."""
+        eact = equivalent_activations(1000.0)
+        assert eact == pytest.approx((1000.0 + 16.0) / 48.0)
+
+    def test_minimal_open_time_near_one(self):
+        # A normal activation (row open ~tRAS) is ~one EACT.
+        eact = equivalent_activations(DEFAULT_TIMING.t_rc_ns - DEFAULT_TIMING.t_rp_ns)
+        assert eact == pytest.approx(1.0)
+
+    def test_long_open_counts_more(self):
+        # Row held open for 5 tREFI (the Row-Press maximum).
+        eact = equivalent_activations(5 * 3900.0)
+        assert eact > 400
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            equivalent_activations(-1.0)
+
+
+class TestRowPressTracker:
+    def make(self, seed=1):
+        return RowPressMintTracker(rng=random.Random(seed))
+
+    def test_normal_activations_behave_like_mint(self):
+        tracker = self.make()
+        tracker.san = 3
+        tracker.sar = None
+        tracker.can = 0.0
+        for row in (10, 11, 12, 13):
+            tracker.on_activate(row)
+        assert tracker.sar == 12
+
+    def test_long_open_row_crosses_san_faster(self):
+        """A row held open accrues EACT and is likelier to be selected:
+        the ImPress defence against Row-Press."""
+        tracker = self.make()
+        tracker.san = 10
+        tracker.sar = None
+        tracker.can = 0.0
+        # One Row-Press style activation held open ~9 tRC crosses
+        # CAN from 0 past SAN=10 in a single event.
+        tracker.on_activate_timed(77, t_on_ns=10 * 48.0)
+        assert tracker.sar == 77
+
+    def test_fixed_point_quantisation(self):
+        tracker = self.make()
+        tracker.san = None
+        tracker.on_activate_timed(5, t_on_ns=32.0)
+        scaled = tracker.can * (1 << EACT_FRACTION_BITS)
+        assert scaled == pytest.approx(round(scaled))
+
+    def test_refresh_resets_float_can(self):
+        tracker = self.make()
+        tracker.on_activate(3)
+        tracker.on_refresh()
+        assert tracker.can == 0.0
+
+    def test_storage_seventeen_ish_bytes_with_dmq(self):
+        """Appendix C: total grows from 15 to ~17 bytes per bank."""
+        from repro.analysis.storage import mint_impress_storage
+
+        assert 15 <= mint_impress_storage().bytes <= 17
+
+    def test_guaranteed_selection_under_full_window(self):
+        for seed in range(10):
+            tracker = RowPressMintTracker(
+                max_act=73, transitive=False, rng=random.Random(seed)
+            )
+            tracker.on_refresh()
+            for _ in range(73):
+                tracker.on_activate(9)
+            requests = tracker.on_refresh()
+            assert requests and requests[0].row == 9

@@ -1,0 +1,73 @@
+"""Tests for the timing-level bank model used by the perf simulator."""
+
+from repro.dram.bank import Bank
+from repro.dram.timing import DEFAULT_TIMING
+
+
+class TestRowBuffer:
+    def test_first_access_is_miss(self):
+        bank = Bank(DEFAULT_TIMING)
+        bank.access(row=5, now_ns=0.0)
+        assert bank.stats.row_misses == 1
+        assert bank.stats.activations == 1
+
+    def test_repeat_access_is_hit(self):
+        bank = Bank(DEFAULT_TIMING)
+        bank.access(5, 0.0)
+        bank.access(5, 1000.0)
+        assert bank.stats.row_hits == 1
+        assert bank.stats.activations == 1
+
+    def test_conflict_reactivates(self):
+        bank = Bank(DEFAULT_TIMING)
+        bank.access(5, 0.0)
+        bank.access(6, 1000.0)
+        assert bank.stats.activations == 2
+
+    def test_closed_page_never_hits(self):
+        bank = Bank(DEFAULT_TIMING, closed_page=True)
+        bank.access(5, 0.0)
+        bank.access(5, 1000.0)
+        assert bank.stats.row_hits == 0
+        assert bank.stats.activations == 2
+
+    def test_hit_faster_than_miss(self):
+        bank = Bank(DEFAULT_TIMING)
+        miss_done = bank.access(5, 0.0)
+        hit_done = bank.access(5, miss_done)
+        assert hit_done - miss_done < miss_done - 0.0
+
+
+class TestTiming:
+    def test_trc_enforced_between_acts(self):
+        bank = Bank(DEFAULT_TIMING, closed_page=True)
+        first = bank.access(1, 0.0)
+        second = bank.access(2, first)
+        # Second ACT cannot start before tRC after the first.
+        assert second >= DEFAULT_TIMING.t_rc_ns
+
+    def test_busy_bank_queues_requests(self):
+        bank = Bank(DEFAULT_TIMING)
+        done = bank.access(1, 0.0)
+        done2 = bank.access(2, 0.0)  # arrives while busy
+        assert done2 > done
+
+    def test_refresh_blocks_for_trfc(self):
+        bank = Bank(DEFAULT_TIMING)
+        free = bank.refresh(0.0)
+        assert free == DEFAULT_TIMING.t_rfc_ns
+        assert bank.stats.refreshes == 1
+
+    def test_rfm_blocks_half_of_drfm(self):
+        """tRFM_sb = 205 ns vs tDRFM_sb = 410 ns (Section VIII-A)."""
+        bank_a, bank_b = Bank(DEFAULT_TIMING), Bank(DEFAULT_TIMING)
+        rfm_free = bank_a.rfm(0.0)
+        drfm_free = bank_b.drfm(0.0)
+        assert drfm_free == 2 * rfm_free
+
+    def test_block_closes_open_row(self):
+        bank = Bank(DEFAULT_TIMING)
+        bank.access(5, 0.0)
+        bank.refresh(1000.0)
+        bank.access(5, 2000.0)
+        assert bank.stats.row_misses == 2

@@ -1,0 +1,37 @@
+"""Tests for the DRAM command vocabulary."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind, act, drfm, ref, rfm
+
+
+class TestConstructors:
+    def test_act_carries_row(self):
+        command = act(42, bank=3)
+        assert command.kind is CommandKind.ACT
+        assert command.row == 42
+        assert command.bank == 3
+
+    def test_ref_has_no_row(self):
+        assert ref().row is None
+
+    def test_rfm_has_no_row(self):
+        assert rfm(bank=1).kind is CommandKind.RFM
+
+    def test_drfm_carries_row(self):
+        command = drfm(7)
+        assert command.kind is CommandKind.DRFM
+        assert command.row == 7
+
+
+class TestValidation:
+    def test_act_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.ACT)
+
+    def test_drfm_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.DRFM)
+
+    def test_commands_hashable(self):
+        assert len({act(1), act(1), act(2)}) == 2

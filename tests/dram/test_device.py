@@ -1,0 +1,86 @@
+"""Tests for the device-level DRAM model (auto-refresh, mitigation)."""
+
+from repro.dram.device import DeviceConfig, DramDevice
+
+
+def make_device(trh=100, rows=1024, refi_per_refw=64, banks=1, blast_radius=1):
+    return DramDevice(
+        DeviceConfig(
+            num_banks=banks,
+            rows_per_bank=rows,
+            trh=trh,
+            blast_radius=blast_radius,
+            refi_per_refw=refi_per_refw,
+        )
+    )
+
+
+class TestAutoRefresh:
+    def test_rolling_slices_cover_all_rows(self):
+        device = make_device(rows=1024, refi_per_refw=64)
+        covered = set()
+        for _ in range(64):
+            lo, hi = device.auto_refresh(0)
+            covered.update(range(lo, hi))
+        assert covered == set(range(1024))
+
+    def test_slice_restores_disturbance(self):
+        device = make_device(rows=1024, refi_per_refw=64)
+        device.activate(0, 1)  # disturbs rows 0 and 2
+        lo, hi = device.auto_refresh(0)  # refreshes rows [0, 16)
+        assert device.banks[0].disturbance(0) == 0.0
+        assert device.banks[0].disturbance(2) == 0.0
+
+    def test_slice_leaves_other_rows(self):
+        device = make_device(rows=1024, refi_per_refw=64)
+        device.activate(0, 500)
+        device.auto_refresh(0)  # refreshes [0, 16) only
+        assert device.banks[0].disturbance(499) == 1.0
+
+    def test_wraps_after_full_window(self):
+        device = make_device(rows=1024, refi_per_refw=64)
+        for _ in range(64):
+            device.auto_refresh(0)
+        lo, _hi = device.auto_refresh(0)
+        assert lo == 0
+
+
+class TestMitigation:
+    def test_distance_one(self):
+        device = make_device()
+        device.activate(0, 100)
+        refreshed = device.mitigate(0, 100, distance=1)
+        assert sorted(refreshed) == [99, 101]
+
+    def test_distance_two_is_transitive(self):
+        device = make_device()
+        refreshed = device.mitigate(0, 100, distance=2)
+        assert sorted(refreshed) == [98, 102]
+
+    def test_mitigation_is_silent_activation(self):
+        device = make_device()
+        device.mitigate(0, 100, distance=1)
+        # Refreshing 99 and 101 disturbs 98 and 102.
+        assert device.banks[0].disturbance(98) == 1.0
+        assert device.banks[0].disturbance(102) == 1.0
+
+    def test_edge_aggressor(self):
+        device = make_device()
+        refreshed = device.mitigate(0, 0, distance=1)
+        assert refreshed == [1]
+
+
+class TestMultiBank:
+    def test_banks_are_independent(self):
+        device = make_device(banks=2, trh=2)
+        device.activate(0, 100)
+        device.activate(0, 100)
+        assert device.banks[0].any_flip
+        assert not device.banks[1].any_flip
+        assert device.any_flip
+
+    def test_flips_accessor(self):
+        device = make_device(banks=2, trh=1)
+        device.activate(1, 100)
+        assert not device.flips(0)
+        assert device.flips(1)

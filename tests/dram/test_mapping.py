@@ -1,0 +1,55 @@
+"""Tests for logical/physical row mapping."""
+
+import pytest
+
+from repro.dram.mapping import RowMapping, ScrambledRowMapping
+
+
+class TestIdentityMapping:
+    def test_round_trip(self):
+        mapping = RowMapping(1024)
+        for row in (0, 1, 511, 1023):
+            assert mapping.to_logical(mapping.to_physical(row)) == row
+
+    def test_identity(self):
+        mapping = RowMapping(16)
+        assert all(mapping.to_physical(r) == r for r in range(16))
+
+    def test_out_of_range_rejected(self):
+        mapping = RowMapping(16)
+        with pytest.raises(ValueError):
+            mapping.to_physical(16)
+        with pytest.raises(ValueError):
+            mapping.to_physical(-1)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValueError):
+            RowMapping(0)
+
+
+class TestScrambledMapping:
+    def test_is_bijection(self):
+        mapping = ScrambledRowMapping(997)
+        images = {mapping.to_physical(r) for r in range(997)}
+        assert len(images) == 997
+
+    def test_round_trip(self):
+        mapping = ScrambledRowMapping(1 << 12)
+        for row in (0, 7, 100, 4095):
+            assert mapping.to_logical(mapping.to_physical(row)) == row
+
+    def test_breaks_adjacency(self):
+        """The point of the model: logical neighbours are generally not
+        physical neighbours (Section II-D)."""
+        mapping = ScrambledRowMapping(1 << 12)
+        adjacent = sum(
+            1
+            for r in range(1000)
+            if abs(mapping.to_physical(r) - mapping.to_physical(r + 1)) == 1
+        )
+        assert adjacent < 10
+
+    def test_different_keys_differ(self):
+        a = ScrambledRowMapping(1 << 10, key=1)
+        b = ScrambledRowMapping(1 << 10, key=999999)
+        assert any(a.to_physical(r) != b.to_physical(r) for r in range(100))

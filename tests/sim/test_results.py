@@ -1,0 +1,50 @@
+"""Tests for the result records."""
+
+from repro.dram.rowstate import FlipEvent
+from repro.sim.results import SimResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        tracker="MINT",
+        trace="test-trace",
+        intervals=100,
+        demand_acts=7300,
+        refreshes=100,
+        mitigations=95,
+        transitive_mitigations=2,
+        pseudo_mitigations=0,
+        flips=[],
+        max_disturbance=73.0,
+        most_disturbed_row=999,
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestSimResult:
+    def test_not_failed_without_flips(self):
+        assert not make_result().failed
+
+    def test_failed_with_flips(self):
+        flip = FlipEvent(row=10, disturbance=4800.0, time_ns=1e6)
+        assert make_result(flips=[flip]).failed
+
+    def test_mitigation_rate(self):
+        assert make_result().mitigation_rate == 0.95
+
+    def test_mitigation_rate_no_refreshes(self):
+        assert make_result(refreshes=0).mitigation_rate == 0.0
+
+    def test_summary_ok(self):
+        summary = make_result().summary()
+        assert "[ok]" in summary
+        assert "MINT" in summary
+        assert "test-trace" in summary
+
+    def test_summary_flip(self):
+        flip = FlipEvent(row=10, disturbance=4800.0, time_ns=1e6)
+        assert "[FLIP]" in make_result(flips=[flip]).summary()
+
+    def test_transitive_count_in_summary(self):
+        assert "2 transitive" in make_result().summary()

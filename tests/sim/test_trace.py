@@ -1,0 +1,44 @@
+"""Tests for the trace representation."""
+
+import pytest
+
+from repro.sim.trace import Interval, Trace, repeat_interval
+
+
+class TestInterval:
+    def test_of_builds_tuple(self):
+        interval = Interval.of([1, 2, 3])
+        assert interval.acts == (1, 2, 3)
+        assert not interval.postpone
+
+    def test_postpone_flag(self):
+        assert Interval.of([], postpone=True).postpone
+
+
+class TestTrace:
+    def test_len_and_iteration(self):
+        trace = Trace("t", [Interval.of([1]), Interval.of([2, 3])])
+        assert len(trace) == 2
+        assert [i.acts for i in trace] == [(1,), (2, 3)]
+
+    def test_total_acts(self):
+        trace = Trace("t", repeat_interval([1, 2], 5))
+        assert trace.total_acts == 10
+
+    def test_rows_touched(self):
+        trace = Trace("t", [Interval.of([1, 2]), Interval.of([2, 9])])
+        assert trace.rows_touched() == {1, 2, 9}
+
+    def test_validate_accepts_budgeted(self):
+        trace = Trace("t", repeat_interval([0] * 73, 3))
+        trace.validate(max_act=73)
+
+    def test_validate_rejects_over_budget(self):
+        trace = Trace("t", [Interval.of([0] * 74)])
+        with pytest.raises(ValueError):
+            trace.validate(max_act=73)
+
+    def test_repeat_interval_shares_immutable(self):
+        intervals = repeat_interval([5], 3)
+        assert len(intervals) == 3
+        assert all(i.acts == (5,) for i in intervals)

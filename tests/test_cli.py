@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAttackCommand:
+    def test_mint_survives_double_sided(self, capsys):
+        code = main([
+            "attack", "--attack", "double-sided", "--tracker", "mint",
+            "--trh", "4800", "--intervals", "300",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[ok]" in out
+
+    def test_unprotected_fails(self, capsys):
+        code = main([
+            "attack", "--attack", "double-sided", "--tracker", "none",
+            "--trh", "1000", "--intervals", "300",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FLIP" in out
+        assert "first flip" in out
+
+    def test_trr_falls_to_many_sided(self, capsys):
+        code = main([
+            "attack", "--attack", "many-sided", "--tracker", "trr",
+            "--trh", "1300", "--intervals", "300",
+        ])
+        assert code == 1
+
+    def test_dmq_flag(self, capsys):
+        code = main([
+            "attack", "--attack", "single-sided", "--tracker", "mint",
+            "--dmq", "--allow-postponement",
+            "--trh", "4800", "--intervals", "200",
+        ])
+        assert code == 0
+        assert "MINT+DMQ" in capsys.readouterr().out
+
+
+class TestMintrhCommand:
+    @pytest.mark.parametrize(
+        "scheme,expected", [("mint", 1481), ("rfm32", 700), ("rfm16", 360)]
+    )
+    def test_schemes(self, capsys, scheme, expected):
+        code = main(["mintrh", "--scheme", scheme])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(expected) in out
+
+    def test_custom_target(self, capsys):
+        code = main(["mintrh", "--scheme", "mint", "--target-ttf", "1000"])
+        assert code == 0
+        assert "1,000 years" in capsys.readouterr().out
+
+
+class TestTableCommand:
+    @pytest.mark.parametrize("which", ["3", "4", "5", "7", "9"])
+    def test_tables_print(self, capsys, which):
+        assert main(["table", "--which", which]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_table3_contents(self, capsys):
+        main(["table", "--which", "3"])
+        out = capsys.readouterr().out
+        assert "MINT" in out and "PRCT" in out and "Mithril" in out
+
+
+class TestPlanCommand:
+    def test_plain_mint_for_high_trh(self, capsys):
+        assert main(["plan", "--trh-d", "4800"]) == 0
+        out = capsys.readouterr().out
+        assert "use MINT " in out or "use MINT\n" in out or "use MINT (" in out
+
+    def test_rfm16_for_low_trh(self, capsys):
+        assert main(["plan", "--trh-d", "400"]) == 0
+        assert "RFM16" in capsys.readouterr().out
+
+    def test_prac_below_reach(self, capsys):
+        assert main(["plan", "--trh-d", "200"]) == 1
+        assert "PRAC" in capsys.readouterr().out

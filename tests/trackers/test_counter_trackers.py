@@ -1,0 +1,133 @@
+"""Tests for PRCT, Mithril, and ProTRR (the counter-based trackers)."""
+
+import pytest
+
+from repro.trackers.mithril import MithrilTracker
+from repro.trackers.prct import PrctTracker
+from repro.trackers.protrr import ProTrrTracker, VictimRefreshRequest
+
+
+class TestPrct:
+    def test_mitigates_hottest_row(self):
+        tracker = PrctTracker(num_rows=1024)
+        for _ in range(5):
+            tracker.on_activate(7)
+        tracker.on_activate(8)
+        requests = tracker.on_refresh()
+        assert requests[0].row == 7
+
+    def test_counter_removed_after_mitigation(self):
+        tracker = PrctTracker(num_rows=1024)
+        tracker.on_activate(7)
+        tracker.on_refresh()
+        assert tracker.count(7) == 0
+
+    def test_observes_mitigation_activations(self):
+        """Transitive immunity: victim refreshes bump counters."""
+        tracker = PrctTracker(num_rows=1024)
+        assert tracker.observes_mitigations
+        tracker.on_mitigation_activate(9)
+        assert tracker.count(9) == 1
+
+    def test_empty_refresh(self):
+        assert PrctTracker(num_rows=16).on_refresh() == []
+
+    def test_mitigation_threshold(self):
+        tracker = PrctTracker(num_rows=16, mitigation_threshold=3)
+        tracker.on_activate(5)
+        assert tracker.on_refresh() == []
+
+    def test_entries_is_row_count(self):
+        assert PrctTracker(num_rows=128 * 1024).entries == 128 * 1024
+
+
+class TestMithril:
+    def test_tracked_row_increments(self):
+        tracker = MithrilTracker(num_entries=4)
+        tracker.on_activate(1)
+        tracker.on_activate(1)
+        assert tracker.count(1) == 2
+
+    def test_space_saving_replacement(self):
+        """A new row replaces the min entry with count min + 1."""
+        tracker = MithrilTracker(num_entries=2)
+        tracker.on_activate(1)
+        tracker.on_activate(1)
+        tracker.on_activate(2)
+        tracker.on_activate(3)  # evicts row 2 (min count 1)
+        assert tracker.count(3) == 2
+        assert tracker.count(2) == 0
+
+    def test_never_underestimates_tracked_rows(self):
+        """Space-Saving invariant: a tracked row's counter is an upper
+        bound on (and at least equal to) its true count since insertion."""
+        tracker = MithrilTracker(num_entries=4)
+        for _ in range(10):
+            tracker.on_activate(1)
+        for row in (2, 3, 4, 5, 6):
+            tracker.on_activate(row)
+        assert tracker.count(1) >= 10
+
+    def test_refresh_drops_counter_to_table_min(self):
+        tracker = MithrilTracker(num_entries=4)
+        for _ in range(5):
+            tracker.on_activate(1)
+        tracker.on_activate(2)
+        requests = tracker.on_refresh()
+        assert requests[0].row == 1
+        # The mitigated row lands at the bottom of the table (the
+        # steady-state reading of "reduced by the min count").
+        assert tracker.count(1) == 1
+
+    def test_observes_mitigations(self):
+        assert MithrilTracker().observes_mitigations
+
+    def test_paper_entry_count_storage(self):
+        tracker = MithrilTracker(num_entries=677)
+        assert tracker.entries == 677
+        assert tracker.storage_bits == 677 * (18 + 12)
+
+
+class TestProTrr:
+    def test_credits_victims_not_aggressors(self):
+        tracker = ProTrrTracker(num_entries=8)
+        tracker.on_activate(10)
+        assert tracker.counters.get(9) == 1
+        assert tracker.counters.get(11) == 1
+        assert 10 not in tracker.counters
+
+    def test_refresh_returns_victim_request(self):
+        tracker = ProTrrTracker(num_entries=8)
+        for _ in range(3):
+            tracker.on_activate(10)
+        requests = tracker.on_refresh()
+        assert isinstance(requests[0], VictimRefreshRequest)
+        assert requests[0].row in (9, 11)
+
+    def test_misra_gries_decrement(self):
+        tracker = ProTrrTracker(num_entries=2)
+        tracker.on_activate(10)  # victims 9, 11 fill the table
+        # Crediting victim 19 decrements (and empties) the full table;
+        # victim 21 then inserts into the freed space.
+        tracker.on_activate(20)
+        assert set(tracker.counters) == {21}
+
+    def test_row_bounds_respected(self):
+        tracker = ProTrrTracker(num_entries=8, num_rows=100)
+        tracker.on_activate(0)
+        assert -1 not in tracker.counters
+
+    def test_blast_radius_two_credits_four_victims(self):
+        tracker = ProTrrTracker(num_entries=8, blast_radius=2)
+        tracker.on_activate(10)
+        assert set(tracker.counters) == {8, 9, 11, 12}
+
+
+class TestValidation:
+    def test_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            MithrilTracker(num_entries=0)
+        with pytest.raises(ValueError):
+            ProTrrTracker(num_entries=0)
+        with pytest.raises(ValueError):
+            PrctTracker(num_rows=0)

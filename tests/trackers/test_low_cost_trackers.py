@@ -1,0 +1,132 @@
+"""Tests for PARFM, TRR, PrIDE, and Graphene."""
+
+import random
+
+import pytest
+
+from repro.trackers.graphene import GrapheneTracker
+from repro.trackers.parfm import ParfmTracker
+from repro.trackers.pride import PrideTracker
+from repro.trackers.trr import TrrTracker
+
+
+class TestParfm:
+    def test_buffers_up_to_max_act(self):
+        tracker = ParfmTracker(max_act=4, rng=random.Random(1))
+        for row in range(6):
+            tracker.on_activate(row)
+        assert len(tracker.buffer) == 4
+        assert tracker.dropped_activations == 2
+
+    def test_refresh_picks_buffered_row(self):
+        tracker = ParfmTracker(max_act=8, rng=random.Random(1))
+        for row in (5, 6, 7):
+            tracker.on_activate(row)
+        requests = tracker.on_refresh()
+        assert requests[0].row in (5, 6, 7)
+        assert not tracker.buffer
+
+    def test_uniform_choice(self):
+        tracker = ParfmTracker(max_act=2, rng=random.Random(17))
+        hits = {1: 0, 2: 0}
+        for _ in range(10_000):
+            tracker.on_activate(1)
+            tracker.on_activate(2)
+            hits[tracker.on_refresh()[0].row] += 1
+        assert hits[1] == pytest.approx(hits[2], rel=0.1)
+
+    def test_entries_equals_max_act(self):
+        assert ParfmTracker(max_act=73).entries == 73
+
+    def test_does_not_observe_mitigations(self):
+        """The property that makes PARFM transitive-vulnerable."""
+        assert not ParfmTracker().observes_mitigations
+
+
+class TestTrr:
+    def test_mitigates_hot_row(self):
+        tracker = TrrTracker(num_entries=4)
+        for _ in range(10):
+            tracker.on_activate(1)
+        assert tracker.on_refresh()[0].row == 1
+
+    def test_thrashed_by_decoys(self):
+        """The TRRespass weakness: more aggressors than entries."""
+        tracker = TrrTracker(num_entries=4)
+        for round_index in range(100):
+            for row in range(10):  # 10 distinct rows > 4 entries
+                tracker.on_activate(row)
+        # No row ever accumulates enough weight to be mitigated.
+        assert tracker.on_refresh() == []
+
+    def test_ignores_single_observations(self):
+        tracker = TrrTracker(num_entries=4)
+        tracker.on_activate(1)
+        assert tracker.on_refresh() == []
+
+
+class TestPride:
+    def test_samples_into_fifo(self):
+        tracker = PrideTracker(sample_probability=1.0, rng=random.Random(1))
+        tracker.on_activate(5)
+        assert list(tracker.fifo) == [5]
+
+    def test_fifo_order_mitigation(self):
+        tracker = PrideTracker(sample_probability=1.0, rng=random.Random(1))
+        for row in (1, 2, 3):
+            tracker.on_activate(row)
+        assert tracker.on_refresh()[0].row == 1
+        assert tracker.on_refresh()[0].row == 2
+
+    def test_overflow_loses_oldest(self):
+        tracker = PrideTracker(
+            fifo_depth=2, sample_probability=1.0, rng=random.Random(1)
+        )
+        for row in (1, 2, 3):
+            tracker.on_activate(row)
+        assert list(tracker.fifo) == [2, 3]
+        assert tracker.losses == 1
+
+    def test_loss_probability_much_lower_than_single_entry(self):
+        """Section IX: 4-entry FIFO cuts loss vs single-entry sampling."""
+        deep = PrideTracker(fifo_depth=4, rng=random.Random(3))
+        shallow = PrideTracker(fifo_depth=1, rng=random.Random(3))
+        for tracker in (deep, shallow):
+            for _ in range(4000):
+                for _ in range(73):
+                    tracker.on_activate(7)
+                tracker.on_refresh()
+        assert deep.loss_probability < shallow.loss_probability / 2
+
+
+class TestGraphene:
+    def test_sizes_from_threshold(self):
+        tracker = GrapheneTracker(trh=2000)
+        assert tracker.mitigation_threshold == 500
+        assert tracker.num_entries == (73 * 8192) // 500
+
+    def test_mitigates_on_threshold_crossing(self):
+        tracker = GrapheneTracker(trh=8)  # threshold 2
+        tracker.on_activate(9)
+        tracker.on_activate(9)
+        requests = tracker.drain()
+        assert requests and requests[0].row == 9
+        assert tracker.mitigations_issued == 1
+
+    def test_counter_cleared_after_mitigation(self):
+        tracker = GrapheneTracker(trh=8)
+        tracker.on_activate(9)
+        tracker.on_activate(9)
+        tracker.drain()
+        assert 9 not in tracker.counters
+
+    def test_storage_scales_inverse_with_trh(self):
+        small = GrapheneTracker(trh=3000)
+        large = GrapheneTracker(trh=300)
+        assert large.storage_bits == pytest.approx(
+            10 * small.storage_bits, rel=0.25
+        )
+
+    def test_rejects_tiny_trh(self):
+        with pytest.raises(ValueError):
+            GrapheneTracker(trh=2)

@@ -1,0 +1,85 @@
+"""Tests for InDRAM-PARA (paper Section III)."""
+
+import random
+
+import pytest
+
+from repro.trackers.para import InDramParaTracker, McParaPolicy
+
+
+class TestSampling:
+    def test_sampled_row_stored(self):
+        tracker = InDramParaTracker(sample_probability=1.0, rng=random.Random(1))
+        tracker.on_activate(42)
+        assert tracker.sar == 42
+
+    def test_refresh_mitigates_and_clears(self):
+        tracker = InDramParaTracker(sample_probability=1.0, rng=random.Random(1))
+        tracker.on_activate(42)
+        requests = tracker.on_refresh()
+        assert requests[0].row == 42
+        assert tracker.sar is None
+
+    def test_no_sample_no_mitigation(self):
+        tracker = InDramParaTracker(sample_probability=1e-12, rng=random.Random(1))
+        for row in range(73):
+            tracker.on_activate(row)
+        assert tracker.on_refresh() == []
+
+
+class TestOverwriteSemantics:
+    def test_overwrite_variant_replaces(self):
+        tracker = InDramParaTracker(
+            sample_probability=1.0, overwrite=True, rng=random.Random(1)
+        )
+        tracker.on_activate(1)
+        tracker.on_activate(2)
+        assert tracker.sar == 2
+        assert tracker.overwrites == 1
+
+    def test_no_overwrite_variant_keeps_first(self):
+        tracker = InDramParaTracker(
+            sample_probability=1.0, overwrite=False, rng=random.Random(1)
+        )
+        tracker.on_activate(1)
+        tracker.on_activate(2)
+        assert tracker.sar == 1
+        assert tracker.overwrites == 0
+
+    def test_names_distinguish_variants(self):
+        a = InDramParaTracker(overwrite=True)
+        b = InDramParaTracker(overwrite=False)
+        assert a.name != b.name
+
+
+class TestNonSelection:
+    def test_full_window_misses_about_37_percent(self):
+        """Equation 4: (1 - 1/73)^73 ~= 0.37 of full windows select
+        nothing — the non-selection problem MINT eliminates."""
+        tracker = InDramParaTracker(rng=random.Random(99))
+        windows = 20_000
+        empty = 0
+        for _ in range(windows):
+            for _ in range(73):
+                tracker.on_activate(5)
+            if not tracker.on_refresh():
+                empty += 1
+        assert empty / windows == pytest.approx(0.366, abs=0.02)
+
+
+class TestMcPara:
+    def test_probability_respected(self):
+        policy = McParaPolicy(probability=1.0, rng=random.Random(1))
+        assert policy.should_mitigate(5)
+        assert policy.drfms_issued == 1
+
+    def test_rate_statistics(self):
+        policy = McParaPolicy(probability=0.1, rng=random.Random(5))
+        hits = sum(policy.should_mitigate(1) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.1, abs=0.01)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            McParaPolicy(probability=0.0)
+        with pytest.raises(ValueError):
+            InDramParaTracker(sample_probability=1.5)

@@ -1,0 +1,57 @@
+"""Tests for the tracker factory registry."""
+
+import random
+
+import pytest
+
+from repro.core.dmq import DelayedMitigationQueue
+from repro.trackers import available_trackers, make_tracker, register
+from repro.trackers.base import NullTracker, Tracker
+
+
+class TestFactories:
+    def test_all_registered_names_build(self):
+        for name in available_trackers():
+            tracker = make_tracker(name, rng=random.Random(1))
+            assert isinstance(tracker, Tracker)
+
+    def test_expected_designs_present(self):
+        names = available_trackers()
+        for expected in ("mint", "parfm", "prct", "mithril", "para",
+                         "protrr", "trr", "pride", "graphene", "none"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_tracker("definitely-not-a-tracker")
+
+    def test_case_insensitive(self):
+        assert make_tracker("MINT").name == "MINT"
+
+    def test_dmq_wrapping(self):
+        tracker = make_tracker("mint", dmq=True)
+        assert isinstance(tracker, DelayedMitigationQueue)
+        assert tracker.max_act == 73
+
+    def test_max_act_propagates(self):
+        tracker = make_tracker("mint", max_act=16)
+        assert tracker.max_act == 16
+        para = make_tracker("para", max_act=16)
+        assert para.p == pytest.approx(1 / 16)
+
+    def test_extra_kwargs(self):
+        tracker = make_tracker("mithril", num_entries=99)
+        assert tracker.entries == 99
+
+    def test_custom_registration(self):
+        register("custom-null", lambda rng=None, max_act=73: NullTracker())
+        assert isinstance(make_tracker("custom-null"), NullTracker)
+
+
+class TestNullTracker:
+    def test_never_mitigates(self):
+        tracker = NullTracker()
+        for row in range(100):
+            tracker.on_activate(row)
+        assert tracker.on_refresh() == []
+        assert tracker.entries == 0
