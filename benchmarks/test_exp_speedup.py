@@ -1,0 +1,66 @@
+"""Wall-clock speedup of the parallel experiment runner.
+
+A 4-point grid is run serially and through a 4-worker pool; the results
+must be bit-identical, and on a machine with at least 4 usable CPUs the
+pool must cut wall-clock time by >= 2x. On smaller machines the
+speedup assertion is skipped (a 1-CPU container cannot exhibit
+parallelism), but the determinism half still runs.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import print_header, print_rows
+
+from repro.exp import run_grid
+from repro.exp.presets import scaled_benchmark_grid
+from repro.parallel import default_workers, fork_available
+
+
+def _canonical(report) -> str:
+    return json.dumps(
+        [result.to_payload() for result in report.results], sort_keys=True
+    )
+
+
+@pytest.mark.slow
+def test_exp_runner_speedup():
+    grid = scaled_benchmark_grid(points=4, windows=3)
+    assert len(grid) == 4
+
+    started = time.perf_counter()
+    serial = run_grid(grid, base_seed=11, n_workers=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_grid(grid, base_seed=11, n_workers=4)
+    parallel_s = time.perf_counter() - started
+
+    speedup = serial_s / max(parallel_s, 1e-9)
+    print_header("Parallel experiment runner: 4-point grid, 4 workers")
+    print_rows(
+        ["mode", "wall seconds", "points"],
+        [
+            ["serial", f"{serial_s:.2f}", serial.total],
+            ["4 workers", f"{parallel_s:.2f}", parallel.total],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+    )
+
+    assert _canonical(serial) == _canonical(parallel), (
+        "worker count changed experiment results"
+    )
+
+    if not fork_available():
+        pytest.skip("fork start method unavailable; no process parallelism")
+    cpus = default_workers()
+    if cpus < 4:
+        pytest.skip(
+            f"only {cpus} usable CPU(s); wall-clock speedup needs >= 4"
+        )
+    assert speedup >= 2.0, (
+        f"expected >= 2x speedup on a 4-point grid with 4 workers, "
+        f"got {speedup:.2f}x ({serial_s:.2f}s -> {parallel_s:.2f}s)"
+    )

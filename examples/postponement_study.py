@@ -7,49 +7,48 @@ tracker's visible window with decoys and hammers the target during the
 postponed intervals — with and without the Delayed Mitigation Queue,
 then sweeps the DMQ depth.
 
-Run:  python examples/postponement_study.py
+The whole study is one ``repro.exp`` grid (the ``postponement``
+preset): MINT ± DMQ against the single- and multi-target decoy
+attacks, fanned out over the process pool and cacheable via --store.
+
+Run:  python examples/postponement_study.py [--workers N] [--store FILE]
 """
 
-import random
+import argparse
 
-from repro.attacks import (
-    AttackParams,
-    postponement_decoy,
-    postponement_decoy_multi,
-)
-from repro.core import DelayedMitigationQueue, MintTracker
-from repro.sim.engine import run_attack
+from repro.analysis.empirical import exposure_row, result_matrix
+from repro.exp import ResultStore, run_grid
+from repro.exp.presets import POSTPONEMENT_TARGET, postponement_grid
 
-TARGET = 60_000
-
-
-def run_decoy(tracker, params):
-    return run_attack(
-        tracker,
-        postponement_decoy(TARGET, params),
-        trh=1e9,  # measure exposure rather than stopping at a flip
-        allow_postponement=True,
-    )
+TARGET = POSTPONEMENT_TARGET
+DEPTHS = (1, 2, 3, 4, 6, 8)
+INTERVALS = 2000
 
 
 def main() -> None:
-    params = AttackParams(max_act=73, intervals=2000)
-    window_scale = 8192 / params.intervals
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: usable CPUs)")
+    parser.add_argument("--store", default=None,
+                        help="JSON result store for incremental re-runs")
+    args = parser.parse_args()
 
+    window_scale = 8192 / INTERVALS
     print("decoy + postponement attack, 2000 tREFI slice "
           f"(scale x{window_scale:.1f} for a full 32 ms window)\n")
 
-    plain = run_decoy(MintTracker(rng=random.Random(1)), params)
-    peak = plain.max_unmitigated[TARGET]
-    print(f"MINT without DMQ : {peak:,} unmitigated ACTs on the target "
+    grid = postponement_grid(intervals=INTERVALS, depths=DEPTHS)
+    store = ResultStore(args.store) if args.store else None
+    report = run_grid(grid, base_seed=1, n_workers=args.workers, store=store)
+    matrix = result_matrix(report.results)
+
+    plain = matrix[("mint", "decoy")]
+    peak = plain.max_unmitigated(TARGET)
+    print(f"MINT without DMQ : {peak:,.0f} unmitigated ACTs on the target "
           f"(~{peak * window_scale:,.0f} per tREFW; paper: 478K)")
 
-    queued = run_decoy(
-        DelayedMitigationQueue(MintTracker(rng=random.Random(2)),
-                               max_act=73, depth=4),
-        params,
-    )
-    print(f"MINT with DMQ(4) : {queued.max_unmitigated[TARGET]:,} "
+    queued = matrix[("mint+dmq4", "decoy")]
+    print(f"MINT with DMQ(4) : {queued.max_unmitigated(TARGET):,.0f} "
           f"unmitigated ACTs (paper bound: 365 + 292)\n")
 
     # Depth sweep against the *multi-target* decoy attack (one distinct
@@ -58,22 +57,13 @@ def main() -> None:
     targets = [TARGET + 10 * i for i in range(4)]
     print(f"{'DMQ depth':>10} {'peak ACTs':>12} {'dropped':>9} "
           f"{'storage bytes':>14}")
-    for depth in (1, 2, 3, 4, 6, 8):
-        tracker = DelayedMitigationQueue(
-            MintTracker(transitive=False, rng=random.Random(depth)),
-            max_act=73,
-            depth=depth,
-        )
-        result = run_attack(
-            tracker,
-            postponement_decoy_multi(targets, params),
-            trh=1e9,
-            allow_postponement=True,
-        )
-        peak = max(result.max_unmitigated.get(t, 0) for t in targets)
-        print(f"{depth:>10} {peak:>12,} {tracker.overflow_drops:>9,} "
-              f"{tracker.storage_bits / 8:>14.1f}")
+    for depth in DEPTHS:
+        sweep_label = f"mint(transitive=False)+dmq{depth}"
+        row = exposure_row(matrix[(sweep_label, "decoy-multi")], targets)
+        print(f"{depth:>10} {row['peak_unmitigated']:>12,.0f} "
+              f"{row['overflow_drops']:>9,} {row['storage_bytes']:>14.1f}")
 
+    print(f"\n[{report.summary()}]")
     print("\ndepth 4 matches the DDR5 postponement ceiling: shallower "
           "queues drop targets whose hammering then grows without bound; "
           "deeper queues only add storage.")

@@ -7,60 +7,46 @@ executable version of the paper's Sections II-F and V-G story:
 deployed low-cost trackers break, counter tables hold but cost
 kilobytes, MINT holds with four bytes.
 
-Run:  python examples/tracker_shootout.py
+The sweep is one declarative grid handed to the ``repro.exp`` runner:
+the 40 points fan out across the process pool, and with ``--store``
+a re-run serves every unchanged point from cache.
+
+Run:  python examples/tracker_shootout.py [--workers N] [--store FILE]
 """
 
-import random
+import argparse
 
-from repro.attacks import (
-    AttackParams,
-    double_sided,
-    half_double,
-    many_sided,
-    random_blacksmith,
-    single_sided,
+from repro.analysis.empirical import shootout_table, survivors
+from repro.exp import ResultStore, run_grid
+from repro.exp.presets import (
+    SHOOTOUT_ATTACKS,
+    SHOOTOUT_TRACKERS,
+    shootout_grid,
 )
-from repro.sim.engine import run_attack
-from repro.trackers import make_tracker
 
 TRH_D = 1500
 INTERVALS = 1500
-TRACKERS = ["trr", "pride", "para", "parfm", "mithril", "prct", "prac", "mint"]
-
-
-def attacks(params):
-    return [
-        ("single-sided", single_sided(params)),
-        ("double-sided", double_sided(params, victim=params.base_row)),
-        ("many-sided x12", many_sided(12, params)),
-        ("blacksmith", random_blacksmith(16, params, seed=7)),
-        ("half-double", half_double(params)),
-    ]
 
 
 def main() -> None:
-    params = AttackParams(max_act=73, intervals=INTERVALS)
-    names = [(name, trace) for name, trace in attacks(params)]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: usable CPUs)")
+    parser.add_argument("--store", default=None,
+                        help="JSON result store for incremental re-runs")
+    args = parser.parse_args()
+
+    grid = shootout_grid(trh=TRH_D, intervals=INTERVALS)
     print(f"device threshold TRH-D = {TRH_D}; "
           f"{INTERVALS} tREFI ({INTERVALS * 3.9 / 1000:.1f} ms) per attack\n")
 
-    header = f"{'tracker':<10} {'bytes':>8} " + "".join(
-        f"{name:>16}" for name, _ in names
-    )
-    print(header)
-    print("-" * len(header))
-    for tracker_name in TRACKERS:
-        cells = []
-        probe = make_tracker(tracker_name, rng=random.Random(0))
-        storage = f"{probe.storage_bits / 8:,.0f}"
-        for _attack_name, trace in names:
-            tracker = make_tracker(tracker_name, rng=random.Random(1))
-            result = run_attack(tracker, trace, trh=TRH_D)
-            cells.append("FLIP" if result.failed else "ok")
-        print(
-            f"{tracker_name:<10} {storage:>8} "
-            + "".join(f"{cell:>16}" for cell in cells)
-        )
+    store = ResultStore(args.store) if args.store else None
+    report = run_grid(grid, base_seed=1, n_workers=args.workers, store=store)
+
+    attack_names = [name for name, _ in SHOOTOUT_ATTACKS]
+    print(shootout_table(report.results, SHOOTOUT_TRACKERS, attack_names))
+    print(f"\n[{report.summary()}]")
+    print(f"survivors: {', '.join(survivors(report.results))}")
 
     print("\nreading: TRR/PrIDE-class trackers fall to many-sided or "
           "Blacksmith traffic; trackers that cannot see mitigative "

@@ -20,6 +20,12 @@ from .comparison import (
     prct_comparison,
     table3,
 )
+from .empirical import (
+    exposure_row,
+    result_matrix,
+    shootout_table,
+    survivors,
+)
 from .feinting import (
     FeintingResult,
     feinting_attack_prct,

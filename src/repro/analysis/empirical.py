@@ -1,0 +1,90 @@
+"""Tables and figures built from experiment-runner results.
+
+The analytic modules in this package derive the paper's numbers from
+closed forms; this one derives the *empirical* counterparts from
+:class:`~repro.exp.result.ExperimentResult` records, so the shootout
+table and the postponement blow-up read straight from a (possibly
+cached) grid run instead of hand-rolled simulation loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..exp.result import ExperimentResult
+
+
+def result_matrix(
+    results: Iterable[ExperimentResult],
+) -> dict[tuple[str, str], ExperimentResult]:
+    """Index results by (tracker label, attack name).
+
+    Later entries win on collision, matching "most recent run" intuition
+    when a store accumulates history.
+    """
+    return {(r.tracker, r.attack): r for r in results}
+
+
+def shootout_table(
+    results: Iterable[ExperimentResult],
+    trackers: Sequence[str],
+    attacks: Sequence[str],
+) -> str:
+    """Render the tracker-shootout matrix (ok / FLIP per cell).
+
+    ``trackers`` and ``attacks`` fix the presentation order; the storage
+    column comes from the per-result tracker stats.
+    """
+    matrix = result_matrix(results)
+    header = f"{'tracker':<10} {'bytes':>8} " + "".join(
+        f"{attack:>16}" for attack in attacks
+    )
+    lines = [header, "-" * len(header)]
+    for tracker in trackers:
+        cells = []
+        storage = "?"
+        for attack in attacks:
+            result = matrix.get((tracker, attack))
+            if result is None:
+                cells.append("-")
+                continue
+            storage = f"{result.tracker_stats.get('storage_bits', 0) / 8:,.0f}"
+            cells.append("FLIP" if result.failed else "ok")
+        lines.append(
+            f"{tracker:<10} {storage:>8} "
+            + "".join(f"{cell:>16}" for cell in cells)
+        )
+    return "\n".join(lines)
+
+
+def survivors(results: Iterable[ExperimentResult]) -> list[str]:
+    """Tracker labels that survived every attack they faced."""
+    failed: set[str] = set()
+    seen: list[str] = []
+    for result in results:
+        if result.tracker not in seen:
+            seen.append(result.tracker)
+        if result.failed:
+            failed.add(result.tracker)
+    return [tracker for tracker in seen if tracker not in failed]
+
+
+def exposure_row(
+    result: ExperimentResult, targets: Sequence[int]
+) -> dict[str, float | int]:
+    """Postponement-study accounting for one decoy-attack result.
+
+    Returns the peak unmitigated-ACT count over ``targets`` plus the
+    DMQ counters, i.e. one row of the depth-sweep table (Section VI).
+    """
+    peak = max(result.max_unmitigated(target) for target in targets)
+    return {
+        "tracker": result.tracker,
+        "attack": result.attack,
+        "peak_unmitigated": peak,
+        "overflow_drops": result.tracker_stats.get("overflow_drops", 0),
+        "storage_bytes": result.tracker_stats.get("storage_bits", 0) / 8,
+        "pseudo_mitigations": result.tracker_stats.get(
+            "pseudo_mitigations", 0
+        ),
+    }

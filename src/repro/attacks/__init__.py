@@ -18,12 +18,14 @@ from .feinting import FeintingOutcome, run_feinting
 from .halfdouble import half_double, half_double_distance
 from .manysided import decoy_assisted, many_sided
 from .multirow import pattern2, pattern2_double_sided, pattern3
+from .registry import available_attacks, make_attack, register_attack
 
 __all__ = [
     "AttackParams",
     "FeintingOutcome",
     "FuzzedAggressor",
     "adaptive_attack",
+    "available_attacks",
     "blacksmith",
     "build_trace",
     "decoy_assisted",
@@ -32,6 +34,7 @@ __all__ = [
     "fuzz_aggressors",
     "half_double",
     "half_double_distance",
+    "make_attack",
     "many_sided",
     "one_location",
     "pattern2",
@@ -40,6 +43,7 @@ __all__ = [
     "postponement_decoy",
     "postponement_decoy_multi",
     "random_blacksmith",
+    "register_attack",
     "repeated_adaptive_attack",
     "run_feinting",
     "single_sided",

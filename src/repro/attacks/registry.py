@@ -1,0 +1,129 @@
+"""Factory registry: build any attack trace from a name plus parameters.
+
+The counterpart of :mod:`repro.trackers.registry` for the attack side,
+so an experiment can be described entirely as data: ``("mint",
+"blacksmith", config)``. Factories take the shared
+:class:`~repro.attacks.base.AttackParams` plus an optional RNG for the
+randomised families; randomness is drawn only from that RNG, so a
+seeded call is reproducible across processes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..sim.trace import Trace
+from .base import AttackParams
+from .classic import double_sided, one_location, single_sided
+from .blacksmith import random_blacksmith
+from .decoy import postponement_decoy, postponement_decoy_multi
+from .halfdouble import half_double
+from .manysided import decoy_assisted, many_sided
+from .multirow import pattern2, pattern2_double_sided, pattern3
+
+_FACTORIES: dict[str, Callable[..., Trace]] = {}
+
+
+def register_attack(name: str, factory: Callable[..., Trace]) -> None:
+    """Register an attack factory under ``name`` (case-insensitive)."""
+    _FACTORIES[name.lower()] = factory
+
+
+def make_attack(
+    name: str,
+    params: AttackParams | None = None,
+    rng: random.Random | None = None,
+    **kwargs,
+) -> Trace:
+    """Build an attack trace by name.
+
+    ``rng`` feeds the randomised families (Blacksmith fuzzing); the
+    deterministic patterns ignore it.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(params or AttackParams(), rng=rng, **kwargs)
+
+
+def available_attacks() -> list[str]:
+    """Names accepted by :func:`make_attack`."""
+    return sorted(_FACTORIES)
+
+
+# ---------------------------------------------------------------------
+# Built-in factories. Each accepts (params, rng, **extra) even when it
+# ignores the RNG, so make_attack can treat them uniformly.
+# ---------------------------------------------------------------------
+
+def _single_sided(params, rng=None, row=None):
+    return single_sided(params, row=row)
+
+
+def _double_sided(params, rng=None, victim=None):
+    return double_sided(
+        params, victim=params.base_row if victim is None else victim
+    )
+
+
+def _one_location(params, rng=None, row=None):
+    return one_location(params, row=row)
+
+
+def _many_sided(params, rng=None, sides=12, spacing=4):
+    return many_sided(sides, params, spacing=spacing)
+
+
+def _blacksmith(params, rng=None, count=16, seed=None):
+    if seed is None:
+        seed = rng.randrange(2**32) if rng is not None else 13
+    return random_blacksmith(count, params, seed=seed)
+
+
+def _half_double(params, rng=None, center=None):
+    return half_double(params, center=center)
+
+
+def _pattern2(params, rng=None, k=None, spacing=8):
+    return pattern2(params.max_act if k is None else k, params, spacing)
+
+
+def _pattern2_double(params, rng=None, pairs=8, spacing=8):
+    return pattern2_double_sided(pairs, params, spacing)
+
+
+def _pattern3(params, rng=None, copies=4, spacing=8):
+    return pattern3(copies, params, spacing)
+
+
+def _decoy(params, rng=None, target=60_000, postponed=4):
+    return postponement_decoy(target, params, postponed=postponed)
+
+
+def _decoy_multi(params, rng=None, targets=None, postponed=4):
+    if targets is None:
+        targets = [60_000 + 10 * i for i in range(postponed)]
+    return postponement_decoy_multi(list(targets), params, postponed=postponed)
+
+
+def _decoy_assisted(params, rng=None, target=60_000, decoys=16,
+                    hammers_per_interval=8):
+    return decoy_assisted(target, decoys, hammers_per_interval, params)
+
+
+register_attack("single-sided", _single_sided)
+register_attack("double-sided", _double_sided)
+register_attack("one-location", _one_location)
+register_attack("many-sided", _many_sided)
+register_attack("blacksmith", _blacksmith)
+register_attack("half-double", _half_double)
+register_attack("pattern2", _pattern2)
+register_attack("pattern2-double", _pattern2_double)
+register_attack("pattern3", _pattern3)
+register_attack("decoy", _decoy)
+register_attack("decoy-multi", _decoy_multi)
+register_attack("decoy-assisted", _decoy_assisted)

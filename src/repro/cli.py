@@ -6,11 +6,13 @@ Commands
 ``mintrh``  compute the tolerated threshold of a MINT configuration
 ``table``   print one of the paper's comparison tables
 ``plan``    recommend a configuration for a device threshold
+``exp``     run/inspect batched experiment grids (parallel + cached)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 
@@ -24,31 +26,21 @@ from .analysis.rfm_scaling import (
     ttf_sensitivity,
 )
 from .analysis.storage import table9
-from .attacks import (
-    AttackParams,
-    double_sided,
-    half_double,
-    many_sided,
-    pattern2,
-    random_blacksmith,
-    single_sided,
-)
+from .attacks import AttackParams, available_attacks, make_attack
 from .sim.engine import run_attack
 from .trackers import available_trackers, make_tracker
 
-_ATTACKS = {
-    "single-sided": lambda p: single_sided(p),
-    "double-sided": lambda p: double_sided(p, victim=p.base_row),
-    "many-sided": lambda p: many_sided(12, p),
-    "blacksmith": lambda p: random_blacksmith(16, p),
-    "half-double": lambda p: half_double(p),
-    "pattern2": lambda p: pattern2(p.max_act, p),
-}
+#: Attack families exposed by ``repro attack`` (the full registry also
+#: carries the postponement/decoy patterns used by ``repro exp``).
+_CLI_ATTACKS = (
+    "single-sided", "double-sided", "many-sided", "blacksmith",
+    "half-double", "pattern2",
+)
 
 
 def _cmd_attack(args) -> int:
     params = AttackParams(max_act=args.max_act, intervals=args.intervals)
-    trace = _ATTACKS[args.attack](params)
+    trace = make_attack(args.attack, params)
     tracker = make_tracker(
         args.tracker, rng=random.Random(args.seed), dmq=args.dmq,
         max_act=args.max_act,
@@ -130,6 +122,74 @@ def _cmd_plan(args) -> int:
     return 1
 
 
+def _cmd_exp_run(args) -> int:
+    from .exp import (
+        AttackSpec,
+        ExperimentGrid,
+        PointConfig,
+        ResultStore,
+        TrackerSpec,
+        preset_grid,
+        run_grid,
+    )
+
+    if args.preset:
+        grid = preset_grid(args.preset)
+    else:
+        if not (args.trackers and args.attacks):
+            print("exp run: need --preset, or both --trackers and --attacks")
+            return 2
+        grid = ExperimentGrid(
+            trackers=[
+                TrackerSpec.of(name, dmq=args.dmq)
+                for name in args.trackers.split(",")
+            ],
+            attacks=[AttackSpec.of(name) for name in args.attacks.split(",")],
+            configs=[
+                PointConfig(
+                    trh=args.trh,
+                    intervals=args.intervals,
+                    max_act=args.max_act,
+                    allow_postponement=args.allow_postponement,
+                )
+            ],
+        )
+    store = ResultStore(args.store) if args.store else None
+    try:
+        report = run_grid(
+            grid, base_seed=args.seed, n_workers=args.workers, store=store
+        )
+    except KeyError as error:
+        # Unknown tracker/attack names surface from the factories.
+        print(f"exp run: {error.args[0]}")
+        return 2
+    print(f"exp run: {report.summary()}")
+    for result in report.results:
+        metrics = result.metrics
+        status = "FLIP" if result.failed else "ok"
+        print(
+            f"  [{status:>4}] {result.tracker:<14} vs {result.attack:<14} "
+            f"acts={metrics['demand_acts']:<9} "
+            f"mitigations={metrics['mitigations']}"
+        )
+    return 1 if any(result.failed for result in report.results) else 0
+
+
+def _cmd_exp_status(args) -> int:
+    from .exp import ResultStore
+
+    store = ResultStore(args.store)
+    print(f"{args.store}: {len(store)} cached result(s)")
+    for result in store.results():
+        status = "FLIP" if result.failed else "ok"
+        print(
+            f"  {result.key[:12]}  [{status:>4}] "
+            f"{result.tracker:<14} vs {result.attack:<14} "
+            f"seed={result.seed}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -140,7 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack = sub.add_parser("attack", help="simulate an attack vs a tracker")
     attack.add_argument("--tracker", choices=available_trackers(),
                         default="mint")
-    attack.add_argument("--attack", choices=sorted(_ATTACKS), required=True)
+    attack.add_argument("--attack", choices=sorted(_CLI_ATTACKS),
+                        required=True)
     attack.add_argument("--trh", type=float, default=4800.0)
     attack.add_argument("--intervals", type=int, default=2000)
     attack.add_argument("--max-act", type=int, default=73)
@@ -163,13 +224,55 @@ def build_parser() -> argparse.ArgumentParser:
     plan = sub.add_parser("plan", help="recommend a configuration")
     plan.add_argument("--trh-d", type=int, required=True)
     plan.set_defaults(func=_cmd_plan)
+
+    exp = sub.add_parser(
+        "exp", help="batched experiment grids (parallel, cached)"
+    )
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="run a (tracker x attack) grid through the pool"
+    )
+    exp_run.add_argument("--preset", choices=["shootout", "postponement"])
+    exp_run.add_argument("--trackers",
+                         help="comma-separated tracker names "
+                              f"(known: {','.join(available_trackers())})")
+    exp_run.add_argument("--attacks",
+                         help="comma-separated attack names "
+                              f"(known: {','.join(available_attacks())})")
+    exp_run.add_argument("--trh", type=float, default=4800.0)
+    exp_run.add_argument("--intervals", type=int, default=2000)
+    exp_run.add_argument("--max-act", type=int, default=73)
+    exp_run.add_argument("--seed", type=int, default=0,
+                         help="base seed; every task seed derives from it")
+    exp_run.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: usable CPUs)")
+    exp_run.add_argument("--store",
+                         help="JSON result store for incremental re-runs")
+    exp_run.add_argument("--dmq", action="store_true")
+    exp_run.add_argument("--allow-postponement", action="store_true")
+    exp_run.set_defaults(func=_cmd_exp_run)
+
+    exp_status = exp_sub.add_parser(
+        "status", help="inspect a result store"
+    )
+    exp_status.add_argument("--store", required=True)
+    exp_status.set_defaults(func=_cmd_exp_status)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout; exit quietly instead of
+        # tracebacking. Point stdout at devnull so interpreter teardown
+        # does not re-raise while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

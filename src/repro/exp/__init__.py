@@ -1,0 +1,37 @@
+"""Batched, cached, parallel experiment sweeps (``repro.exp``).
+
+The subsystem behind ``python -m repro exp``: declare a grid of
+(tracker × attack × config) points, fan it out over a process pool
+with deterministic per-task seeding, and collect the outcomes into a
+fingerprint-keyed store so re-runs are incremental.
+"""
+
+from .grid import (
+    SCHEMA_VERSION,
+    AttackSpec,
+    ExperimentGrid,
+    ExperimentPoint,
+    PointConfig,
+    TrackerSpec,
+)
+from .presets import postponement_grid, preset_grid, shootout_grid
+from .result import ExperimentResult
+from .runner import RunReport, run_grid, run_point
+from .store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AttackSpec",
+    "ExperimentGrid",
+    "ExperimentPoint",
+    "ExperimentResult",
+    "PointConfig",
+    "ResultStore",
+    "RunReport",
+    "TrackerSpec",
+    "postponement_grid",
+    "preset_grid",
+    "run_grid",
+    "run_point",
+    "shootout_grid",
+]

@@ -1,0 +1,207 @@
+"""Declarative experiment grids: (tracker × attack × config) as data.
+
+A grid point names a tracker, an attack pattern, and the engine knobs —
+all plain JSON-serialisable values, never live objects — so points can
+be fingerprinted for the incremental result store, shipped to worker
+processes, and re-derived bit-identically from a base seed. The specs
+resolve through the two factory registries
+(:func:`repro.trackers.registry.make_tracker`,
+:func:`repro.attacks.registry.make_attack`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Iterator, Mapping
+
+from ..sim.seeding import stable_hash, stable_seed
+
+#: Bump when the result schema or the seeding scheme changes, so stale
+#: store entries are invalidated instead of silently reused.
+SCHEMA_VERSION = 1
+
+
+def _frozen_params(params: Mapping[str, Any] | None) -> tuple:
+    """Normalise a kwargs mapping into a hashable, ordered tuple."""
+    if not params:
+        return ()
+    return tuple(
+        (key, tuple(value) if isinstance(value, list) else value)
+        for key, value in sorted(params.items())
+    )
+
+
+@dataclass(frozen=True)
+class TrackerSpec:
+    """A tracker by registry name plus factory kwargs."""
+
+    name: str
+    params: tuple = ()
+    dmq: bool = False
+    dmq_depth: int = 4
+
+    @classmethod
+    def of(cls, name: str, dmq: bool = False, dmq_depth: int = 4,
+           **params: Any) -> "TrackerSpec":
+        return cls(name, _frozen_params(params), dmq, dmq_depth)
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity, unique within a well-formed grid."""
+        base = self.name
+        if self.params:
+            args = ",".join(f"{key}={value}" for key, value in self.params)
+            base = f"{base}({args})"
+        if self.dmq:
+            base = f"{base}+dmq{self.dmq_depth}"
+        return base
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "dmq": self.dmq,
+            "dmq_depth": self.dmq_depth,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TrackerSpec":
+        return cls(
+            payload["name"],
+            _frozen_params(payload.get("params")),
+            payload.get("dmq", False),
+            payload.get("dmq_depth", 4),
+        )
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """An attack pattern by registry name plus factory kwargs."""
+
+    name: str
+    params: tuple = ()
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "AttackSpec":
+        return cls(name, _frozen_params(params))
+
+    def to_payload(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "AttackSpec":
+        return cls(payload["name"], _frozen_params(payload.get("params")))
+
+
+@dataclass(frozen=True)
+class PointConfig:
+    """Engine and trace knobs for one grid point (JSON-safe).
+
+    ``scaled_timing=True`` swaps the real DDR5 timing for the scaled
+    Monte-Carlo device whose window holds ``max_act`` ACTs per tREFI —
+    the fast regime used by tests and the speedup benchmark.
+    """
+
+    trh: float = 4800.0
+    intervals: int = 2000
+    max_act: int = 73
+    base_row: int = 1000
+    num_rows: int = 128 * 1024
+    blast_radius: int = 1
+    allow_postponement: bool = False
+    max_postponed: int = 4
+    refi_per_refw: int = 8192
+    scaled_timing: bool = False
+
+    def to_payload(self) -> dict:
+        return {
+            "trh": self.trh,
+            "intervals": self.intervals,
+            "max_act": self.max_act,
+            "base_row": self.base_row,
+            "num_rows": self.num_rows,
+            "blast_radius": self.blast_radius,
+            "allow_postponement": self.allow_postponement,
+            "max_postponed": self.max_postponed,
+            "refi_per_refw": self.refi_per_refw,
+            "scaled_timing": self.scaled_timing,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "PointConfig":
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One (tracker, attack, config) coordinate of a grid."""
+
+    tracker: TrackerSpec
+    attack: AttackSpec
+    config: PointConfig
+
+    def to_payload(self) -> dict:
+        return {
+            "tracker": self.tracker.to_payload(),
+            "attack": self.attack.to_payload(),
+            "config": self.config.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ExperimentPoint":
+        return cls(
+            TrackerSpec.from_payload(payload["tracker"]),
+            AttackSpec.from_payload(payload["attack"]),
+            PointConfig.from_payload(payload["config"]),
+        )
+
+    def fingerprint(self, base_seed: int) -> str:
+        """Stable identity of this point's *result*.
+
+        Any change to the tracker, attack, engine knobs, base seed, or
+        schema version yields a new fingerprint — which is exactly the
+        cache-invalidation rule of the result store.
+        """
+        return stable_hash(
+            "exp-point", SCHEMA_VERSION, self.to_payload(), base_seed
+        )
+
+    def task_seed(self, base_seed: int) -> int:
+        """The 64-bit seed this point's random streams derive from."""
+        return stable_seed(
+            "exp-task", SCHEMA_VERSION, self.to_payload(), base_seed
+        )
+
+
+@dataclass
+class ExperimentGrid:
+    """The cross product of tracker, attack, and config axes.
+
+    ``extra_points`` holds coordinates outside the cross product, for
+    sweeps that pair specific trackers with specific attacks instead of
+    crossing every axis (they run first, in list order).
+    """
+
+    trackers: list[TrackerSpec] = field(default_factory=list)
+    attacks: list[AttackSpec] = field(default_factory=list)
+    configs: list[PointConfig] = field(default_factory=lambda: [PointConfig()])
+    extra_points: list[ExperimentPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return (
+            len(self.extra_points)
+            + len(self.trackers) * len(self.attacks) * len(self.configs)
+        )
+
+    def points(self) -> list[ExperimentPoint]:
+        """Expand the grid in a deterministic (row-major) order."""
+        return list(self.extra_points) + [
+            ExperimentPoint(tracker, attack, config)
+            for tracker, attack, config in product(
+                self.trackers, self.attacks, self.configs
+            )
+        ]
+
+    def __iter__(self) -> Iterator[ExperimentPoint]:
+        return iter(self.points())

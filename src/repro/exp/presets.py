@@ -1,0 +1,144 @@
+"""Canonical grids for the paper's headline sweeps.
+
+These are the declarative versions of the hand-rolled loops the
+examples used to carry: the tracker-shootout matrix (Sections II-F and
+V-G) and the refresh-postponement study (Section VI). Examples and the
+CLI both resolve presets from here so the sweep definitions live in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from .grid import (
+    AttackSpec,
+    ExperimentGrid,
+    ExperimentPoint,
+    PointConfig,
+    TrackerSpec,
+)
+
+#: The trackers of the shootout table, in presentation order.
+SHOOTOUT_TRACKERS = (
+    "trr", "pride", "para", "parfm", "mithril", "prct", "prac", "mint",
+)
+
+#: The attack families of the shootout table, in presentation order.
+SHOOTOUT_ATTACKS = (
+    ("single-sided", {}),
+    ("double-sided", {}),
+    ("many-sided", {"sides": 12}),
+    ("blacksmith", {"count": 16, "seed": 7}),
+    ("half-double", {}),
+)
+
+#: The single decoy-attack target row of the postponement study.
+POSTPONEMENT_TARGET = 60_000
+
+
+def shootout_grid(
+    trh: float = 1500.0,
+    intervals: int = 1500,
+    max_act: int = 73,
+) -> ExperimentGrid:
+    """Every shootout tracker × every classic attack family."""
+    return ExperimentGrid(
+        trackers=[TrackerSpec.of(name) for name in SHOOTOUT_TRACKERS],
+        attacks=[
+            AttackSpec.of(name, **params) for name, params in SHOOTOUT_ATTACKS
+        ],
+        configs=[
+            PointConfig(trh=trh, intervals=intervals, max_act=max_act)
+        ],
+    )
+
+
+def postponement_grid(
+    intervals: int = 2000,
+    max_act: int = 73,
+    depths: tuple[int, ...] = (1, 2, 3, 4, 6, 8),
+) -> ExperimentGrid:
+    """MINT with and without the DMQ against the decoy attacks.
+
+    Exposure is measured rather than stopped at a flip (``trh=1e9``),
+    matching the paper's unmitigated-ACT accounting for Table IV. The
+    grid is *not* a full cross product: the headline pair (MINT ± DMQ)
+    faces the single-target decoy, while only the depth sweep faces the
+    multi-target variant — the exact point set the study consumes.
+    """
+    config = PointConfig(
+        trh=1e9,
+        intervals=intervals,
+        max_act=max_act,
+        allow_postponement=True,
+    )
+    decoy = AttackSpec.of("decoy", target=POSTPONEMENT_TARGET)
+    targets = [POSTPONEMENT_TARGET + 10 * i for i in range(4)]
+    headline = [
+        ExperimentPoint(TrackerSpec.of("mint"), decoy, config),
+        ExperimentPoint(
+            TrackerSpec.of("mint", dmq=True, dmq_depth=4), decoy, config
+        ),
+    ]
+    return ExperimentGrid(
+        trackers=[
+            TrackerSpec.of("mint", dmq=True, dmq_depth=depth,
+                           transitive=False)
+            for depth in depths
+        ],
+        attacks=[AttackSpec.of("decoy-multi", targets=targets)],
+        configs=[config],
+        extra_points=headline,
+    )
+
+
+def scaled_benchmark_grid(
+    points: int = 4,
+    windows: int = 3,
+    max_act: int = 73,
+    intervals_per_window: int = 8192,
+) -> ExperimentGrid:
+    """A synthetic ``points``-point grid sized for wall-clock benchmarks.
+
+    ``points`` must be even and at most 8 (2 trackers × up to 4 attack
+    families). Uses the scaled Monte-Carlo timing so each point is
+    CPU-heavy but device-small; ``windows`` scales per-point cost
+    linearly.
+    """
+    if points < 2 or points > 8 or points % 2:
+        raise ValueError("points must be an even number in [2, 8]")
+    attack_pool = [
+        AttackSpec.of("pattern2"),
+        AttackSpec.of("many-sided", sides=12),
+        AttackSpec.of("one-location"),
+        AttackSpec.of("double-sided"),
+    ]
+    return ExperimentGrid(
+        trackers=[TrackerSpec.of("mint"), TrackerSpec.of("para")],
+        attacks=attack_pool[: points // 2],
+        configs=[
+            PointConfig(
+                trh=1e9,
+                intervals=windows * intervals_per_window,
+                max_act=max_act,
+                num_rows=4096,
+                refi_per_refw=intervals_per_window,
+                scaled_timing=True,
+            )
+        ],
+    )
+
+
+PRESETS = {
+    "shootout": shootout_grid,
+    "postponement": postponement_grid,
+}
+
+
+def preset_grid(name: str) -> ExperimentGrid:
+    """Resolve a named preset to a grid (raises ``KeyError`` if unknown)."""
+    try:
+        return PRESETS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,88 @@
+"""JSON-serialisable records produced by the experiment runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one grid point, flattened for storage and transport.
+
+    Everything is a plain JSON value: the record crosses process
+    boundaries (worker → pool parent) and lands verbatim in the result
+    store, and the determinism guarantee is stated over its canonical
+    JSON form. ``metrics`` carries the engine's :class:`SimResult`
+    summary; ``tracker_stats`` captures tracker-side counters (storage
+    bits, DMQ overflow drops) that the engine result does not expose.
+    """
+
+    key: str
+    tracker: str
+    attack: str
+    trace: str
+    seed: int
+    point: dict
+    metrics: dict
+    tracker_stats: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.metrics.get("failed"))
+
+    def max_unmitigated(self, row: int) -> float:
+        """Peak unmitigated-run length observed on ``row`` (0 if unseen)."""
+        return self.metrics.get("max_unmitigated", {}).get(str(row), 0)
+
+    def to_payload(self) -> dict:
+        return {
+            "key": self.key,
+            "tracker": self.tracker,
+            "attack": self.attack,
+            "trace": self.trace,
+            "seed": self.seed,
+            "point": self.point,
+            "metrics": self.metrics,
+            "tracker_stats": self.tracker_stats,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            key=payload["key"],
+            tracker=payload["tracker"],
+            attack=payload["attack"],
+            trace=payload["trace"],
+            seed=payload["seed"],
+            point=dict(payload["point"]),
+            metrics=dict(payload["metrics"]),
+            tracker_stats=dict(payload.get("tracker_stats", {})),
+        )
+
+
+def summarise_sim_result(result: SimResult) -> dict:
+    """Flatten a :class:`SimResult` into JSON-safe metrics."""
+    return {
+        "trace": result.trace,
+        "intervals": result.intervals,
+        "demand_acts": result.demand_acts,
+        "refreshes": result.refreshes,
+        "mitigations": result.mitigations,
+        "transitive_mitigations": result.transitive_mitigations,
+        "pseudo_mitigations": result.pseudo_mitigations,
+        "failed": result.failed,
+        "flips": [
+            {"row": flip.row, "disturbance": flip.disturbance,
+             "time_ns": flip.time_ns}
+            for flip in result.flips
+        ],
+        "max_disturbance": result.max_disturbance,
+        "most_disturbed_row": result.most_disturbed_row,
+        "max_unmitigated": {
+            str(row): value
+            for row, value in sorted(result.max_unmitigated.items())
+        },
+    }

@@ -1,0 +1,100 @@
+"""Fingerprint-keyed JSON store for experiment results.
+
+The store makes grid re-runs incremental: a point whose fingerprint is
+already present is served from cache, so growing a sweep (more
+trackers, more attacks) only executes the new coordinates, and editing
+any knob of an existing coordinate re-runs just that one. The on-disk
+format is a single human-readable JSON document, stable under
+``sort_keys`` so diffs are meaningful and determinism tests can compare
+files byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .result import ExperimentResult
+
+STORE_FORMAT = 1
+
+
+class ResultStore:
+    """A dict of fingerprint → :class:`ExperimentResult`, file-backed.
+
+    ``path=None`` gives a purely in-memory store (used when the caller
+    did not ask for persistence). Writes are atomic (tempfile + rename)
+    so a crashed run never corrupts previous results; an unreadable or
+    foreign-format file is treated as empty rather than fatal.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._results: dict[str, ExperimentResult] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(document, dict):
+            return
+        if document.get("format") != STORE_FORMAT:
+            return
+        for key, payload in document.get("results", {}).items():
+            try:
+                self._results[key] = ExperimentResult.from_payload(payload)
+            except (KeyError, TypeError):
+                continue
+
+    def flush(self) -> None:
+        """Persist to disk atomically (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        document = {
+            "format": STORE_FORMAT,
+            "results": {
+                key: result.to_payload()
+                for key, result in sorted(self._results.items())
+            },
+        }
+        text = json.dumps(document, sort_keys=True, indent=1)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def get(self, key: str) -> ExperimentResult | None:
+        return self._results.get(key)
+
+    def put(self, result: ExperimentResult) -> None:
+        self._results[result.key] = result
+
+    def results(self) -> list[ExperimentResult]:
+        """All cached results, ordered by fingerprint."""
+        return [self._results[key] for key in sorted(self._results)]
+
+    def clear(self) -> None:
+        self._results.clear()

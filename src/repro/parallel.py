@@ -1,0 +1,83 @@
+"""Process-pool fan-out shared by the experiment and Monte-Carlo runners.
+
+Two constraints shape this helper:
+
+* Task *functions* are often closures (tracker/trace factories captured
+  in a lambda), which ``pickle`` rejects. On platforms with ``fork``
+  the children inherit the function through process memory instead, so
+  only the per-task *arguments* and results cross the pipe.
+* Fan-out must be an implementation detail: callers pass ``n_workers``
+  and get back results in task order, identical to a serial map.
+
+When ``fork`` is unavailable, or the pool cannot be built, the map
+degrades to serial execution — correctness never depends on
+parallelism being possible.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Function handed to workers through fork-inherited memory. Only valid
+#: between pool creation and teardown in :func:`fork_map`; the lock
+#: serialises concurrent fork_map calls so two threads cannot
+#: cross-wire each other's task functions into a shared global.
+_TASK_FN: Callable | None = None
+_TASK_LOCK = threading.Lock()
+
+
+def _call_task(arg):
+    return _TASK_FN(arg)
+
+
+def fork_available() -> bool:
+    """True when ``fork``-based pools can be used on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Usable CPUs for this process (respects cgroup/affinity limits)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def fork_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_workers: int = 1,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items`` across ``n_workers`` forked processes.
+
+    ``fn`` may be any callable — including closures — because workers
+    inherit it via fork rather than pickling it. ``items`` and the
+    results must still be picklable. Results come back in input order,
+    bit-identical to ``[fn(x) for x in items]`` provided ``fn`` is a
+    pure function of its argument (use :mod:`repro.sim.seeding` to
+    derive per-task randomness).
+
+    Runs serially when ``n_workers <= 1``, when there is at most one
+    item, or when fork is unavailable.
+    """
+    work: Sequence[T] = list(items)
+    if n_workers <= 1 or len(work) <= 1 or not fork_available():
+        return [fn(item) for item in work]
+    if chunksize is None:
+        chunksize = max(1, len(work) // (4 * n_workers))
+    global _TASK_FN
+    with _TASK_LOCK:
+        _TASK_FN = fn
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(n_workers, len(work))) as pool:
+                return pool.map(_call_task, work, chunksize=chunksize)
+        finally:
+            _TASK_FN = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dram.timing import DDR5Timing, DEFAULT_TIMING
+from ..parallel import fork_map
 from .memctrl import MemorySystemSim, MitigationPolicy, PerfResult
 from .workloads import RATE_WORKLOADS, Workload, mixed_workloads, rate_mix
 
@@ -78,43 +79,50 @@ def figure16(
     sim_time_ns: float = 2_000_000.0,
     include_mixes: bool = True,
     seed: int = 99,
+    n_workers: int = 1,
 ) -> list[NormalizedPerf]:
-    """The Fig 16 bars: every rate workload (and mixes) x every scheme."""
-    results = []
-    for workload in RATE_WORKLOADS:
-        results.append(
-            evaluate_workload(
-                workload.name, rate_mix(workload), sim_time_ns, seed
-            )
-        )
+    """The Fig 16 bars: every rate workload (and mixes) x every scheme.
+
+    Workloads are independent, so they fan out over ``n_workers``
+    processes; each workload's seed is fixed by the caller, so results
+    are identical to the serial sweep.
+    """
+    jobs: list[tuple[str, list[Workload]]] = [
+        (workload.name, rate_mix(workload)) for workload in RATE_WORKLOADS
+    ]
     if include_mixes:
-        for index, mix in enumerate(mixed_workloads()):
-            name = f"mix{index + 1}"
-            results.append(
-                evaluate_workload(name, mix, sim_time_ns, seed)
-            )
-    return results
+        jobs.extend(
+            (f"mix{index + 1}", mix)
+            for index, mix in enumerate(mixed_workloads())
+        )
+    return fork_map(
+        lambda job: evaluate_workload(job[0], job[1], sim_time_ns, seed),
+        jobs,
+        n_workers=n_workers,
+        chunksize=1,
+    )
 
 
 def figure17(
     sim_time_ns: float = 2_000_000.0,
     seed: int = 99,
     mc_para_probability: float = 1.0 / 74.0,
+    n_workers: int = 1,
 ) -> list[NormalizedPerf]:
     """The Fig 17 comparison: MINT vs MC-PARA at similar MinTRH."""
-    results = []
-    for workload in RATE_WORKLOADS:
-        results.append(
-            evaluate_workload(
-                workload.name,
-                rate_mix(workload),
-                sim_time_ns,
-                seed,
-                include_mc_para=True,
-                mc_para_probability=mc_para_probability,
-            )
-        )
-    return results
+    return fork_map(
+        lambda workload: evaluate_workload(
+            workload.name,
+            rate_mix(workload),
+            sim_time_ns,
+            seed,
+            include_mc_para=True,
+            mc_para_probability=mc_para_probability,
+        ),
+        RATE_WORKLOADS,
+        n_workers=n_workers,
+        chunksize=1,
+    )
 
 
 def geometric_mean(values: list[float]) -> float:

@@ -8,6 +8,7 @@ from .montecarlo import (
     scaled_timing,
 )
 from .results import SimResult
+from .seeding import canonical_json, derive_rng, stable_hash, stable_seed
 from .trace import Interval, Trace, repeat_interval
 
 __all__ = [
@@ -19,10 +20,14 @@ __all__ = [
     "RankSimulator",
     "SimResult",
     "Trace",
+    "canonical_json",
+    "derive_rng",
     "estimate_failure_probability",
     "repeat_interval",
     "run_attack",
     "scaled_timing",
+    "stable_hash",
+    "stable_seed",
     "system_mttf_years",
     "with_dmq",
 ]

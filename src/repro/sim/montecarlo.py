@@ -16,8 +16,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..dram.timing import DDR5Timing
+from ..parallel import fork_map
 from ..trackers.base import Tracker
 from .engine import BankSimulator, EngineConfig
+from .seeding import stable_seed
 from .trace import Trace
 
 
@@ -65,32 +67,37 @@ def estimate_failure_probability(
     num_rows: int = 1024,
     seed: int = 7,
     allow_postponement: bool = False,
+    n_workers: int = 1,
 ) -> MonteCarloResult:
     """Run ``windows`` independent tREFW windows; count flip events.
 
     Each window gets a fresh tracker, fresh device state, and a fresh
-    trace (patterns with randomised placement can vary per window).
+    trace (patterns with randomised placement can vary per window). The
+    window's RNG is seeded by a stable hash of ``(seed, index)``, not by
+    a sequential draw, so the estimate is a pure function of the inputs:
+    fanning the windows out over ``n_workers`` processes (fork-based;
+    falls back to serial where unavailable) returns bit-identical
+    counts regardless of worker count or scheduling.
     """
-    rng = random.Random(seed)
     timing = scaled_timing(max_act, refi_per_refw)
-    failures = 0
-    mitigations = 0
-    for index in range(windows):
-        window_rng = random.Random(rng.getrandbits(64))
+    config = EngineConfig(
+        timing=timing,
+        trh=trh,
+        num_rows=num_rows,
+        allow_postponement=allow_postponement,
+        refi_per_refw=refi_per_refw,
+    )
+
+    def run_window(index: int) -> tuple[bool, int]:
+        window_rng = random.Random(stable_seed(seed, "mc-window", index))
         tracker = tracker_factory(window_rng)
         trace = trace_factory(window_rng)
-        config = EngineConfig(
-            timing=timing,
-            trh=trh,
-            num_rows=num_rows,
-            allow_postponement=allow_postponement,
-            refi_per_refw=refi_per_refw,
-        )
-        simulator = BankSimulator(tracker, config)
-        result = simulator.run(trace)
-        mitigations += result.mitigations
-        if result.failed:
-            failures += 1
+        result = BankSimulator(tracker, config).run(trace)
+        return result.failed, result.mitigations
+
+    outcomes = fork_map(run_window, range(windows), n_workers=n_workers)
+    failures = sum(1 for failed, _ in outcomes if failed)
+    mitigations = sum(count for _, count in outcomes)
     return MonteCarloResult(
         windows=windows, failures=failures, total_mitigations=mitigations
     )

@@ -33,12 +33,17 @@ def make_tracker(
     rng: random.Random | None = None,
     dmq: bool = False,
     max_act: int = 73,
+    seed: int | None = None,
+    dmq_depth: int = 4,
     **kwargs,
 ) -> Tracker:
     """Build a tracker by name.
 
-    ``dmq=True`` wraps the tracker in a 4-entry Delayed Mitigation
-    Queue sized for ``max_act``.
+    ``dmq=True`` wraps the tracker in a ``dmq_depth``-entry Delayed
+    Mitigation Queue sized for ``max_act``. ``seed`` is a convenience
+    for fan-out workers that ship plain integers instead of RNG
+    objects: when ``rng`` is not given, the tracker gets
+    ``random.Random(seed)``.
     """
     try:
         factory = _FACTORIES[name.lower()]
@@ -46,13 +51,17 @@ def make_tracker(
         raise KeyError(
             f"unknown tracker {name!r}; known: {sorted(_FACTORIES)}"
         ) from None
+    if rng is None and seed is not None:
+        rng = random.Random(seed)
     tracker = factory(rng=rng, max_act=max_act, **kwargs)
     if dmq:
         # Imported lazily: repro.core depends on repro.trackers.base, so
         # a module-level import here would be circular.
         from ..core.dmq import DelayedMitigationQueue
 
-        tracker = DelayedMitigationQueue(tracker, max_act=max_act)
+        tracker = DelayedMitigationQueue(
+            tracker, max_act=max_act, depth=dmq_depth
+        )
     return tracker
 
 

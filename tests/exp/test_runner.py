@@ -1,0 +1,170 @@
+"""Determinism, caching, and fan-out behaviour of the grid runner."""
+
+import json
+
+from repro.exp import (
+    AttackSpec,
+    ExperimentGrid,
+    PointConfig,
+    ResultStore,
+    TrackerSpec,
+    run_grid,
+    run_point,
+)
+
+BASE_SEED = 42
+
+
+def fast_grid(trh=60.0):
+    """A 4-point grid in the scaled regime: ~milliseconds per point."""
+    return ExperimentGrid(
+        trackers=[TrackerSpec.of("mint"), TrackerSpec.of("para")],
+        attacks=[
+            AttackSpec.of("single-sided"),
+            AttackSpec.of("blacksmith", count=4),
+        ],
+        configs=[
+            PointConfig(
+                trh=trh,
+                intervals=64,
+                max_act=8,
+                num_rows=1024,
+                refi_per_refw=64,
+                scaled_timing=True,
+            )
+        ],
+    )
+
+
+def canonical(report) -> str:
+    return json.dumps(
+        [result.to_payload() for result in report.results], sort_keys=True
+    )
+
+
+class TestDeterminism:
+    def test_one_vs_four_workers_bit_identical(self):
+        """The headline guarantee: worker count never changes results."""
+        serial = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=1)
+        pooled = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=4)
+        assert serial.total == pooled.total == 4
+        assert canonical(serial) == canonical(pooled)
+
+    def test_repeat_run_identical(self):
+        first = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=2)
+        second = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=2)
+        assert canonical(first) == canonical(second)
+
+    def test_base_seed_changes_randomised_outcomes(self):
+        a = run_grid(fast_grid(), base_seed=1, n_workers=1)
+        b = run_grid(fast_grid(), base_seed=2, n_workers=1)
+        assert canonical(a) != canonical(b)
+
+    def test_run_point_matches_grid(self):
+        grid = fast_grid()
+        report = run_grid(grid, base_seed=BASE_SEED, n_workers=1)
+        inline = run_point(grid.points()[0], base_seed=BASE_SEED)
+        assert inline.to_payload() == report.results[0].to_payload()
+
+    def test_results_in_grid_order(self):
+        report = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=4)
+        assert [(r.tracker, r.attack) for r in report.results] == [
+            ("mint", "single-sided"),
+            ("mint", "blacksmith"),
+            ("para", "single-sided"),
+            ("para", "blacksmith"),
+        ]
+
+
+class TestCaching:
+    def test_second_run_all_cached(self, tmp_path):
+        path = tmp_path / "store.json"
+        first = run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        assert (first.executed, first.cached) == (4, 0)
+        second = run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        assert (second.executed, second.cached) == (0, 4)
+        assert canonical(first) == canonical(second)
+
+    def test_config_change_invalidates(self, tmp_path):
+        path = tmp_path / "store.json"
+        run_grid(
+            fast_grid(trh=60.0), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        changed = run_grid(
+            fast_grid(trh=50.0), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        assert (changed.executed, changed.cached) == (4, 0)
+
+    def test_base_seed_invalidates(self, tmp_path):
+        path = tmp_path / "store.json"
+        run_grid(
+            fast_grid(), base_seed=1, n_workers=1, store=ResultStore(path)
+        )
+        reseeded = run_grid(
+            fast_grid(), base_seed=2, n_workers=1, store=ResultStore(path)
+        )
+        assert (reseeded.executed, reseeded.cached) == (4, 0)
+
+    def test_grid_growth_is_incremental(self, tmp_path):
+        path = tmp_path / "store.json"
+        run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        grown = fast_grid()
+        grown.trackers.append(TrackerSpec.of("mithril"))
+        report = run_grid(
+            grown, base_seed=BASE_SEED, n_workers=1, store=ResultStore(path)
+        )
+        assert (report.executed, report.cached) == (2, 4)
+
+    def test_cached_results_skip_execution_not_reporting(self, tmp_path):
+        path = tmp_path / "store.json"
+        run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        report = run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        assert report.total == 4
+        assert all(result is not None for result in report.results)
+
+
+class TestResultContents:
+    def test_metrics_and_stats_populated(self):
+        report = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=1)
+        for result in report.results:
+            assert result.metrics["demand_acts"] > 0
+            assert result.metrics["refreshes"] > 0
+            assert "storage_bits" in result.tracker_stats
+            assert result.key
+            assert result.seed
+
+    def test_unprotected_grid_detects_flips(self):
+        grid = ExperimentGrid(
+            trackers=[TrackerSpec.of("none")],
+            attacks=[AttackSpec.of("single-sided")],
+            configs=[
+                PointConfig(
+                    trh=30,
+                    intervals=64,
+                    max_act=8,
+                    num_rows=1024,
+                    refi_per_refw=64,
+                    scaled_timing=True,
+                )
+            ],
+        )
+        report = run_grid(grid, base_seed=BASE_SEED, n_workers=1)
+        assert report.results[0].failed
+        assert report.results[0].metrics["flips"]

@@ -1,0 +1,87 @@
+"""Result-store persistence, atomicity, and corruption handling."""
+
+import json
+
+from repro.exp import ExperimentResult, ResultStore
+
+
+def sample_result(key="abc123", tracker="mint"):
+    return ExperimentResult(
+        key=key,
+        tracker=tracker,
+        attack="single-sided",
+        trace="single-sided(row=1000)",
+        seed=7,
+        point={"tracker": {"name": tracker}},
+        metrics={"failed": False, "demand_acts": 10,
+                 "max_unmitigated": {"1000": 5}},
+        tracker_stats={"storage_bits": 32},
+    )
+
+
+class TestRoundTrip:
+    def test_persist_and_reload(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ResultStore(path)
+        store.put(sample_result())
+        store.flush()
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert "abc123" in reloaded
+        assert reloaded.get("abc123") == sample_result()
+
+    def test_in_memory_store_never_touches_disk(self, tmp_path):
+        store = ResultStore()
+        store.put(sample_result())
+        store.flush()
+        assert len(store) == 1
+        assert list(tmp_path.iterdir()) == []
+
+    def test_results_ordered_by_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store.json")
+        store.put(sample_result(key="bbb"))
+        store.put(sample_result(key="aaa"))
+        assert [r.key for r in store.results()] == ["aaa", "bbb"]
+
+    def test_flush_output_is_stable(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ResultStore(path)
+        store.put(sample_result())
+        store.flush()
+        first = path.read_text()
+        ResultStore(path).flush()
+        assert path.read_text() == first
+
+
+class TestAccessors:
+    def test_max_unmitigated_helper(self):
+        result = sample_result()
+        assert result.max_unmitigated(1000) == 5
+        assert result.max_unmitigated(9999) == 0
+
+    def test_overwrite_same_key(self):
+        store = ResultStore()
+        store.put(sample_result(tracker="mint"))
+        store.put(sample_result(tracker="para"))
+        assert len(store) == 1
+        assert store.get("abc123").tracker == "para"
+
+
+class TestCorruption:
+    def test_garbage_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("{not json")
+        assert len(ResultStore(path)) == 0
+
+    def test_foreign_format_ignored(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps({"format": 999, "results": {}}))
+        assert len(ResultStore(path)) == 0
+
+    def test_flush_recovers_corrupt_store(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("{not json")
+        store = ResultStore(path)
+        store.put(sample_result())
+        store.flush()
+        assert len(ResultStore(path)) == 1

@@ -1,0 +1,33 @@
+"""Standardized Hypothesis settings profiles for the property tests.
+
+Import these instead of sprinkling inline ``@settings(max_examples=...)``
+decorators, so test intensity is tiered in one place:
+
+    from tests.property.settings import STANDARD_SETTINGS
+
+    @given(...)
+    @STANDARD_SETTINGS
+    def test_something(...):
+        ...
+
+Tiers:
+
+- ``DETERMINISM_SETTINGS``: 500 examples — seeding/fingerprint tests
+  (the reproducibility guarantees the experiment runner rests on)
+- ``STATE_MACHINE_SETTINGS``: 200 examples — stateful/multi-step tests
+- ``STANDARD_SETTINGS``: 100 examples — regular property tests
+- ``SLOW_SETTINGS``: 50 examples — tests that run a simulation inside
+- ``QUICK_SETTINGS``: 20 examples — simple validation/rejection tests
+
+All tiers disable the per-example deadline: the suite runs inside
+containers and CI runners whose scheduling jitter would otherwise flake
+time-based failures.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=500, deadline=None)
+STATE_MACHINE_SETTINGS = settings(max_examples=200, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=100, deadline=None)
+SLOW_SETTINGS = settings(max_examples=50, deadline=None)
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)

@@ -1,9 +1,21 @@
-"""Hypothesis property-based tests on the core invariants."""
+"""Hypothesis property-based tests on the core invariants.
+
+Test intensity comes from the tiered profiles in
+``tests/property/settings.py`` (QUICK/STANDARD/SLOW/DETERMINISM);
+don't add inline ``@settings`` decorators here.
+"""
 
 import math
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.settings import (
+    DETERMINISM_SETTINGS,
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+)
 
 from repro.analysis.adaptive import count_distribution
 from repro.analysis.saroiu_wolman import (
@@ -25,7 +37,7 @@ class TestSaroiuWolmanProperties:
         p=st.floats(0.01, 0.99),
         trh=st.integers(1, 60),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_probabilities_are_probabilities(self, n, p, trh):
         probs = failure_probability_sequence(n, p, trh)
         assert ((probs >= 0.0) & (probs <= 1.0)).all()
@@ -35,7 +47,7 @@ class TestSaroiuWolmanProperties:
         p=st.floats(0.01, 0.9),
         trh=st.integers(1, 40),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_monotone_in_activations(self, n, p, trh):
         """More activation opportunities can only raise failure odds."""
         probs = failure_probability_sequence(n, p, trh)
@@ -46,7 +58,7 @@ class TestSaroiuWolmanProperties:
         p=st.floats(0.01, 0.9),
         trh=st.integers(1, 30),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_approx_upper_bounds_exact(self, n, p, trh):
         exact = failure_probability(n, p, trh)
         approx = approx_failure_probability(n, p, trh)
@@ -56,7 +68,7 @@ class TestSaroiuWolmanProperties:
         n=st.integers(10, 200),
         p=st.floats(0.01, 0.9),
     )
-    @settings(max_examples=40, deadline=None)
+    @SLOW_SETTINGS
     def test_monotone_decreasing_in_trh(self, n, p):
         # Tolerance covers float accumulation when P saturates near 1.
         values = [failure_probability(n, p, t) for t in (2, 5, 10)]
@@ -66,13 +78,13 @@ class TestSaroiuWolmanProperties:
 
 class TestMarkovProperties:
     @given(mp=st.integers(1, 500), denom=st.integers(2, 200))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_distribution_normalised(self, mp, denom):
         dist = count_distribution(mp, 1.0 / denom)
         assert math.isclose(dist.sum(), 1.0, rel_tol=1e-9)
 
     @given(mp=st.integers(2, 300), denom=st.integers(2, 100))
-    @settings(max_examples=40, deadline=None)
+    @SLOW_SETTINGS
     def test_tail_identity(self, mp, denom):
         p = 1.0 / denom
         dist = count_distribution(mp, p)
@@ -86,7 +98,7 @@ class TestMintInvariants:
         max_act=st.integers(1, 73),
         intervals=st.integers(1, 30),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_at_most_one_mitigation_per_refresh(self, seed, max_act, intervals):
         tracker = MintTracker(max_act=max_act, rng=random.Random(seed))
         for _ in range(intervals):
@@ -95,7 +107,7 @@ class TestMintInvariants:
             assert len(tracker.on_refresh()) <= 1
 
     @given(seed=st.integers(0, 10_000), max_act=st.integers(1, 73))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_full_window_always_selects_without_transitive(self, seed, max_act):
         """Guaranteed selection: the no-non-selection property (§V-A)."""
         tracker = MintTracker(
@@ -109,7 +121,7 @@ class TestMintInvariants:
         assert requests[0].row == 7
 
     @given(seed=st.integers(0, 10_000), max_act=st.integers(1, 73))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_selected_row_was_activated(self, seed, max_act):
         tracker = MintTracker(max_act=max_act, rng=random.Random(seed))
         rows = list(range(100, 100 + max_act))
@@ -127,7 +139,7 @@ class TestDmqInvariants:
         depth=st.integers(1, 8),
         acts=st.integers(0, 400),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_queue_never_exceeds_depth(self, seed, max_act, depth, acts):
         inner = MintTracker(max_act=max_act, rng=random.Random(seed))
         dmq = DelayedMitigationQueue(inner, max_act=max_act, depth=depth)
@@ -140,7 +152,7 @@ class TestDmqInvariants:
 
 class TestSchedulerInvariants:
     @given(pattern=st.lists(st.booleans(), min_size=1, max_size=200))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_refreshes_conserved(self, pattern):
         scheduler = RefreshScheduler()
         for want in pattern:
@@ -149,7 +161,7 @@ class TestSchedulerInvariants:
         assert scheduler.total_refreshes == len(pattern)
 
     @given(pattern=st.lists(st.booleans(), min_size=1, max_size=200))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_debt_never_exceeds_ceiling(self, pattern):
         scheduler = RefreshScheduler(max_postponed=4)
         for want in pattern:
@@ -162,7 +174,7 @@ class TestDisturbanceInvariants:
         acts=st.lists(st.integers(0, 63), min_size=1, max_size=200),
         trh=st.integers(1, 50),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_peak_dominates_current(self, acts, trh):
         model = RowDisturbanceModel(num_rows=64, trh=trh)
         for row in acts:
@@ -171,7 +183,7 @@ class TestDisturbanceInvariants:
             assert model.peak_disturbance(row) >= model.disturbance(row)
 
     @given(acts=st.lists(st.integers(1, 62), min_size=1, max_size=100))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_disturbance_conservation(self, acts):
         """Every interior activation deposits exactly 2 units (1/side),
         minus whatever self-restoration removes — so the total is
@@ -188,7 +200,7 @@ class TestMappingInvariants:
         num_rows=st.integers(2, 4096),
         key=st.integers(0, 1 << 32),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_scrambled_mapping_is_bijective(self, num_rows, key):
         mapping = ScrambledRowMapping(num_rows, key=key)
         sample = range(0, num_rows, max(1, num_rows // 64))
@@ -201,7 +213,7 @@ class TestMithrilInvariants:
         acts=st.lists(st.integers(0, 30), min_size=1, max_size=300),
         entries=st.integers(1, 8),
     )
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_table_never_exceeds_entries(self, acts, entries):
         tracker = MithrilTracker(num_entries=entries)
         for row in acts:
@@ -209,7 +221,7 @@ class TestMithrilInvariants:
         assert len(tracker.counters) <= entries
 
     @given(acts=st.lists(st.integers(0, 5), min_size=1, max_size=100))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_space_saving_overestimates(self, acts):
         """A tracked row's counter >= its true activation count."""
         tracker = MithrilTracker(num_entries=3)
@@ -224,3 +236,86 @@ class TestMithrilInvariants:
         # never evicted (if any) — the weaker global check:
         total_tracked = sum(tracker.counters.values())
         assert total_tracked <= len(acts) + 3 * len(acts)
+
+
+class TestSeedingDeterminism:
+    """The reproducibility layer the parallel runner is built on."""
+
+    @given(
+        name=st.text(min_size=0, max_size=20),
+        seed=st.integers(0, 2**63 - 1),
+        knob=st.integers(-1000, 1000),
+    )
+    @DETERMINISM_SETTINGS
+    def test_stable_seed_is_a_pure_function(self, name, seed, knob):
+        from repro.sim.seeding import stable_seed
+
+        assert stable_seed(name, seed, {"knob": knob}) == stable_seed(
+            name, seed, {"knob": knob}
+        )
+
+    @given(
+        a=st.integers(-100, 100),
+        b=st.integers(-100, 100),
+    )
+    @DETERMINISM_SETTINGS
+    def test_canonical_json_ignores_dict_order(self, a, b):
+        from repro.sim.seeding import canonical_json
+
+        assert canonical_json({"a": a, "b": b}) == canonical_json(
+            {"b": b, "a": a}
+        )
+
+    @given(seed=st.integers(0, 2**32), extra=st.integers(1, 2**32))
+    @DETERMINISM_SETTINGS
+    def test_distinct_coordinates_distinct_seeds(self, seed, extra):
+        from repro.sim.seeding import stable_seed
+
+        assert stable_seed("w", seed) != stable_seed("w", seed + extra)
+
+
+class TestBatchOracleEquivalence:
+    """activate_many is the engine's hot path; it must be activation-
+    for-activation equivalent to the scalar oracle API."""
+
+    @given(
+        acts=st.lists(st.integers(0, 63), min_size=1, max_size=150),
+        trh=st.integers(1, 40),
+        blast_radius=st.integers(1, 2),
+    )
+    @STANDARD_SETTINGS
+    def test_matches_sequential_activates(self, acts, trh, blast_radius):
+        batched = RowDisturbanceModel(
+            num_rows=64, trh=trh, blast_radius=blast_radius
+        )
+        scalar = RowDisturbanceModel(
+            num_rows=64, trh=trh, blast_radius=blast_radius
+        )
+        batched.activate_many(acts, time_ns=7.0)
+        for row in acts:
+            scalar.activate(row, time_ns=7.0)
+        assert batched._disturbance == scalar._disturbance
+        assert batched._peak == scalar._peak
+        assert [
+            (f.row, f.disturbance, f.time_ns) for f in batched.flips
+        ] == [(f.row, f.disturbance, f.time_ns) for f in scalar.flips]
+
+
+class TestValidationRejections:
+    @given(distance=st.integers(-10, 0))
+    @QUICK_SETTINGS
+    def test_mitigation_distance_must_be_positive(self, distance):
+        import pytest
+
+        from repro.trackers.base import MitigationRequest
+
+        with pytest.raises(ValueError):
+            MitigationRequest(row=1, distance=distance)
+
+    @given(num_rows=st.integers(-5, 0))
+    @QUICK_SETTINGS
+    def test_oracle_rejects_empty_bank(self, num_rows):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RowDisturbanceModel(num_rows=num_rows, trh=10)

@@ -70,6 +70,50 @@ class TestTableCommand:
         assert "MINT" in out and "PRCT" in out and "Mithril" in out
 
 
+class TestExpCommand:
+    def _run_args(self, store):
+        return [
+            "exp", "run",
+            "--trackers", "mint,none",
+            "--attacks", "single-sided",
+            "--trh", "300", "--intervals", "120",
+            "--workers", "2", "--seed", "5",
+            "--store", str(store),
+        ]
+
+    def test_run_reports_grid_and_flips(self, capsys, tmp_path):
+        store = tmp_path / "store.json"
+        code = main(self._run_args(store))
+        out = capsys.readouterr().out
+        assert code == 1  # the unprotected point flips
+        assert "2 points (2 executed, 0 cached)" in out
+        assert "[FLIP] none" in out
+        assert "[  ok] mint" in out
+        assert store.exists()
+
+    def test_rerun_is_cached(self, capsys, tmp_path):
+        store = tmp_path / "store.json"
+        main(self._run_args(store))
+        capsys.readouterr()
+        main(self._run_args(store))
+        assert "(0 executed, 2 cached)" in capsys.readouterr().out
+
+    def test_status_lists_store(self, capsys, tmp_path):
+        store = tmp_path / "store.json"
+        main(self._run_args(store))
+        capsys.readouterr()
+        code = main(["exp", "status", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 cached result(s)" in out
+        assert "mint" in out and "none" in out
+
+    def test_run_without_grid_errors(self, capsys):
+        code = main(["exp", "run"])
+        assert code == 2
+        assert "--preset" in capsys.readouterr().out
+
+
 class TestPlanCommand:
     def test_plain_mint_for_high_trh(self, capsys):
         assert main(["plan", "--trh-d", "4800"]) == 0

@@ -26,6 +26,7 @@ class TestTopLevelApi:
             "repro.analysis",
             "repro.perf",
             "repro.cli",
+            "repro.exp",
         ],
     )
     def test_subpackage_exports_resolve(self, module):
