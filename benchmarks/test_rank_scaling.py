@@ -1,0 +1,68 @@
+"""Rank-level simulation throughput must degrade sub-linearly in banks.
+
+The rank engine dispatches each interval's ACT batch per bank through
+the batched ``activate_many`` hot path, so the per-ACT cost should be
+nearly flat as banks are added: driving B banks at full rate costs ~B×
+the *work* of one bank (B× the ACTs), not B× the *per-ACT overhead*.
+The check pins throughput (ACTs simulated per second) at 4 banks to at
+least a large fraction of the single-bank figure; a regression to
+per-bank per-ACT dispatch (or per-ACT allocation in the bank split)
+trips it.
+"""
+
+import time
+
+from conftest import print_header, print_rows
+
+from repro.attacks.base import AttackParams
+from repro.attacks.rank import rank_stripe
+from repro.sim.engine import EngineConfig, RankSimulator
+from repro.trackers.registry import bank_tracker_factory
+
+INTERVALS = 400
+MAX_ACT = 73
+#: Throughput at 4 banks must retain at least this fraction of the
+#: 1-bank throughput (1.0 == perfectly flat hot loop; linear
+#: degradation would put it near 0.25).
+MIN_RETAINED = 0.35
+
+
+def _throughput(num_banks: int) -> tuple[float, int]:
+    """Best-of-3 ACTs/second for a full-rate ``num_banks`` rank run."""
+    params = AttackParams(
+        max_act=MAX_ACT, intervals=INTERVALS, base_row=1000
+    )
+    trace = rank_stripe(3 * num_banks, num_banks, params)
+    total_acts = trace.total_acts
+    assert total_acts == num_banks * MAX_ACT * INTERVALS
+    best = float("inf")
+    for _ in range(3):
+        simulator = RankSimulator(
+            bank_tracker_factory("mint", base_seed=7),
+            EngineConfig(num_banks=num_banks, trh=1e9),
+        )
+        started = time.perf_counter()
+        simulator.run(trace)
+        best = min(best, time.perf_counter() - started)
+    return total_acts / best, total_acts
+
+
+def test_rank_throughput_scales_sublinearly_in_banks():
+    single, single_acts = _throughput(1)
+    rank, rank_acts = _throughput(4)
+
+    retained = rank / single
+    print_header("Rank engine throughput vs bank count (MINT, full rate)")
+    print_rows(
+        ["banks", "ACTs", "ACTs/second", "retained"],
+        [
+            ["1", single_acts, f"{single:,.0f}", "1.00"],
+            ["4", rank_acts, f"{rank:,.0f}", f"{retained:.2f}"],
+        ],
+    )
+
+    assert retained >= MIN_RETAINED, (
+        f"4-bank throughput retained only {retained:.2f} of the 1-bank "
+        f"figure (floor {MIN_RETAINED}); the per-bank hot loop has "
+        f"regressed toward per-ACT dispatch"
+    )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Rank shootout: cross-bank attacks vs per-bank tracker instances.
+
+The rank-level edition of the tracker shootout. Every DDR5 bank carries
+its own tracker, but refresh scheduling — and its postponement — is a
+rank-wide decision, and attackers exploit exactly that seam:
+
+* ``bank-interleaved`` spreads a classic pattern across the banks, so
+  each tracker sees only a slice of the aggressor activity;
+* ``cross-bank-decoy`` burns the trackers' one visible interval on
+  sibling-bank decoys while the REF debt lets the target bank soak
+  unmitigated hammering (the §VI-B blow-up, rank edition);
+* ``rank-stripe`` drives every bank at full rate with its own
+  TRRespass aggressor set, stretching the rank's total tracker budget.
+
+The sweep is one declarative grid — trackers × cross-bank attacks ×
+bank counts — handed to the ``repro.exp`` runner; each point runs on
+the ``RankSimulator`` with one seeded tracker instance per bank.
+
+Run:  python examples/rank_shootout.py [--banks N] [--workers N]
+      [--store FILE]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.exp import ResultStore, run_grid
+from repro.exp.presets import RANK_TRACKERS, rank_shootout_grid
+
+TRH_D = 1500
+INTERVALS = 1000
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--banks", type=int, default=None,
+                        help="run a single bank count instead of the "
+                             "default (2, 4) sweep")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: usable CPUs)")
+    parser.add_argument("--store", default=None,
+                        help="JSON result store for incremental re-runs")
+    args = parser.parse_args()
+
+    banks = (args.banks,) if args.banks else (2, 4)
+    grid = rank_shootout_grid(banks=banks, trh=TRH_D, intervals=INTERVALS)
+    print(f"device threshold TRH-D = {TRH_D}; {INTERVALS} tREFI per attack; "
+          f"bank counts {banks}\n")
+
+    store = ResultStore(args.store) if args.store else None
+    report = run_grid(grid, base_seed=1, n_workers=args.workers, store=store)
+
+    # One table block per bank count: tracker x attack, with the failing
+    # banks called out (a rank fails if any bank fails).
+    by_banks = defaultdict(list)
+    for result in report.results:
+        by_banks[result.num_banks].append(result)
+    for num_banks in sorted(by_banks):
+        print(f"--- {num_banks}-bank rank ---")
+        for result in by_banks[num_banks]:
+            status = "FLIP" if result.failed else "ok"
+            failed = result.metrics.get("failed_banks", [])
+            detail = f" failed banks {failed}" if failed else ""
+            print(f"  [{status:>4}] {result.tracker:<8} vs "
+                  f"{result.trace:<48} "
+                  f"mitigations={result.metrics['mitigations']:<6}{detail}")
+        print()
+
+    survivors = sorted(
+        {r.tracker for r in report.results}
+        - {r.tracker for r in report.results if r.failed}
+    )
+    print(f"[{report.summary()}]")
+    print(f"rank-level survivors across {sorted(by_banks)} banks: "
+          f"{', '.join(survivors) or 'none'} "
+          f"(of {', '.join(RANK_TRACKERS)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,9 @@ MINT: Securely Mitigating Rowhammer with a Minimalist In-DRAM Tracker
   postponement, and the row-disturbance oracle.
 * :mod:`repro.attacks` — pattern generators from classic double-sided
   through Blacksmith, Half-Double, Feinting, and the adaptive attack.
-* :mod:`repro.sim` — the trace-driven security simulator.
+* :mod:`repro.sim` — the trace-driven security simulator: the
+  rank-level engine (per-bank trackers behind one refresh schedule)
+  with its single-bank shims.
 * :mod:`repro.analysis` — the analytical models (Saroiu-Wolman failure
   recurrence, MinTRH search, Markov adaptive-attack model) behind every
   number in the paper.
@@ -48,7 +50,17 @@ from .core import (
     equivalent_activations,
 )
 from .dram import DDR5Timing, DEFAULT_TIMING, DramDevice, RowDisturbanceModel
-from .sim import BankSimulator, EngineConfig, SimResult, Trace, run_attack
+from .sim import (
+    BankSimulator,
+    EngineConfig,
+    RankSimResult,
+    RankSimulator,
+    RankTrace,
+    SimResult,
+    Trace,
+    run_attack,
+    run_rank_attack,
+)
 from .trackers import (
     InDramParaTracker,
     MithrilTracker,
@@ -57,6 +69,7 @@ from .trackers import (
     PrctTracker,
     Tracker,
     available_trackers,
+    bank_tracker_factory,
     make_tracker,
 )
 
@@ -82,6 +95,9 @@ __all__ = [
     "PrctTracker",
     "REFI_PER_REFW",
     "ROWS_PER_BANK",
+    "RankSimResult",
+    "RankSimulator",
+    "RankTrace",
     "RfmConfig",
     "RfmController",
     "RowDisturbanceModel",
@@ -90,8 +106,10 @@ __all__ = [
     "Trace",
     "Tracker",
     "available_trackers",
+    "bank_tracker_factory",
     "equivalent_activations",
     "make_tracker",
     "run_attack",
+    "run_rank_attack",
     "__version__",
 ]

@@ -18,7 +18,16 @@ from .feinting import FeintingOutcome, run_feinting
 from .halfdouble import half_double, half_double_distance
 from .manysided import decoy_assisted, many_sided
 from .multirow import pattern2, pattern2_double_sided, pattern3
-from .registry import available_attacks, make_attack, register_attack
+from .rank import bank_interleaved, cross_bank_decoy, rank_stripe
+from .registry import (
+    available_attacks,
+    available_rank_attacks,
+    is_rank_attack,
+    make_attack,
+    make_rank_attack,
+    register_attack,
+    register_rank_attack,
+)
 
 __all__ = [
     "AttackParams",
@@ -26,7 +35,10 @@ __all__ = [
     "FuzzedAggressor",
     "adaptive_attack",
     "available_attacks",
+    "available_rank_attacks",
+    "bank_interleaved",
     "blacksmith",
+    "cross_bank_decoy",
     "build_trace",
     "decoy_assisted",
     "double_sided",
@@ -34,7 +46,9 @@ __all__ = [
     "fuzz_aggressors",
     "half_double",
     "half_double_distance",
+    "is_rank_attack",
     "make_attack",
+    "make_rank_attack",
     "many_sided",
     "one_location",
     "pattern2",
@@ -43,7 +57,9 @@ __all__ = [
     "postponement_decoy",
     "postponement_decoy_multi",
     "random_blacksmith",
+    "rank_stripe",
     "register_attack",
+    "register_rank_attack",
     "repeated_adaptive_attack",
     "run_feinting",
     "single_sided",

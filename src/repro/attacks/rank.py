@@ -1,0 +1,171 @@
+"""Cross-bank attack generators for the rank-level simulator.
+
+Real DDR5 attacks interleave aggressors across banks: every bank has
+its own tracker with its own per-interval selection budget, but refresh
+scheduling (and its postponement) is a rank-level decision, and tFAW
+limits how many banks can sustain full-rate activations concurrently.
+These generators lift the existing row-only pattern families into
+bank-addressed :class:`~repro.sim.trace.RankTrace` streams:
+
+* :func:`bank_interleaved` — wrap *any* registered pattern and spread
+  it across banks, either whole intervals round-robin (each bank sees a
+  slower, gappier version of the pattern, starving interval-tailored
+  trackers of context) or ACT-by-ACT striping.
+* :func:`cross_bank_decoy` — the postponement decoy played across the
+  rank: decoy banks burn the visible intervals while the target bank is
+  hammered during the postponed ones.
+* :func:`rank_stripe` — a many-sided aggressor set striped over the
+  banks, every bank driven at full rate (the tracker-budget-stretching
+  TRRespass variant).
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import RankInterval, RankTrace, Trace
+from .base import AttackParams, spaced_rows
+from .manysided import many_sided
+
+
+def bank_interleaved(
+    base: Trace,
+    num_banks: int,
+    scheme: str = "interval",
+) -> RankTrace:
+    """Spread an existing row-only pattern across ``num_banks`` banks.
+
+    ``scheme="interval"`` sends interval ``i`` of the base trace to bank
+    ``i % num_banks`` (other banks idle that tREFI): each bank's tracker
+    sees only every ``num_banks``-th slice of the pattern, while the
+    victim rows still accumulate the full activation count between
+    their bank's refreshes. ``scheme="act"`` stripes each interval's
+    ACTs over the banks round-robin, splitting the per-interval budget.
+
+    Rank-level postpone flags are preserved either way.
+    """
+    if num_banks < 1:
+        raise ValueError("num_banks must be >= 1")
+    if scheme not in ("interval", "act"):
+        raise ValueError(f"unknown scheme {scheme!r}; use 'interval' or 'act'")
+    intervals: list[RankInterval] = []
+    if scheme == "interval":
+        for i, interval in enumerate(base.intervals):
+            bank = i % num_banks
+            intervals.append(
+                RankInterval(
+                    tuple((bank, row) for row in interval.acts),
+                    interval.postpone,
+                )
+            )
+    else:
+        for interval in base.intervals:
+            intervals.append(
+                RankInterval(
+                    tuple(
+                        (i % num_banks, row)
+                        for i, row in enumerate(interval.acts)
+                    ),
+                    interval.postpone,
+                )
+            )
+    return RankTrace(
+        name=f"bank-interleaved({base.name},banks={num_banks},{scheme})",
+        intervals=intervals,
+    )
+
+
+def cross_bank_decoy(
+    target: int,
+    num_banks: int,
+    params: AttackParams | None = None,
+    postponed: int = 4,
+    target_bank: int = 0,
+) -> RankTrace:
+    """The postponement decoy attack played across a rank.
+
+    Each super-window is ``postponed + 1`` intervals. In the first, all
+    *other* banks are flooded with decoy activations (each within its
+    own per-bank ACT budget) and the controller is asked to postpone the
+    rank's REF — so the trackers' visible interval is spent entirely on
+    decoys, across every bank. The remaining ``postponed`` intervals
+    hammer ``target`` on ``target_bank`` while the REF debt accrues;
+    the final interval lets the batch of refreshes land.
+
+    Against a rank of interval-tailored trackers this stretches the
+    decoy blow-up of §VI-B: the target bank's tracker saw *nothing* in
+    the visible interval (its decoys ran on sibling banks), so even its
+    own-interval selection is wasted.
+    """
+    params = params or AttackParams()
+    if num_banks < 2:
+        raise ValueError("cross-bank decoy needs at least 2 banks")
+    if postponed < 1:
+        raise ValueError("postponed must be >= 1")
+    if not 0 <= target_bank < num_banks:
+        raise ValueError(f"target_bank {target_bank} outside 0..{num_banks - 1}")
+    window = postponed + 1
+    decoys = spaced_rows(params.max_act, params.base_row + 50_000, spacing=4)
+    decoy_banks = [b for b in range(num_banks) if b != target_bank]
+    decoy_interval = RankInterval(
+        tuple(
+            (bank, row)
+            for bank in decoy_banks
+            for row in decoys[: params.max_act]
+        ),
+        postpone=True,
+    )
+    intervals: list[RankInterval] = []
+    count = 0
+    hammer = [(target_bank, target)] * params.max_act
+    while count + window <= params.intervals:
+        intervals.append(decoy_interval)
+        for i in range(postponed):
+            last = i == postponed - 1
+            intervals.append(RankInterval(tuple(hammer), postpone=not last))
+        count += window
+    return RankTrace(
+        name=(
+            f"cross-bank-decoy(target={target},banks={num_banks},"
+            f"postponed={postponed})"
+        ),
+        intervals=intervals,
+    )
+
+
+def rank_stripe(
+    sides: int,
+    num_banks: int,
+    params: AttackParams | None = None,
+    spacing: int = 8,
+) -> RankTrace:
+    """A many-sided aggressor set striped across the rank's banks.
+
+    ``sides`` aggressors are dealt round-robin over ``num_banks`` banks;
+    each bank then hammers its local share at the full per-bank rate (a
+    TRRespass pattern per bank, all banks concurrent). With more total
+    aggressors than any single tracker can hold, this is the attack
+    that stretches the *rank's* tracker budget rather than one bank's.
+    With fewer aggressors than banks, only the first ``sides`` banks
+    carry an aggressor — the total stays exactly ``sides``.
+    """
+    params = params or AttackParams()
+    if sides < 1:
+        raise ValueError("sides must be >= 1")
+    if num_banks < 1:
+        raise ValueError("num_banks must be >= 1")
+    active_banks = min(num_banks, sides)
+    bank_traces = {
+        bank: many_sided(
+            len(range(bank, sides, num_banks)),
+            AttackParams(
+                max_act=params.max_act,
+                intervals=params.intervals,
+                base_row=params.base_row + bank * sides * spacing,
+            ),
+            spacing=spacing,
+        )
+        for bank in range(active_banks)
+    }
+    trace = RankTrace.from_bank_traces(
+        f"rank-stripe(n={sides},banks={num_banks})", bank_traces
+    )
+    return trace

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from ..sim.trace import Trace
+from ..sim.trace import RankTrace, Trace
 from .base import AttackParams
 from .classic import double_sided, one_location, single_sided
 from .blacksmith import random_blacksmith
@@ -21,8 +21,10 @@ from .decoy import postponement_decoy, postponement_decoy_multi
 from .halfdouble import half_double
 from .manysided import decoy_assisted, many_sided
 from .multirow import pattern2, pattern2_double_sided, pattern3
+from .rank import bank_interleaved, cross_bank_decoy, rank_stripe
 
 _FACTORIES: dict[str, Callable[..., Trace]] = {}
+_RANK_FACTORIES: dict[str, Callable[..., RankTrace]] = {}
 
 
 def register_attack(name: str, factory: Callable[..., Trace]) -> None:
@@ -53,6 +55,55 @@ def make_attack(
 def available_attacks() -> list[str]:
     """Names accepted by :func:`make_attack`."""
     return sorted(_FACTORIES)
+
+
+def register_rank_attack(
+    name: str, factory: Callable[..., RankTrace]
+) -> None:
+    """Register a bank-addressed attack factory (case-insensitive).
+
+    Rank factories take ``(params, rng=None, num_banks=..., **extra)``
+    and return a :class:`~repro.sim.trace.RankTrace`.
+    """
+    _RANK_FACTORIES[name.lower()] = factory
+
+
+def make_rank_attack(
+    name: str,
+    params: AttackParams | None = None,
+    rng: random.Random | None = None,
+    num_banks: int = 4,
+    **kwargs,
+) -> RankTrace:
+    """Build a bank-addressed attack trace by name.
+
+    Falls back to the row-only registry for convenience: a plain attack
+    name resolves through :func:`make_attack` and is wrapped
+    :func:`~repro.attacks.rank.bank_interleaved` across ``num_banks``.
+    """
+    factory = _RANK_FACTORIES.get(name.lower())
+    if factory is not None:
+        return factory(
+            params or AttackParams(), rng=rng, num_banks=num_banks, **kwargs
+        )
+    if name.lower() in _FACTORIES:
+        base = make_attack(name, params, rng=rng, **kwargs)
+        return bank_interleaved(base, num_banks)
+    raise KeyError(
+        f"unknown rank attack {name!r}; known: "
+        f"{sorted(_RANK_FACTORIES)} (plus any row-only attack, "
+        f"auto-interleaved)"
+    )
+
+
+def available_rank_attacks() -> list[str]:
+    """Names with a dedicated bank-addressed factory."""
+    return sorted(_RANK_FACTORIES)
+
+
+def is_rank_attack(name: str) -> bool:
+    """True if ``name`` resolves to a bank-addressed (rank) factory."""
+    return name.lower() in _RANK_FACTORIES
 
 
 # ---------------------------------------------------------------------
@@ -115,6 +166,26 @@ def _decoy_assisted(params, rng=None, target=60_000, decoys=16,
     return decoy_assisted(target, decoys, hammers_per_interval, params)
 
 
+# --- bank-addressed (rank) factories ---------------------------------
+
+def _bank_interleaved(params, rng=None, num_banks=4, base="double-sided",
+                      scheme="interval", **base_kwargs):
+    base_trace = make_attack(base, params, rng=rng, **base_kwargs)
+    return bank_interleaved(base_trace, num_banks, scheme=scheme)
+
+
+def _cross_bank_decoy(params, rng=None, num_banks=4, target=60_000,
+                      postponed=4, target_bank=0):
+    return cross_bank_decoy(
+        target, num_banks, params, postponed=postponed,
+        target_bank=target_bank,
+    )
+
+
+def _rank_stripe(params, rng=None, num_banks=4, sides=12, spacing=8):
+    return rank_stripe(sides, num_banks, params, spacing=spacing)
+
+
 register_attack("single-sided", _single_sided)
 register_attack("double-sided", _double_sided)
 register_attack("one-location", _one_location)
@@ -127,3 +198,7 @@ register_attack("pattern3", _pattern3)
 register_attack("decoy", _decoy)
 register_attack("decoy-multi", _decoy_multi)
 register_attack("decoy-assisted", _decoy_assisted)
+
+register_rank_attack("bank-interleaved", _bank_interleaved)
+register_rank_attack("cross-bank-decoy", _cross_bank_decoy)
+register_rank_attack("rank-stripe", _rank_stripe)

@@ -26,7 +26,12 @@ from .analysis.rfm_scaling import (
     ttf_sensitivity,
 )
 from .analysis.storage import table9
-from .attacks import AttackParams, available_attacks, make_attack
+from .attacks import (
+    AttackParams,
+    available_attacks,
+    available_rank_attacks,
+    make_attack,
+)
 from .sim.engine import run_attack
 from .trackers import available_trackers, make_tracker
 
@@ -134,7 +139,18 @@ def _cmd_exp_run(args) -> int:
     )
 
     if args.preset:
-        grid = preset_grid(args.preset)
+        preset_kwargs = {}
+        if args.banks is not None:
+            if args.preset != "rank-shootout":
+                print(f"exp run: --banks only applies to the rank-shootout "
+                      f"preset (got --preset {args.preset})")
+                return 2
+            preset_kwargs["banks"] = (args.banks,)
+        try:
+            grid = preset_grid(args.preset, **preset_kwargs)
+        except TypeError as error:
+            print(f"exp run: {error}")
+            return 2
     else:
         if not (args.trackers and args.attacks):
             print("exp run: need --preset, or both --trackers and --attacks")
@@ -151,6 +167,7 @@ def _cmd_exp_run(args) -> int:
                     intervals=args.intervals,
                     max_act=args.max_act,
                     allow_postponement=args.allow_postponement,
+                    num_banks=args.banks or 1,
                 )
             ],
         )
@@ -163,15 +180,31 @@ def _cmd_exp_run(args) -> int:
         # Unknown tracker/attack names surface from the factories.
         print(f"exp run: {error.args[0]}")
         return 2
+    except ValueError as error:
+        # Invalid point definitions (tFAW ceiling, attacks needing more
+        # banks than configured, budget violations) surface from the
+        # generators and the engine's trace validation.
+        print(f"exp run: {error}")
+        return 2
     print(f"exp run: {report.summary()}")
     for result in report.results:
         metrics = result.metrics
         status = "FLIP" if result.failed else "ok"
+        label = result.attack
+        if result.num_banks > 1:
+            label = f"{label}@{result.num_banks}b"
         print(
-            f"  [{status:>4}] {result.tracker:<14} vs {result.attack:<14} "
+            f"  [{status:>4}] {result.tracker:<14} vs {label:<17} "
             f"acts={metrics['demand_acts']:<9} "
             f"mitigations={metrics['mitigations']}"
         )
+        for bank, bank_metrics in enumerate(result.per_bank_metrics):
+            bank_status = "FLIP" if bank_metrics.get("failed") else "ok"
+            print(
+                f"         bank {bank}: [{bank_status:>4}] "
+                f"acts={bank_metrics['demand_acts']:<9} "
+                f"mitigations={bank_metrics['mitigations']}"
+            )
     return 1 if any(result.failed for result in report.results) else 0
 
 
@@ -233,7 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run = exp_sub.add_parser(
         "run", help="run a (tracker x attack) grid through the pool"
     )
-    exp_run.add_argument("--preset", choices=["shootout", "postponement"])
+    exp_run.add_argument(
+        "--preset", choices=["shootout", "postponement", "rank-shootout"]
+    )
     exp_run.add_argument("--trackers",
                          help="comma-separated tracker names "
                               f"(known: {','.join(available_trackers())})")
@@ -243,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("--trh", type=float, default=4800.0)
     exp_run.add_argument("--intervals", type=int, default=2000)
     exp_run.add_argument("--max-act", type=int, default=73)
+    exp_run.add_argument("--banks", type=int, default=None,
+                         help="banks in the simulated rank (runs points on "
+                              "the rank-level engine; rank attacks: "
+                              f"{','.join(available_rank_attacks())})")
     exp_run.add_argument("--seed", type=int, default=0,
                          help="base seed; every task seed derives from it")
     exp_run.add_argument("--workers", type=int, default=None,

@@ -3,7 +3,7 @@
 from .bank import Bank, BankStats
 from .commands import Command, CommandKind, act, drfm, ref, rfm
 from .device import DeviceConfig, DramDevice
-from .mapping import RowMapping, ScrambledRowMapping
+from .mapping import RankAddressMap, RowMapping, ScrambledRowMapping
 from .refresh import RefreshEvent, RefreshScheduler
 from .rowstate import FlipEvent, RowDisturbanceModel
 from .timing import (
@@ -24,6 +24,7 @@ __all__ = [
     "DeviceConfig",
     "DramDevice",
     "FlipEvent",
+    "RankAddressMap",
     "RefreshEvent",
     "RefreshScheduler",
     "RowDisturbanceModel",

@@ -8,8 +8,10 @@ auto-refresh sweep that restores 1/8192 of the rows at each REF.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..constants import REFI_PER_REFW, ROWS_PER_BANK
+from .mapping import RankAddressMap
 from .rowstate import RowDisturbanceModel
 from .timing import DDR5Timing, DEFAULT_TIMING
 
@@ -53,10 +55,24 @@ class DramDevice:
         ]
         self._ref_counter = [0] * c.num_banks
         self._rows_per_slice = max(1, c.rows_per_bank // c.refi_per_refw)
+        self.address_map = RankAddressMap(c.num_banks, c.rows_per_bank)
 
     def activate(self, bank: int, row: int, time_ns: float = 0.0) -> None:
         """A demand activation: hammers the row's neighbours."""
         self.banks[bank].activate(row, time_ns)
+
+    def activate_many(
+        self, bank: int, rows: Iterable[int], time_ns: float = 0.0
+    ) -> None:
+        """Batch of demand activations on one bank (hot-loop entry)."""
+        self.banks[bank].activate_many(rows, time_ns)
+
+    def activate_flat(self, address: int, time_ns: float = 0.0) -> tuple[int, int]:
+        """Activate by flat physical address; returns the decoded
+        ``(bank, row)`` so callers can correlate with per-bank results."""
+        bank, row = self.address_map.decode(address)
+        self.banks[bank].activate(row, time_ns)
+        return bank, row
 
     def mitigate(
         self, bank: int, aggressor: int, distance: int = 1, time_ns: float = 0.0
@@ -83,8 +99,22 @@ class DramDevice:
         for victim in refreshed:
             model.activate(victim, time_ns)
         for victim in refreshed:
-            model._disturbance.pop(victim, None)
+            model.clear_row(victim)
         return refreshed
+
+    def victim_refresh(self, bank: int, row: int, time_ns: float = 0.0) -> list[int]:
+        """Victim-centric mitigation (ProTRR-style): refresh ``row``
+        itself.
+
+        The refresh is a full row cycle, so it disturbs the refreshed
+        row's neighbours; the refreshed row ends the operation clean.
+        Returns the refreshed rows (always just ``row``).
+        """
+        model = self.banks[bank]
+        model.refresh_row(row, time_ns)
+        model.activate(row, time_ns)
+        model.clear_row(row)
+        return [row]
 
     def auto_refresh(self, bank: int, time_ns: float = 0.0) -> tuple[int, int]:
         """Execute the rolling auto-refresh slice for one REF command.
@@ -98,7 +128,7 @@ class DramDevice:
         hi = min(lo + self._rows_per_slice, model.num_rows)
         if i == refw - 1:
             hi = model.num_rows
-        for row in list(model._disturbance):
+        for row in model.disturbed_rows():
             if lo <= row < hi:
                 model.refresh_row(row, time_ns)
         self._ref_counter[bank] += 1

@@ -60,6 +60,65 @@ class ScrambledRowMapping(RowMapping):
         return ((physical - self._b) * self._a_inv) % self.num_rows
 
 
+class RankAddressMap:
+    """Flat physical address ↔ ``(bank, row)`` decode for one rank.
+
+    Memory controllers stripe consecutive addresses across banks to
+    exploit bank-level parallelism, so the default policy is
+    ``interleaved``: address ``a`` maps to bank ``a % num_banks``, row
+    ``a // num_banks``. The ``row-major`` policy (whole banks of
+    consecutive rows) models the degenerate mapping an attacker would
+    prefer — contiguous addresses land in one bank, so one bank's
+    tracker absorbs the whole stream.
+    """
+
+    POLICIES = ("interleaved", "row-major")
+
+    def __init__(
+        self,
+        num_banks: int,
+        rows_per_bank: int,
+        policy: str = "interleaved",
+    ) -> None:
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        if rows_per_bank <= 0:
+            raise ValueError("rows_per_bank must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; known: {self.POLICIES}"
+            )
+        self.num_banks = num_banks
+        self.rows_per_bank = rows_per_bank
+        self.policy = policy
+
+    @property
+    def num_addresses(self) -> int:
+        return self.num_banks * self.rows_per_bank
+
+    def decode(self, address: int) -> tuple[int, int]:
+        """Split a flat physical address into ``(bank, row)``."""
+        if not 0 <= address < self.num_addresses:
+            raise ValueError(
+                f"address {address} out of range [0, {self.num_addresses})"
+            )
+        if self.policy == "interleaved":
+            return address % self.num_banks, address // self.num_banks
+        return address // self.rows_per_bank, address % self.rows_per_bank
+
+    def encode(self, bank: int, row: int) -> int:
+        """Inverse of :meth:`decode`."""
+        if not 0 <= bank < self.num_banks:
+            raise ValueError(f"bank {bank} out of range [0, {self.num_banks})")
+        if not 0 <= row < self.rows_per_bank:
+            raise ValueError(
+                f"row {row} out of range [0, {self.rows_per_bank})"
+            )
+        if self.policy == "interleaved":
+            return row * self.num_banks + bank
+        return bank * self.rows_per_bank + row
+
+
 def _gcd(a: int, b: int) -> int:
     while b:
         a, b = b, a % b

@@ -147,6 +147,24 @@ class RowDisturbanceModel:
         """
         self._disturbance.pop(row, None)
 
+    def clear_row(self, row: int) -> None:
+        """Forget ``row``'s accumulated disturbance without charge-restore
+        semantics.
+
+        The mitigation paths use this to make a victim refresh
+        self-consistent: the refresh restores the row, the refresh's own
+        activation then deposits disturbance on its neighbours, and any
+        disturbance a *sibling* victim's activation deposited back on
+        the refreshed row within the same mitigation must be dropped.
+        Unlike :meth:`refresh_row` it carries no timestamp because it is
+        bookkeeping, not a DRAM command.
+        """
+        self._disturbance.pop(row, None)
+
+    def disturbed_rows(self) -> list[int]:
+        """Rows currently carrying non-zero disturbance (stable order)."""
+        return list(self._disturbance)
+
     def mitigate(self, aggressor: int, time_ns: float = 0.0) -> list[int]:
         """Mitigative refresh of the victims of ``aggressor``.
 

@@ -14,8 +14,17 @@ from .grid import (
     PointConfig,
     TrackerSpec,
 )
-from .presets import postponement_grid, preset_grid, shootout_grid
-from .result import ExperimentResult
+from .presets import (
+    postponement_grid,
+    preset_grid,
+    rank_shootout_grid,
+    shootout_grid,
+)
+from .result import (
+    ExperimentResult,
+    summarise_rank_result,
+    summarise_sim_result,
+)
 from .runner import RunReport, run_grid, run_point
 from .store import ResultStore
 
@@ -31,7 +40,10 @@ __all__ = [
     "TrackerSpec",
     "postponement_grid",
     "preset_grid",
+    "rank_shootout_grid",
     "run_grid",
     "run_point",
     "shootout_grid",
+    "summarise_rank_result",
+    "summarise_sim_result",
 ]

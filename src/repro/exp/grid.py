@@ -19,7 +19,8 @@ from ..sim.seeding import stable_hash, stable_seed
 
 #: Bump when the result schema or the seeding scheme changes, so stale
 #: store entries are invalidated instead of silently reused.
-SCHEMA_VERSION = 1
+#: v2: rank-level points (``PointConfig.num_banks``, per-bank metrics).
+SCHEMA_VERSION = 2
 
 
 def _frozen_params(params: Mapping[str, Any] | None) -> tuple:
@@ -101,6 +102,11 @@ class PointConfig:
     ``scaled_timing=True`` swaps the real DDR5 timing for the scaled
     Monte-Carlo device whose window holds ``max_act`` ACTs per tREFI —
     the fast regime used by tests and the speedup benchmark.
+
+    ``num_banks > 1`` runs the point on the rank-level engine: the
+    attack resolves through the rank registry (row-only attacks are
+    auto-interleaved across the banks) and each bank gets its own
+    tracker instance seeded from the task seed plus the bank index.
     """
 
     trh: float = 4800.0
@@ -113,6 +119,7 @@ class PointConfig:
     max_postponed: int = 4
     refi_per_refw: int = 8192
     scaled_timing: bool = False
+    num_banks: int = 1
 
     def to_payload(self) -> dict:
         return {
@@ -126,6 +133,7 @@ class PointConfig:
             "max_postponed": self.max_postponed,
             "refi_per_refw": self.refi_per_refw,
             "scaled_timing": self.scaled_timing,
+            "num_banks": self.num_banks,
         }
 
     @classmethod

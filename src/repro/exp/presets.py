@@ -34,6 +34,18 @@ SHOOTOUT_ATTACKS = (
 #: The single decoy-attack target row of the postponement study.
 POSTPONEMENT_TARGET = 60_000
 
+#: Trackers of the rank-level shootout (a representative slice of the
+#: zoo: deployed TRR, the sampling families, a counter design, MINT).
+RANK_TRACKERS = ("trr", "para", "mithril", "mint")
+
+#: The cross-bank attack families of the rank shootout.
+RANK_ATTACKS = (
+    ("bank-interleaved", {"base": "double-sided"}),
+    ("bank-interleaved", {"base": "many-sided", "sides": 12, "scheme": "act"}),
+    ("cross-bank-decoy", {"target": POSTPONEMENT_TARGET}),
+    ("rank-stripe", {"sides": 12}),
+)
+
 
 def shootout_grid(
     trh: float = 1500.0,
@@ -48,6 +60,37 @@ def shootout_grid(
         ],
         configs=[
             PointConfig(trh=trh, intervals=intervals, max_act=max_act)
+        ],
+    )
+
+
+def rank_shootout_grid(
+    banks: tuple[int, ...] = (2, 4),
+    trh: float = 1500.0,
+    intervals: int = 1000,
+    max_act: int = 73,
+) -> ExperimentGrid:
+    """Rank-level study: trackers × cross-bank attacks × bank counts.
+
+    Every point runs on the rank engine (one tracker instance per
+    bank, shared refresh schedule). Postponement is allowed so the
+    cross-bank decoy can play its REF-debt game; the non-postponing
+    attacks simply never request it.
+    """
+    return ExperimentGrid(
+        trackers=[TrackerSpec.of(name) for name in RANK_TRACKERS],
+        attacks=[
+            AttackSpec.of(name, **params) for name, params in RANK_ATTACKS
+        ],
+        configs=[
+            PointConfig(
+                trh=trh,
+                intervals=intervals,
+                max_act=max_act,
+                allow_postponement=True,
+                num_banks=num_banks,
+            )
+            for num_banks in banks
         ],
     )
 
@@ -131,14 +174,24 @@ def scaled_benchmark_grid(
 PRESETS = {
     "shootout": shootout_grid,
     "postponement": postponement_grid,
+    "rank-shootout": rank_shootout_grid,
 }
 
 
-def preset_grid(name: str) -> ExperimentGrid:
-    """Resolve a named preset to a grid (raises ``KeyError`` if unknown)."""
+def preset_grid(name: str, **kwargs) -> ExperimentGrid:
+    """Resolve a named preset to a grid (raises ``KeyError`` if unknown).
+
+    ``kwargs`` forward to the preset builder (e.g. ``banks=(4,)`` for
+    ``rank-shootout``); passing a knob the preset does not take raises
+    ``TypeError`` with the preset name in the message.
+    """
     try:
-        return PRESETS[name.lower()]()
+        builder = PRESETS[name.lower()]
     except KeyError:
         raise KeyError(
             f"unknown preset {name!r}; known: {sorted(PRESETS)}"
         ) from None
+    try:
+        return builder(**kwargs)
+    except TypeError as error:
+        raise TypeError(f"preset {name!r}: {error}") from None

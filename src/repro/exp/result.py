@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..sim.results import SimResult
+from ..sim.results import RankSimResult, SimResult
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,16 @@ class ExperimentResult:
     @property
     def failed(self) -> bool:
         return bool(self.metrics.get("failed"))
+
+    @property
+    def num_banks(self) -> int:
+        """Banks the point simulated (1 for classic single-bank points)."""
+        return int(self.metrics.get("num_banks", 1))
+
+    @property
+    def per_bank_metrics(self) -> list[dict]:
+        """Per-bank metric dicts for rank points ([] for single-bank)."""
+        return list(self.metrics.get("per_bank", []))
 
     def max_unmitigated(self, row: int) -> float:
         """Peak unmitigated-run length observed on ``row`` (0 if unseen)."""
@@ -86,3 +96,38 @@ def summarise_sim_result(result: SimResult) -> dict:
             for row, value in sorted(result.max_unmitigated.items())
         },
     }
+
+
+def summarise_rank_result(result: RankSimResult) -> dict:
+    """Flatten a :class:`RankSimResult` into JSON-safe metrics.
+
+    Rank-level aggregates at the top level (so single-bank consumers of
+    ``demand_acts``/``mitigations``/``failed`` keep working), per-bank
+    :func:`summarise_sim_result` dicts under ``per_bank``.
+    """
+    return {
+        "trace": result.trace,
+        "intervals": result.intervals,
+        "num_banks": result.num_banks,
+        "demand_acts": result.demand_acts,
+        "refreshes": result.refreshes,
+        "mitigations": result.mitigations,
+        "transitive_mitigations": result.transitive_mitigations,
+        "pseudo_mitigations": result.pseudo_mitigations,
+        "failed": result.failed,
+        "failed_banks": result.failed_banks,
+        "max_disturbance": result.max_disturbance,
+        # Row-wise maximum across banks, so the Table-IV accessor
+        # (ExperimentResult.max_unmitigated) works on rank points too.
+        "max_unmitigated": _merged_max_unmitigated(result),
+        "per_bank": [summarise_sim_result(r) for r in result.per_bank],
+    }
+
+
+def _merged_max_unmitigated(result: RankSimResult) -> dict:
+    merged: dict[int, float] = {}
+    for bank_result in result.per_bank:
+        for row, value in bank_result.max_unmitigated.items():
+            if value > merged.get(row, 0):
+                merged[row] = value
+    return {str(row): value for row, value in sorted(merged.items())}

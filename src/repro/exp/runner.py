@@ -17,15 +17,19 @@ import time
 from dataclasses import dataclass, field
 
 from ..attacks.base import AttackParams
-from ..attacks.registry import make_attack
+from ..attacks.registry import is_rank_attack, make_attack, make_rank_attack
 from ..dram.timing import DEFAULT_TIMING
 from ..parallel import default_workers, fork_map
-from ..sim.engine import BankSimulator, EngineConfig
+from ..sim.engine import BankSimulator, EngineConfig, RankSimulator
 from ..sim.montecarlo import scaled_timing
 from ..sim.seeding import stable_seed
 from ..trackers.registry import make_tracker
 from .grid import ExperimentGrid, ExperimentPoint
-from .result import ExperimentResult, summarise_sim_result
+from .result import (
+    ExperimentResult,
+    summarise_rank_result,
+    summarise_sim_result,
+)
 from .store import ResultStore
 
 
@@ -66,6 +70,8 @@ def _execute_task(task: dict) -> ExperimentResult:
     point = ExperimentPoint.from_payload(task["point"])
     seed = task["seed"]
     cfg = point.config
+    if cfg.num_banks > 1 or is_rank_attack(point.attack.name):
+        return _execute_rank_task(task, point)
     tracker = make_tracker(
         point.tracker.name,
         rng=random.Random(stable_seed(seed, "tracker")),
@@ -84,21 +90,7 @@ def _execute_task(task: dict) -> ExperimentResult:
         rng=random.Random(stable_seed(seed, "trace")),
         **dict(point.attack.params),
     )
-    timing = (
-        scaled_timing(cfg.max_act, cfg.refi_per_refw)
-        if cfg.scaled_timing
-        else DEFAULT_TIMING
-    )
-    engine_config = EngineConfig(
-        timing=timing,
-        trh=cfg.trh,
-        num_rows=cfg.num_rows,
-        blast_radius=cfg.blast_radius,
-        allow_postponement=cfg.allow_postponement,
-        max_postponed=cfg.max_postponed,
-        refi_per_refw=cfg.refi_per_refw,
-    )
-    sim_result = BankSimulator(tracker, engine_config).run(trace)
+    sim_result = BankSimulator(tracker, _engine_config(cfg)).run(trace)
     return ExperimentResult(
         key=task["key"],
         tracker=point.tracker.label,
@@ -107,13 +99,84 @@ def _execute_task(task: dict) -> ExperimentResult:
         seed=seed,
         point=task["point"],
         metrics=summarise_sim_result(sim_result),
-        tracker_stats={
-            "entries": tracker.entries,
-            "storage_bits": tracker.storage_bits,
-            "overflow_drops": getattr(tracker, "overflow_drops", 0),
-            "pseudo_mitigations": getattr(tracker, "pseudo_mitigations", 0),
-        },
+        tracker_stats=_tracker_stats([tracker]),
     )
+
+
+def _execute_rank_task(task: dict, point: ExperimentPoint) -> ExperimentResult:
+    """Worker body of a rank-level grid point.
+
+    Each bank's tracker derives its randomness from the task seed plus
+    the bank index, so rank points keep the runner's determinism
+    guarantee: bit-identical results for any worker count.
+    """
+    seed = task["seed"]
+    cfg = point.config
+    num_banks = max(1, cfg.num_banks)
+
+    def tracker_factory(bank: int):
+        return make_tracker(
+            point.tracker.name,
+            rng=random.Random(stable_seed(seed, "tracker", bank)),
+            dmq=point.tracker.dmq,
+            dmq_depth=point.tracker.dmq_depth,
+            max_act=cfg.max_act,
+            **dict(point.tracker.params),
+        )
+
+    trace = make_rank_attack(
+        point.attack.name,
+        AttackParams(
+            max_act=cfg.max_act,
+            intervals=cfg.intervals,
+            base_row=cfg.base_row,
+        ),
+        rng=random.Random(stable_seed(seed, "trace")),
+        num_banks=num_banks,
+        **dict(point.attack.params),
+    )
+    simulator = RankSimulator(tracker_factory, _engine_config(cfg))
+    rank_result = simulator.run(trace)
+    return ExperimentResult(
+        key=task["key"],
+        tracker=point.tracker.label,
+        attack=point.attack.name,
+        trace=rank_result.trace,
+        seed=seed,
+        point=task["point"],
+        metrics=summarise_rank_result(rank_result),
+        tracker_stats=_tracker_stats(simulator.trackers),
+    )
+
+
+def _engine_config(cfg) -> EngineConfig:
+    timing = (
+        scaled_timing(cfg.max_act, cfg.refi_per_refw)
+        if cfg.scaled_timing
+        else DEFAULT_TIMING
+    )
+    return EngineConfig(
+        timing=timing,
+        trh=cfg.trh,
+        num_rows=cfg.num_rows,
+        blast_radius=cfg.blast_radius,
+        allow_postponement=cfg.allow_postponement,
+        max_postponed=cfg.max_postponed,
+        refi_per_refw=cfg.refi_per_refw,
+        num_banks=max(1, cfg.num_banks),
+    )
+
+
+def _tracker_stats(trackers) -> dict:
+    """Tracker-side counters, summed across the rank's bank instances."""
+    return {
+        "entries": sum(t.entries for t in trackers),
+        "storage_bits": sum(t.storage_bits for t in trackers),
+        "overflow_drops": sum(
+            getattr(t, "overflow_drops", 0) for t in trackers
+        ),
+        "pseudo_mitigations": sum(t.pseudo_mitigations for t in trackers),
+    }
 
 
 def run_grid(

@@ -1,30 +1,51 @@
-"""Security simulation: trace-driven bank-level Rowhammer engine."""
+"""Security simulation: trace-driven rank-level Rowhammer engine."""
 
-from .engine import BankSimulator, EngineConfig, run_attack, with_dmq
-from .rank import RankResult, RankSimulator, system_mttf_years
+from .engine import (
+    BankSimulator,
+    EngineConfig,
+    RankSimulator,
+    run_attack,
+    run_rank_attack,
+    with_dmq,
+)
+from .rank import RankResult, system_mttf_years
 from .montecarlo import (
     MonteCarloResult,
     estimate_failure_probability,
     scaled_timing,
 )
-from .results import SimResult
+from .results import RankSimResult, SimResult
 from .seeding import canonical_json, derive_rng, stable_hash, stable_seed
-from .trace import Interval, Trace, repeat_interval
+from .trace import (
+    Interval,
+    RankInterval,
+    RankTrace,
+    Trace,
+    lift_trace,
+    repeat_interval,
+    repeat_rank_interval,
+)
 
 __all__ = [
     "BankSimulator",
     "EngineConfig",
     "Interval",
     "MonteCarloResult",
+    "RankInterval",
     "RankResult",
+    "RankSimResult",
     "RankSimulator",
+    "RankTrace",
     "SimResult",
     "Trace",
     "canonical_json",
     "derive_rng",
     "estimate_failure_probability",
+    "lift_trace",
     "repeat_interval",
+    "repeat_rank_interval",
     "run_attack",
+    "run_rank_attack",
     "scaled_timing",
     "stable_hash",
     "stable_seed",

@@ -1,31 +1,48 @@
-"""Event-level security simulator: trace -> tracker -> mitigations -> oracle.
+"""Event-level security simulator: rank-scoped trace → trackers → oracle.
 
-The engine drives one bank through an attack trace interval by
-interval: demand activations are fed to both the row-disturbance oracle
-and the tracker; at each tREFI boundary the refresh scheduler decides
-whether the REF executes or is postponed (DDR5 allows four), and every
-executed REF performs the rolling auto-refresh plus at most one
-tracker-directed mitigation.
+The engine drives a DDR5 *rank* — ``num_banks`` independent banks
+behind one refresh schedule — through an attack trace interval by
+interval. Each bank owns its own tracker instance (in-DRAM trackers are
+per-bank structures; the paper's storage numbers scale ×32 per rank)
+and its own row-disturbance oracle. Per interval, the demand ACT batch
+is split by bank and fed through the batched ``activate_many`` hot
+path; at each tREFI boundary the shared :class:`RefreshScheduler`
+decides whether the rank's REF executes or is postponed (DDR5 allows
+four), and every executed REF performs each bank's rolling auto-refresh
+plus at most one tracker-directed mitigation per bank.
+
+:class:`RankSimulator` is the canonical entry point: it accepts
+bank-addressed :class:`~repro.sim.trace.RankTrace` streams, row-only
+:class:`~repro.sim.trace.Trace` streams (auto-lifted to bank 0), or a
+legacy list of per-bank traces (merged, with the tFAW concurrency
+ceiling enforced), and reports a :class:`~repro.sim.results.RankSimResult`
+carrying one per-bank :class:`~repro.sim.results.SimResult` each plus
+rank-level aggregates. :class:`BankSimulator` and :func:`run_attack`
+remain as thin single-bank shims whose results are bit-identical to the
+pre-rank engine.
 
 This is the machinery behind the paper's guaranteed-protection claims
 (classic single/double-sided attacks bounded at M activations, §V-C),
-the decoy blow-up under postponement (§VI-B), and the Monte-Carlo
-validation of the analytical MinTRH model.
+the decoy blow-up under postponement (§VI-B), the rank-level MTTF
+accounting (§VIII-B), and the Monte-Carlo validation of the analytical
+MinTRH model.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
+from ..constants import CONCURRENT_BANKS
 from ..core.dmq import DelayedMitigationQueue
 from ..dram.device import DeviceConfig, DramDevice
 from ..dram.refresh import RefreshScheduler
 from ..dram.timing import DDR5Timing, DEFAULT_TIMING
 from ..trackers.base import MitigationRequest, Tracker
 from ..trackers.protrr import VictimRefreshRequest
-from .results import SimResult
-from .trace import Trace
+from .results import RankSimResult, SimResult
+from .trace import RankTrace, Trace
 
 
 @dataclass
@@ -41,38 +58,132 @@ class EngineConfig:
     refi_per_refw: int = 8192
     #: Enforce the per-interval activation budget of the timing model.
     validate_budget: bool = True
+    #: Banks in the simulated rank (1 == the classic single-bank setup).
+    num_banks: int = 1
+    #: tFAW ceiling on banks sustaining full-rate ACTs concurrently;
+    #: ``None`` means min(CONCURRENT_BANKS, num_banks).
+    concurrent_banks: int | None = None
 
 
-class BankSimulator:
-    """Runs traces against one tracker on one bank."""
+class _BankView:
+    """Read-only per-bank facade over a :class:`RankSimulator`.
 
-    def __init__(self, tracker: Tracker, config: EngineConfig | None = None) -> None:
-        self.tracker = tracker
-        self.config = config or EngineConfig()
-        c = self.config
+    Exists for the legacy ``rank_sim.simulators[i]`` access pattern from
+    the pre-rank fan-out API; exposes the bank's tracker and counters.
+    """
+
+    __slots__ = ("_sim", "bank")
+
+    def __init__(self, sim: "RankSimulator", bank: int) -> None:
+        self._sim = sim
+        self.bank = bank
+
+    @property
+    def tracker(self) -> Tracker:
+        return self._sim.trackers[self.bank]
+
+    @property
+    def mitigations(self) -> int:
+        return self._sim.bank_mitigations[self.bank]
+
+    @property
+    def demand_acts(self) -> int:
+        return self._sim.bank_demand_acts[self.bank]
+
+
+class RankSimulator:
+    """Runs traces against one tracker instance per bank of a rank.
+
+    Parameters
+    ----------
+    tracker_factory:
+        Called once per bank (with the bank index) to build that bank's
+        tracker. Each bank must get an independent instance — sharing
+        one tracker across banks would be both unrealistic and insecure.
+        :func:`repro.trackers.registry.bank_tracker_factory` builds a
+        suitable factory from a registry name plus a base seed.
+    config:
+        Engine knobs (:class:`EngineConfig`); ``num_banks`` selects the
+        rank width. The keyword arguments mirror the legacy rank API and
+        override the corresponding config fields when given.
+    """
+
+    def __init__(
+        self,
+        tracker_factory: Callable[[int], Tracker],
+        config: EngineConfig | None = None,
+        *,
+        num_banks: int | None = None,
+        timing: DDR5Timing | None = None,
+        trh: float | None = None,
+        num_rows: int | None = None,
+        blast_radius: int | None = None,
+        allow_postponement: bool | None = None,
+        concurrent_banks: int | None = None,
+    ) -> None:
+        if config is not None and not isinstance(config, EngineConfig):
+            raise TypeError(
+                "the second positional argument must be an EngineConfig; "
+                "the legacy rank API's positional num_banks moved to a "
+                "keyword: RankSimulator(factory, num_banks=N)"
+            )
+        c = config or EngineConfig()
+        overrides = {
+            key: value
+            for key, value in (
+                ("num_banks", num_banks),
+                ("timing", timing),
+                ("trh", trh),
+                ("num_rows", num_rows),
+                ("blast_radius", blast_radius),
+                ("allow_postponement", allow_postponement),
+                ("concurrent_banks", concurrent_banks),
+            )
+            if value is not None
+        }
+        if overrides:
+            c = replace(c, **overrides)
+        if c.num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        self.config = c
+        self.num_banks = c.num_banks
+        self.concurrent_banks = min(
+            CONCURRENT_BANKS if c.concurrent_banks is None else c.concurrent_banks,
+            c.num_banks,
+        )
         self.device = DramDevice(
             DeviceConfig(
                 timing=c.timing,
-                num_banks=1,
+                num_banks=c.num_banks,
                 rows_per_bank=c.num_rows,
                 trh=c.trh,
                 blast_radius=c.blast_radius,
                 refi_per_refw=c.refi_per_refw,
             )
         )
+        self.trackers = [tracker_factory(bank) for bank in range(c.num_banks)]
         self.scheduler = RefreshScheduler(max_postponed=c.max_postponed)
-        # Activations a row received since it was last the *target* of a
-        # mitigation; exposes the unmitigated-run metric of Table IV.
-        self._since_mitigation: dict[int, int] = {}
-        self._peak_unmitigated: dict[int, int] = {}
+        # Per-bank activations a row received since it was last the
+        # *target* of a mitigation; the unmitigated-run metric (Table IV).
+        self._bank_since = [dict() for _ in range(c.num_banks)]
+        self._bank_peak = [dict() for _ in range(c.num_banks)]
         self._counts: Counter[int] = Counter()
-        self.mitigations = 0
-        self.transitive_mitigations = 0
-        self.demand_acts = 0
+        self.bank_mitigations = [0] * c.num_banks
+        self.bank_transitive_mitigations = [0] * c.num_banks
+        self.bank_demand_acts = [0] * c.num_banks
+        self.simulators = [_BankView(self, bank) for bank in range(c.num_banks)]
+        self.intervals = 0
 
     # ------------------------------------------------------------------
-    def run(self, trace: Trace) -> SimResult:
+    def run(
+        self, trace: Trace | RankTrace | Sequence[Trace]
+    ) -> RankSimResult:
         """Execute ``trace`` to completion and report the outcome.
+
+        ``trace`` may be bank-addressed (:class:`RankTrace`), row-only
+        (:class:`Trace`, lifted onto bank 0), or a legacy sequence of
+        per-bank row traces (trace ``i`` drives bank ``i``; the tFAW
+        ceiling rejects more concurrent traces than the rank sustains).
 
         The interval loop is the simulator's hot path: a full-grid
         experiment pushes hundreds of millions of ACTs through it, so
@@ -81,8 +192,17 @@ class BankSimulator:
         unmitigated-run updates (no per-ACT allocation).
         """
         c = self.config
+        if isinstance(trace, (list, tuple)):
+            trace = self._merge_bank_traces(trace)
         if c.validate_budget:
-            trace.validate(c.timing.max_act)
+            if isinstance(trace, RankTrace):
+                trace.validate(
+                    c.timing.max_act,
+                    num_banks=self.num_banks,
+                    concurrent_banks=self.concurrent_banks,
+                )
+            else:
+                trace.validate(c.timing.max_act)
         absorb_acts = self._absorb_acts
         scheduler_tick = self.scheduler.tick
         t_refi_ns = c.timing.t_refi_ns
@@ -91,43 +211,74 @@ class BankSimulator:
         for interval in trace:
             intervals += 1
             time_ns = intervals * t_refi_ns
-            absorb_acts(interval.acts, time_ns)
+            for bank, acts in interval.per_bank:
+                absorb_acts(bank, acts, time_ns)
             want_postpone = interval.postpone and allow_postponement
             event = scheduler_tick(want_postpone=want_postpone)
             if event is not None:
                 for _ in range(event.count):
                     self._refresh(time_ns)
-        model = self.device.banks[0]
-        return SimResult(
-            tracker=self.tracker.name,
-            trace=trace.name,
-            intervals=intervals,
-            demand_acts=self.demand_acts,
-            refreshes=self.scheduler.total_refreshes,
-            mitigations=self.mitigations,
-            transitive_mitigations=self.transitive_mitigations,
-            pseudo_mitigations=getattr(self.tracker, "pseudo_mitigations", 0),
-            flips=list(model.flips),
-            max_disturbance=model.max_disturbance(),
-            most_disturbed_row=model.most_disturbed_row(),
-            max_unmitigated=dict(self._peak_unmitigated),
+        self.intervals = intervals
+        return self._collect(trace.name)
+
+    def _merge_bank_traces(self, traces: Sequence[Trace]) -> RankTrace:
+        """Legacy input format: one row-only trace per bank."""
+        if len(traces) > self.concurrent_banks:
+            raise ValueError(
+                f"tFAW limits concurrent full-rate banks to "
+                f"{self.concurrent_banks}; got {len(traces)} traces"
+            )
+        names = list(dict.fromkeys(trace.name for trace in traces))
+        name = names[0] if len(names) == 1 else "rank(" + ",".join(names) + ")"
+        return RankTrace.from_bank_traces(name, list(traces))
+
+    def _collect(self, trace_name: str) -> RankSimResult:
+        per_bank = []
+        refreshes = self.scheduler.total_refreshes
+        for bank in range(self.num_banks):
+            model = self.device.banks[bank]
+            tracker = self.trackers[bank]
+            per_bank.append(
+                SimResult(
+                    tracker=tracker.name,
+                    trace=trace_name,
+                    intervals=self.intervals,
+                    demand_acts=self.bank_demand_acts[bank],
+                    refreshes=refreshes,
+                    mitigations=self.bank_mitigations[bank],
+                    transitive_mitigations=self.bank_transitive_mitigations[bank],
+                    pseudo_mitigations=tracker.pseudo_mitigations,
+                    flips=list(model.flips),
+                    max_disturbance=model.max_disturbance(),
+                    most_disturbed_row=model.most_disturbed_row(),
+                    max_unmitigated=dict(self._bank_peak[bank]),
+                )
+            )
+        return RankSimResult(
+            trace=trace_name,
+            intervals=self.intervals,
+            refreshes=refreshes,
+            per_bank=per_bank,
         )
 
     # ------------------------------------------------------------------
-    def _absorb_acts(self, acts: tuple[int, ...], time_ns: float) -> None:
-        """Feed one interval's demand ACTs to tracker, oracle, counters.
+    def _absorb_acts(
+        self, bank: int, acts: tuple[int, ...], time_ns: float
+    ) -> None:
+        """Feed one bank's share of an interval to tracker, oracle,
+        counters.
 
         The single source of the per-ACT bookkeeping. No mitigation
         lands mid-interval, so the oracle and the unmitigated-run
         counters absorb the whole batch in one pass each.
         """
-        self.demand_acts += len(acts)
-        tracker_on_activate = self.tracker.on_activate
+        self.bank_demand_acts[bank] += len(acts)
+        tracker_on_activate = self.trackers[bank].on_activate
         for row in acts:
             tracker_on_activate(row)
-        self.device.banks[0].activate_many(acts, time_ns)
-        since = self._since_mitigation
-        peak = self._peak_unmitigated
+        self.device.activate_many(bank, acts, time_ns)
+        since = self._bank_since[bank]
+        peak = self._bank_peak[bank]
         counts = self._counts
         counts.clear()
         counts.update(acts)
@@ -137,41 +288,82 @@ class BankSimulator:
             if total > peak.get(row, 0):
                 peak[row] = total
 
-    def _activate(self, row: int, time_ns: float) -> None:
-        """Single-ACT entry point (used by the feinting attack driver)."""
-        self._absorb_acts((row,), time_ns)
-
     def _refresh(self, time_ns: float) -> None:
-        self.device.auto_refresh(0, time_ns)
-        for request in self.tracker.on_refresh():
-            self._apply(request, time_ns)
+        """One rank-level REF: every bank sweeps its auto-refresh slice
+        and may land one tracker-directed mitigation."""
+        for bank in range(self.num_banks):
+            self.device.auto_refresh(bank, time_ns)
+            for request in self.trackers[bank].on_refresh():
+                self._apply(bank, request, time_ns)
 
-    def _apply(self, request: MitigationRequest, time_ns: float) -> None:
-        self.mitigations += 1
+    def _apply(
+        self, bank: int, request: MitigationRequest, time_ns: float
+    ) -> None:
+        self.bank_mitigations[bank] += 1
         if request.distance > 1:
-            self.transitive_mitigations += 1
+            self.bank_transitive_mitigations[bank] += 1
+        since = self._bank_since[bank]
         if isinstance(request, VictimRefreshRequest):
             # Victim-centric mitigation (ProTRR): refresh the named row;
             # the refresh itself disturbs that row's neighbours.
-            model = self.device.banks[0]
-            model.refresh_row(request.row, time_ns)
-            model.activate(request.row, time_ns)
-            model._disturbance.pop(request.row, None)
-            refreshed = [request.row]
+            refreshed = self.device.victim_refresh(bank, request.row, time_ns)
         else:
             refreshed = self.device.mitigate(
-                0, request.row, request.distance, time_ns
+                bank, request.row, request.distance, time_ns
             )
-            self._since_mitigation[request.row] = 0
+            since[request.row] = 0
+        tracker = self.trackers[bank]
         for victim in refreshed:
-            self._since_mitigation[victim] = 0
-            if self.tracker.observes_mitigations:
-                self.tracker.on_mitigation_activate(victim)
+            since[victim] = 0
+            if tracker.observes_mitigations:
+                tracker.on_mitigation_activate(victim)
 
     # ------------------------------------------------------------------
     @property
     def any_flip(self) -> bool:
         return self.device.any_flip
+
+
+class BankSimulator(RankSimulator):
+    """Runs traces against one tracker on one bank.
+
+    The classic single-bank entry point, now a thin shim over
+    :class:`RankSimulator` with ``num_banks=1``; results are
+    bit-identical to the pre-rank engine (pinned by the
+    rank-equivalence tests). :meth:`run` unwraps bank 0's
+    :class:`SimResult`.
+    """
+
+    def __init__(self, tracker: Tracker, config: EngineConfig | None = None) -> None:
+        c = config or EngineConfig()
+        if c.num_banks != 1:
+            c = replace(c, num_banks=1)
+        super().__init__(lambda _bank: tracker, c)
+        self.tracker = tracker
+
+    def run(self, trace: Trace) -> SimResult:  # type: ignore[override]
+        return super().run(trace).per_bank[0]
+
+    # Single-bank views kept for the feinting driver and older callers.
+    @property
+    def _since_mitigation(self) -> dict:
+        return self._bank_since[0]
+
+    @property
+    def mitigations(self) -> int:
+        return self.bank_mitigations[0]
+
+    @property
+    def transitive_mitigations(self) -> int:
+        return self.bank_transitive_mitigations[0]
+
+    @property
+    def demand_acts(self) -> int:
+        return self.bank_demand_acts[0]
+
+    def _activate(self, row: int, time_ns: float) -> None:
+        """Single-ACT entry point (used by the feinting attack driver)."""
+        self._absorb_acts(0, (row,), time_ns)
 
 
 def run_attack(
@@ -194,6 +386,30 @@ def run_attack(
         refi_per_refw=refi_per_refw,
     )
     return BankSimulator(tracker, config).run(trace)
+
+
+def run_rank_attack(
+    tracker_factory: Callable[[int], Tracker],
+    trace: Trace | RankTrace,
+    trh: float,
+    num_banks: int,
+    timing: DDR5Timing = DEFAULT_TIMING,
+    num_rows: int = 128 * 1024,
+    blast_radius: int = 1,
+    allow_postponement: bool = False,
+    refi_per_refw: int = 8192,
+) -> RankSimResult:
+    """One-call convenience wrapper around :class:`RankSimulator`."""
+    config = EngineConfig(
+        timing=timing,
+        trh=trh,
+        num_rows=num_rows,
+        blast_radius=blast_radius,
+        allow_postponement=allow_postponement,
+        refi_per_refw=refi_per_refw,
+        num_banks=num_banks,
+    )
+    return RankSimulator(tracker_factory, config).run(trace)
 
 
 def with_dmq(tracker: Tracker, timing: DDR5Timing = DEFAULT_TIMING) -> Tracker:

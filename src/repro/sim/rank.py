@@ -1,98 +1,32 @@
-"""Rank-level simulation: per-bank trackers plus system-level MTTF.
+"""Rank-level compatibility facade plus system-level MTTF helpers.
 
-Each bank of a DDR5 rank carries an independent tracker instance (the
-paper's storage numbers are all per-bank, scaled x32 per rank), and the
-attacker can hammer banks concurrently — but tFAW limits how many banks
-can sustain full activation rates at once (22 of 64 in the paper's
-system, Section VIII-B). The rank simulator runs per-bank attack traces
-against per-bank trackers and aggregates failures; the companion
-helpers convert per-bank MTTF into system MTTF.
+The rank engine itself now lives in :mod:`repro.sim.engine`:
+:class:`~repro.sim.engine.RankSimulator` owns one tracker instance per
+bank, drives the shared refresh scheduler, and accepts bank-addressed
+traces as well as the legacy one-row-trace-per-bank input format (with
+the tFAW concurrency ceiling enforced — 22 of 64 banks in the paper's
+system, Section VIII-B). This module re-exports it under its historical
+import path and keeps the MTTF conversion helpers: the paper's storage
+numbers are all per-bank (scaled ×32 per rank), and per-bank MTTF
+converts to system MTTF through the number of concurrently attackable
+banks.
+
+One deliberate behaviour change from the pre-rank class: the old
+``num_banks`` default of ``CONCURRENT_BANKS`` (22) is gone — the merged
+engine defaults to one bank, so pass ``num_banks`` explicitly (every
+in-repo caller always did).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
-
 from ..constants import CONCURRENT_BANKS
-from ..dram.timing import DDR5Timing, DEFAULT_TIMING
-from ..trackers.base import Tracker
-from .engine import BankSimulator, EngineConfig
-from .results import SimResult
-from .trace import Trace
+from .engine import RankSimulator
+from .results import RankSimResult
 
+#: Legacy name for the aggregated outcome of a rank-level run.
+RankResult = RankSimResult
 
-@dataclass
-class RankResult:
-    """Aggregated outcome of a rank-level run."""
-
-    per_bank: list[SimResult]
-
-    @property
-    def failed_banks(self) -> list[int]:
-        return [i for i, result in enumerate(self.per_bank) if result.failed]
-
-    @property
-    def any_flip(self) -> bool:
-        return bool(self.failed_banks)
-
-    @property
-    def total_mitigations(self) -> int:
-        return sum(result.mitigations for result in self.per_bank)
-
-
-class RankSimulator:
-    """Run per-bank traces against per-bank tracker instances.
-
-    Parameters
-    ----------
-    tracker_factory:
-        Called once per bank (with the bank index) to build that bank's
-        tracker. Each bank must get an independent instance — sharing
-        one tracker across banks would be both unrealistic and insecure.
-    concurrent_banks:
-        How many banks can be attacked at full rate simultaneously
-        (tFAW limit; 22 in the paper's system).
-    """
-
-    def __init__(
-        self,
-        tracker_factory: Callable[[int], Tracker],
-        num_banks: int = CONCURRENT_BANKS,
-        timing: DDR5Timing = DEFAULT_TIMING,
-        trh: float = 4800.0,
-        num_rows: int = 128 * 1024,
-        blast_radius: int = 1,
-        allow_postponement: bool = False,
-        concurrent_banks: int = CONCURRENT_BANKS,
-    ) -> None:
-        if num_banks < 1:
-            raise ValueError("num_banks must be >= 1")
-        self.concurrent_banks = min(concurrent_banks, num_banks)
-        config = EngineConfig(
-            timing=timing,
-            trh=trh,
-            num_rows=num_rows,
-            blast_radius=blast_radius,
-            allow_postponement=allow_postponement,
-        )
-        self.simulators = [
-            BankSimulator(tracker_factory(bank), config)
-            for bank in range(num_banks)
-        ]
-
-    def run(self, traces: list[Trace]) -> RankResult:
-        """Run one trace per bank; excess traces beyond the tFAW limit
-        are rejected (the attacker cannot sustain them)."""
-        if len(traces) > self.concurrent_banks:
-            raise ValueError(
-                f"tFAW limits concurrent full-rate banks to "
-                f"{self.concurrent_banks}; got {len(traces)} traces"
-            )
-        results = []
-        for simulator, trace in zip(self.simulators, traces):
-            results.append(simulator.run(trace))
-        return RankResult(per_bank=results)
+__all__ = ["RankResult", "RankSimResult", "RankSimulator", "system_mttf_years"]
 
 
 def system_mttf_years(

@@ -45,3 +45,90 @@ class SimResult:
             f"({self.transitive_mitigations} transitive), "
             f"max disturbance {self.max_disturbance:.0f}"
         )
+
+
+@dataclass
+class RankSimResult:
+    """Outcome of running one trace against a rank of per-bank trackers.
+
+    Carries one :class:`SimResult` per bank plus the rank-level
+    aggregates; also serves as the result type of the legacy per-bank
+    fan-out API (``RankResult`` is an alias, and the legacy
+    ``RankResult(per_bank=...)`` construction still works — the
+    rank-level fields default to empty and derive nothing from it).
+    """
+
+    trace: str = ""
+    intervals: int = 0
+    refreshes: int = 0
+    per_bank: list[SimResult] = field(default_factory=list)
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.per_bank)
+
+    @property
+    def tracker(self) -> str:
+        """The tracker family (per-bank instances share the name)."""
+        names = list(dict.fromkeys(r.tracker for r in self.per_bank))
+        return names[0] if len(names) == 1 else ",".join(names)
+
+    @property
+    def demand_acts(self) -> int:
+        return sum(r.demand_acts for r in self.per_bank)
+
+    @property
+    def mitigations(self) -> int:
+        return sum(r.mitigations for r in self.per_bank)
+
+    #: Legacy name from the per-bank fan-out API.
+    total_mitigations = mitigations
+
+    @property
+    def transitive_mitigations(self) -> int:
+        return sum(r.transitive_mitigations for r in self.per_bank)
+
+    @property
+    def pseudo_mitigations(self) -> int:
+        return sum(r.pseudo_mitigations for r in self.per_bank)
+
+    @property
+    def flips(self) -> list[FlipEvent]:
+        return [flip for r in self.per_bank for flip in r.flips]
+
+    @property
+    def failed_banks(self) -> list[int]:
+        return [bank for bank, r in enumerate(self.per_bank) if r.failed]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failed_banks)
+
+    @property
+    def any_flip(self) -> bool:
+        return self.failed
+
+    @property
+    def max_disturbance(self) -> float:
+        return max((r.max_disturbance for r in self.per_bank), default=0.0)
+
+    def bank(self, index: int) -> SimResult:
+        return self.per_bank[index]
+
+    def summary(self) -> str:
+        status = "FLIP" if self.failed else "ok"
+        lines = [
+            f"[{status}] {self.tracker} vs {self.trace} "
+            f"({self.num_banks} banks): {self.demand_acts} ACTs / "
+            f"{self.intervals} tREFI, {self.mitigations} mitigations, "
+            f"failed banks {self.failed_banks or 'none'}"
+        ]
+        for bank, result in enumerate(self.per_bank):
+            bank_status = "FLIP" if result.failed else "ok"
+            lines.append(
+                f"  bank {bank}: [{bank_status}] "
+                f"{result.demand_acts} ACTs, "
+                f"{result.mitigations} mitigations, "
+                f"max disturbance {result.max_disturbance:.0f}"
+            )
+        return "\n".join(lines)

@@ -4,12 +4,28 @@ A trace is a sequence of :class:`Interval` objects — one per tREFI.
 Each interval carries up to MaxACT row activations (the tRC budget)
 and a flag asking the memory controller to postpone the REF that would
 close the interval (granted only while fewer than four are owed).
+
+Traces come in two address widths:
+
+* :class:`Trace` — row-only ACT streams, the historical single-bank
+  format. The engine auto-lifts these to bank 0 (``Interval.per_bank``
+  is the lifting seam), so every pre-rank caller keeps working and
+  produces bit-identical results.
+* :class:`RankTrace` — bank-addressed streams whose intervals carry
+  ``(bank, row)`` pairs, the input of the rank-level engine. Per-bank
+  projections (:meth:`RankTrace.bank_trace`) and the inverse merge
+  (:meth:`RankTrace.from_bank_traces`) convert between the two widths.
+
+The REF-postponement flag is rank-scoped in both formats: refresh
+scheduling is a rank-level memory-controller decision, so merging
+per-bank traces ORs their flags.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping, Sequence
 
 
 @dataclass(frozen=True)
@@ -22,6 +38,47 @@ class Interval:
     @staticmethod
     def of(acts: Iterable[int], postpone: bool = False) -> "Interval":
         return Interval(tuple(acts), postpone)
+
+    @property
+    def per_bank(self) -> tuple[tuple[int, tuple[int, ...]], ...]:
+        """Bank-addressed view: a row-only interval is bank 0's stream."""
+        return ((0, self.acts),)
+
+
+@dataclass(frozen=True)
+class RankInterval:
+    """One tREFI worth of bank-addressed demand activations.
+
+    ``acts`` holds ``(bank, row)`` pairs in issue order. The per-bank
+    split is cached on the instance because attack generators share one
+    interval object across thousands of tREFIs (``repeat_interval``),
+    so the engine pays the grouping cost once per distinct interval.
+    """
+
+    acts: tuple[tuple[int, int], ...]
+    postpone: bool = False
+
+    @staticmethod
+    def of(
+        acts: Iterable[tuple[int, int]], postpone: bool = False
+    ) -> "RankInterval":
+        return RankInterval(tuple((b, r) for b, r in acts), postpone)
+
+    @cached_property
+    def per_bank(self) -> tuple[tuple[int, tuple[int, ...]], ...]:
+        """ACTs grouped by bank (ascending), issue order kept per bank."""
+        grouped: dict[int, list[int]] = {}
+        for bank, row in self.acts:
+            grouped.setdefault(bank, []).append(row)
+        return tuple(
+            (bank, tuple(rows)) for bank, rows in sorted(grouped.items())
+        )
+
+    def acts_for_bank(self, bank: int) -> tuple[int, ...]:
+        for b, rows in self.per_bank:
+            if b == bank:
+                return rows
+        return ()
 
 
 @dataclass
@@ -57,9 +114,153 @@ class Trace:
                 )
 
 
+@dataclass
+class RankTrace:
+    """A named, bounded stream of bank-addressed intervals."""
+
+    name: str
+    intervals: list[RankInterval] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[RankInterval]:
+        return iter(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def total_acts(self) -> int:
+        return sum(len(interval.acts) for interval in self.intervals)
+
+    def banks_touched(self) -> set[int]:
+        banks: set[int] = set()
+        for interval in self.intervals:
+            for bank, _rows in interval.per_bank:
+                banks.add(bank)
+        return banks
+
+    def rows_touched(self, bank: int | None = None) -> set[int]:
+        """Rows activated anywhere in the trace (optionally one bank's)."""
+        rows: set[int] = set()
+        for interval in self.intervals:
+            for b, r in interval.acts:
+                if bank is None or b == bank:
+                    rows.add(r)
+        return rows
+
+    def validate(
+        self,
+        max_act: int,
+        num_banks: int | None = None,
+        concurrent_banks: int | None = None,
+    ) -> None:
+        """Reject traces that break the per-bank or rank-level budgets.
+
+        ``max_act`` is the per-bank tRC budget of one tREFI;
+        ``num_banks`` bounds the bank address space; ``concurrent_banks``
+        enforces the tFAW ceiling on how many banks can sustain demand
+        activations within one interval (22 of 64 in the paper's rank).
+        """
+        for index, interval in enumerate(self.intervals):
+            split = interval.per_bank
+            if concurrent_banks is not None and len(split) > concurrent_banks:
+                raise ValueError(
+                    f"interval {index} activates {len(split)} banks, but "
+                    f"tFAW sustains at most {concurrent_banks} concurrently"
+                )
+            for bank, rows in split:
+                if bank < 0:
+                    raise ValueError(
+                        f"interval {index} addresses negative bank {bank}"
+                    )
+                if num_banks is not None and bank >= num_banks:
+                    raise ValueError(
+                        f"interval {index} addresses bank {bank}, but the "
+                        f"rank has {num_banks} banks"
+                    )
+                if len(rows) > max_act:
+                    raise ValueError(
+                        f"interval {index} has {len(rows)} ACTs on bank "
+                        f"{bank}, but at most {max_act} fit in one tREFI"
+                    )
+
+    # ------------------------------------------------------------------
+    # Conversions to/from the row-only single-bank format
+    # ------------------------------------------------------------------
+    def bank_trace(self, bank: int) -> Trace:
+        """Project one bank's stream (same length; other banks' ACTs
+        dropped, rank-level postpone flags kept)."""
+        return Trace(
+            name=self.name,
+            intervals=[
+                Interval(interval.acts_for_bank(bank), interval.postpone)
+                for interval in self.intervals
+            ],
+        )
+
+    def bank_traces(self) -> dict[int, Trace]:
+        """Per-bank projections for every bank the trace touches."""
+        return {
+            bank: self.bank_trace(bank) for bank in sorted(self.banks_touched())
+        }
+
+    @classmethod
+    def from_bank_traces(
+        cls,
+        name: str,
+        traces: Mapping[int, Trace] | Sequence[Trace],
+    ) -> "RankTrace":
+        """Merge per-bank row traces into one rank trace.
+
+        A sequence assigns trace ``i`` to bank ``i``. Shorter traces are
+        padded with idle intervals to the longest; an interval's
+        postpone flag is the OR of the banks' flags (postponement is a
+        rank-level REF decision).
+        """
+        if not isinstance(traces, Mapping):
+            traces = dict(enumerate(traces))
+        if not traces:
+            return cls(name=name, intervals=[])
+        length = max(len(trace) for trace in traces.values())
+        intervals = []
+        for i in range(length):
+            acts: list[tuple[int, int]] = []
+            postpone = False
+            for bank in sorted(traces):
+                trace = traces[bank]
+                if i >= len(trace.intervals):
+                    continue
+                interval = trace.intervals[i]
+                acts.extend((bank, row) for row in interval.acts)
+                postpone = postpone or interval.postpone
+            intervals.append(RankInterval(tuple(acts), postpone))
+        return cls(name=name, intervals=intervals)
+
+
+def lift_trace(trace: Trace, bank: int = 0) -> RankTrace:
+    """Lift a row-only trace onto one bank of a rank."""
+    return RankTrace(
+        name=trace.name,
+        intervals=[
+            RankInterval(
+                tuple((bank, row) for row in interval.acts), interval.postpone
+            )
+            for interval in trace.intervals
+        ],
+    )
+
+
 def repeat_interval(
     acts: Iterable[int], count: int, postpone: bool = False
 ) -> list[Interval]:
     """``count`` identical intervals (the classic-attack building block)."""
     interval = Interval.of(acts, postpone)
+    return [interval] * count
+
+
+def repeat_rank_interval(
+    acts: Iterable[tuple[int, int]], count: int, postpone: bool = False
+) -> list[RankInterval]:
+    """``count`` identical bank-addressed intervals (sharing one object,
+    so the engine's per-interval bank split is computed once)."""
+    interval = RankInterval.of(acts, postpone)
     return [interval] * count

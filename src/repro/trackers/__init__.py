@@ -9,7 +9,12 @@ from .prac import PracTracker, prac_throughput_cost, prac_timing
 from .prct import PrctTracker
 from .pride import PrideTracker
 from .protrr import ProTrrTracker, VictimRefreshRequest
-from .registry import available_trackers, make_tracker, register
+from .registry import (
+    available_trackers,
+    bank_tracker_factory,
+    make_tracker,
+    register,
+)
 from .trr import TrrTracker
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "TrrTracker",
     "VictimRefreshRequest",
     "available_trackers",
+    "bank_tracker_factory",
     "make_tracker",
     "prac_throughput_cost",
     "prac_timing",

@@ -47,11 +47,19 @@ class Tracker(abc.ABC):
         True for counter-based designs whose counters are incremented by
         the activations that victim refreshes perform (this is what makes
         PRCT and Mithril immune to transitive attacks, Section V-G).
+    ``pseudo_mitigations``
+        Declared counter of :meth:`pseudo_refresh` hand-offs performed
+        under refresh postponement. Plain trackers never pseudo-refresh,
+        so the class default of 0 stands; wrappers that do (the Delayed
+        Mitigation Queue) maintain an instance counter. The simulation
+        engine reads this attribute directly when assembling results —
+        it is part of the tracker interface, not duck-typed.
     """
 
     name: str = "tracker"
     centric: str = "past"
     observes_mitigations: bool = False
+    pseudo_mitigations: int = 0
 
     @abc.abstractmethod
     def on_activate(self, row: int) -> None:

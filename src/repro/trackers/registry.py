@@ -70,6 +70,40 @@ def available_trackers() -> list[str]:
     return sorted(_FACTORIES)
 
 
+def bank_tracker_factory(
+    name: str,
+    base_seed: int | None = None,
+    dmq: bool = False,
+    max_act: int = 73,
+    dmq_depth: int = 4,
+    **kwargs,
+) -> Callable[[int], Tracker]:
+    """A per-bank tracker factory for :class:`~repro.sim.engine.RankSimulator`.
+
+    Returns a callable mapping a bank index to a *fresh* tracker
+    instance. Each bank's randomness derives from ``stable_seed(base_seed,
+    "bank-tracker", bank)``, so rank runs are reproducible and the
+    per-bank streams are independent — sharing one RNG (or one tracker)
+    across banks would couple their sampling decisions.
+    """
+
+    def factory(bank: int) -> Tracker:
+        rng = None
+        if base_seed is not None:
+            # Imported lazily: repro.sim imports repro.trackers.base at
+            # package init, so a module-level import here would be
+            # circular.
+            from ..sim.seeding import stable_seed
+
+            rng = random.Random(stable_seed(base_seed, "bank-tracker", bank))
+        return make_tracker(
+            name, rng=rng, dmq=dmq, max_act=max_act, dmq_depth=dmq_depth,
+            **kwargs,
+        )
+
+    return factory
+
+
 # ---------------------------------------------------------------------
 # Built-in factories. Each accepts (rng, max_act, **extra) even when it
 # ignores one of them, so make_tracker can treat them uniformly.

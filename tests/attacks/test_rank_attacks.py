@@ -1,0 +1,144 @@
+"""Tests for the cross-bank attack generators and the rank registry."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    AttackParams,
+    available_rank_attacks,
+    bank_interleaved,
+    cross_bank_decoy,
+    double_sided,
+    is_rank_attack,
+    make_rank_attack,
+    rank_stripe,
+)
+from repro.sim.trace import RankTrace
+
+PARAMS = AttackParams(max_act=8, intervals=24, base_row=1000)
+
+
+class TestBankInterleaved:
+    def test_interval_scheme_round_robins_whole_intervals(self):
+        base = double_sided(PARAMS, victim=1000)
+        trace = bank_interleaved(base, 4)
+        assert len(trace) == len(base)
+        for i, interval in enumerate(trace):
+            banks = {bank for bank, _row in interval.acts}
+            assert banks == {i % 4}
+
+    def test_act_scheme_splits_each_interval(self):
+        base = double_sided(PARAMS, victim=1000)
+        trace = bank_interleaved(base, 4, scheme="act")
+        first = trace.intervals[0]
+        assert {bank for bank, _row in first.acts} == {0, 1, 2, 3}
+        # Per-bank slices respect the per-bank ACT budget by construction.
+        trace.validate(max_act=PARAMS.max_act, num_banks=4)
+
+    def test_preserves_rows_and_postpone(self):
+        base = double_sided(PARAMS, victim=1000)
+        trace = bank_interleaved(base, 2)
+        assert trace.rows_touched() == base.rows_touched()
+        assert [i.postpone for i in trace] == [
+            i.postpone for i in base.intervals
+        ]
+
+    def test_validates_inputs(self):
+        base = double_sided(PARAMS, victim=1000)
+        with pytest.raises(ValueError):
+            bank_interleaved(base, 0)
+        with pytest.raises(ValueError):
+            bank_interleaved(base, 2, scheme="diagonal")
+
+
+class TestCrossBankDecoy:
+    def test_decoys_and_target_live_on_different_banks(self):
+        trace = cross_bank_decoy(900, 4, PARAMS, postponed=4)
+        assert 900 in trace.rows_touched(bank=0)
+        for bank in (1, 2, 3):
+            assert 900 not in trace.rows_touched(bank=bank)
+            assert trace.rows_touched(bank=bank)  # decoys present
+
+    def test_postpone_pattern_matches_super_window(self):
+        trace = cross_bank_decoy(900, 2, PARAMS, postponed=4)
+        flags = [interval.postpone for interval in trace]
+        # Window: decoy(True), 3x hammer(True), final hammer(False).
+        assert flags[:5] == [True, True, True, True, False]
+
+    def test_respects_per_bank_budget(self):
+        trace = cross_bank_decoy(900, 4, PARAMS, postponed=4)
+        trace.validate(max_act=PARAMS.max_act, num_banks=4)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            cross_bank_decoy(900, 1, PARAMS)
+        with pytest.raises(ValueError):
+            cross_bank_decoy(900, 4, PARAMS, postponed=0)
+        with pytest.raises(ValueError):
+            cross_bank_decoy(900, 4, PARAMS, target_bank=4)
+
+
+class TestRankStripe:
+    def test_every_bank_hammered_at_full_rate(self):
+        trace = rank_stripe(12, 4, PARAMS)
+        assert trace.banks_touched() == {0, 1, 2, 3}
+        first = trace.intervals[0]
+        for _bank, rows in first.per_bank:
+            assert len(rows) == PARAMS.max_act
+
+    def test_aggressor_sets_disjoint_across_banks(self):
+        trace = rank_stripe(12, 4, PARAMS)
+        rows = [trace.rows_touched(bank=b) for b in range(4)]
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not rows[a] & rows[b]
+
+    def test_fewer_sides_than_banks_leaves_banks_idle(self):
+        """The aggressor count is exactly ``sides`` — never inflated to
+        fill the rank."""
+        trace = rank_stripe(2, 4, PARAMS)
+        assert trace.banks_touched() == {0, 1}
+        assert len(trace.rows_touched()) == 2
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            rank_stripe(0, 4, PARAMS)
+        with pytest.raises(ValueError):
+            rank_stripe(12, 0, PARAMS)
+
+
+class TestRankRegistry:
+    def test_rank_attacks_registered(self):
+        assert available_rank_attacks() == [
+            "bank-interleaved", "cross-bank-decoy", "rank-stripe",
+        ]
+        assert is_rank_attack("RANK-STRIPE")
+        assert not is_rank_attack("double-sided")
+
+    def test_make_rank_attack_builds_rank_traces(self):
+        for name in available_rank_attacks():
+            trace = make_rank_attack(name, PARAMS, num_banks=2)
+            assert isinstance(trace, RankTrace)
+            assert trace.banks_touched() <= {0, 1}
+
+    def test_row_only_names_auto_interleave(self):
+        trace = make_rank_attack("double-sided", PARAMS, num_banks=3)
+        assert isinstance(trace, RankTrace)
+        assert trace.banks_touched() == {0, 1, 2}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_rank_attack("no-such-attack", PARAMS)
+
+    def test_deterministic_under_seeded_rng(self):
+        a = make_rank_attack(
+            "bank-interleaved", PARAMS, rng=random.Random(5),
+            num_banks=4, base="blacksmith", count=4,
+        )
+        b = make_rank_attack(
+            "bank-interleaved", PARAMS, rng=random.Random(5),
+            num_banks=4, base="blacksmith", count=4,
+        )
+        assert [i.acts for i in a] == [i.acts for i in b]
+        assert a.name == b.name

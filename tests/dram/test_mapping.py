@@ -1,8 +1,8 @@
-"""Tests for logical/physical row mapping."""
+"""Tests for logical/physical row mapping and rank address decode."""
 
 import pytest
 
-from repro.dram.mapping import RowMapping, ScrambledRowMapping
+from repro.dram.mapping import RankAddressMap, RowMapping, ScrambledRowMapping
 
 
 class TestIdentityMapping:
@@ -53,3 +53,43 @@ class TestScrambledMapping:
         a = ScrambledRowMapping(1 << 10, key=1)
         b = ScrambledRowMapping(1 << 10, key=999999)
         assert any(a.to_physical(r) != b.to_physical(r) for r in range(100))
+
+
+class TestRankAddressMap:
+    def test_interleaved_stripes_consecutive_addresses(self):
+        mapping = RankAddressMap(4, 16)
+        assert [mapping.decode(a)[0] for a in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+        assert mapping.decode(4) == (0, 1)
+
+    def test_row_major_fills_banks_in_turn(self):
+        mapping = RankAddressMap(4, 16, policy="row-major")
+        assert mapping.decode(0) == (0, 0)
+        assert mapping.decode(15) == (0, 15)
+        assert mapping.decode(16) == (1, 0)
+
+    @pytest.mark.parametrize("policy", RankAddressMap.POLICIES)
+    def test_round_trip_bijection(self, policy):
+        mapping = RankAddressMap(3, 8, policy=policy)
+        decoded = {mapping.decode(a) for a in range(mapping.num_addresses)}
+        assert len(decoded) == 24
+        for address in range(mapping.num_addresses):
+            assert mapping.encode(*mapping.decode(address)) == address
+
+    def test_out_of_range_rejected(self):
+        mapping = RankAddressMap(2, 8)
+        with pytest.raises(ValueError):
+            mapping.decode(16)
+        with pytest.raises(ValueError):
+            mapping.encode(2, 0)
+        with pytest.raises(ValueError):
+            mapping.encode(0, 8)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ValueError):
+            RankAddressMap(0, 8)
+        with pytest.raises(ValueError):
+            RankAddressMap(2, 0)
+        with pytest.raises(ValueError):
+            RankAddressMap(2, 8, policy="diagonal")

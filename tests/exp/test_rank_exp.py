@@ -1,0 +1,183 @@
+"""Rank-level experiment points: determinism, metrics shape, CLI."""
+
+import json
+
+from repro.cli import main
+from repro.exp import (
+    AttackSpec,
+    ExperimentGrid,
+    PointConfig,
+    TrackerSpec,
+    preset_grid,
+    rank_shootout_grid,
+    run_grid,
+    run_point,
+)
+
+BASE_SEED = 42
+
+
+def rank_fast_grid():
+    """A 4-point rank grid in the scaled regime: milliseconds per point."""
+    return ExperimentGrid(
+        trackers=[TrackerSpec.of("mint"), TrackerSpec.of("para")],
+        attacks=[
+            AttackSpec.of("bank-interleaved", base="single-sided"),
+            AttackSpec.of("rank-stripe", sides=6),
+        ],
+        configs=[
+            PointConfig(
+                trh=60.0,
+                intervals=64,
+                max_act=8,
+                num_rows=1024,
+                refi_per_refw=64,
+                scaled_timing=True,
+                num_banks=4,
+            )
+        ],
+    )
+
+
+def canonical(report) -> str:
+    return json.dumps(
+        [result.to_payload() for result in report.results], sort_keys=True
+    )
+
+
+class TestRankDeterminism:
+    def test_bank_interleaved_one_vs_four_workers_bit_identical(self):
+        """Rank points keep the runner's fan-out guarantee: worker
+        count never changes bank-interleaved results."""
+        serial = run_grid(rank_fast_grid(), base_seed=BASE_SEED, n_workers=1)
+        pooled = run_grid(rank_fast_grid(), base_seed=BASE_SEED, n_workers=4)
+        assert serial.total == pooled.total == 4
+        assert canonical(serial) == canonical(pooled)
+
+    def test_repeat_run_identical(self):
+        first = run_grid(rank_fast_grid(), base_seed=BASE_SEED, n_workers=2)
+        second = run_grid(rank_fast_grid(), base_seed=BASE_SEED, n_workers=2)
+        assert canonical(first) == canonical(second)
+
+    def test_bank_count_changes_fingerprint(self):
+        point = rank_fast_grid().points()[0]
+        narrower = rank_fast_grid()
+        narrower.configs[0] = PointConfig(
+            **{**narrower.configs[0].to_payload(), "num_banks": 2}
+        )
+        assert (
+            point.fingerprint(BASE_SEED)
+            != narrower.points()[0].fingerprint(BASE_SEED)
+        )
+
+
+class TestRankMetrics:
+    def test_per_bank_metrics_shape(self):
+        result = run_point(rank_fast_grid().points()[0], base_seed=BASE_SEED)
+        assert result.num_banks == 4
+        per_bank = result.per_bank_metrics
+        assert len(per_bank) == 4
+        assert result.metrics["demand_acts"] == sum(
+            bank["demand_acts"] for bank in per_bank
+        )
+        assert result.metrics["failed"] == bool(
+            result.metrics["failed_banks"]
+        )
+
+    def test_max_unmitigated_merged_across_banks(self):
+        """The Table-IV accessor works on rank points: the top-level map
+        is the row-wise maximum over the banks."""
+        result = run_point(rank_fast_grid().points()[0], base_seed=BASE_SEED)
+        merged = result.metrics["max_unmitigated"]
+        assert merged
+        for row, value in merged.items():
+            assert value == max(
+                bank["max_unmitigated"].get(row, 0)
+                for bank in result.per_bank_metrics
+            )
+            assert result.max_unmitigated(int(row)) == value
+
+    def test_single_bank_points_keep_flat_metrics(self):
+        grid = rank_fast_grid()
+        grid.attacks = [AttackSpec.of("single-sided")]
+        grid.configs[0] = PointConfig(
+            **{**grid.configs[0].to_payload(), "num_banks": 1}
+        )
+        result = run_point(grid.points()[0], base_seed=BASE_SEED)
+        assert result.num_banks == 1
+        assert result.per_bank_metrics == []
+        assert "per_bank" not in result.metrics
+
+    def test_rank_attack_on_single_bank_config_still_ranks(self):
+        """A rank-registry attack forces the rank engine even when the
+        config says one bank."""
+        grid = rank_fast_grid()
+        grid.configs[0] = PointConfig(
+            **{**grid.configs[0].to_payload(), "num_banks": 1}
+        )
+        result = run_point(grid.points()[0], base_seed=BASE_SEED)
+        assert result.num_banks == 1
+        assert len(result.per_bank_metrics) == 1
+
+
+class TestRankPreset:
+    def test_rank_shootout_grid_shape(self):
+        grid = rank_shootout_grid()
+        assert len(grid) == 4 * 4 * 2
+        banks = {config.num_banks for config in grid.configs}
+        assert banks == {2, 4}
+
+    def test_preset_kwargs_forwarded(self):
+        grid = preset_grid("rank-shootout", banks=(8,))
+        assert {config.num_banks for config in grid.configs} == {8}
+
+    def test_unknown_preset_kwarg_raises_typeerror(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            preset_grid("rank-shootout", bogus=1)
+
+
+class TestRankCli:
+    def test_exp_run_with_banks_prints_per_bank_lines(self, capsys):
+        code = main([
+            "exp", "run",
+            "--trackers", "mint",
+            "--attacks", "rank-stripe",
+            "--banks", "2",
+            "--intervals", "40",
+            "--trh", "1000000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank-stripe@2b" in out
+        assert "bank 0:" in out and "bank 1:" in out
+
+    def test_banks_rejected_for_non_rank_preset(self, capsys):
+        code = main(["exp", "run", "--preset", "shootout", "--banks", "4"])
+        assert code == 2
+        assert "rank-shootout" in capsys.readouterr().out
+
+    def test_invalid_point_is_a_clean_usage_error(self, capsys):
+        """cross-bank-decoy needs >= 2 banks; without --banks the point
+        is invalid and must exit 2 with the generator's message, not a
+        traceback."""
+        code = main([
+            "exp", "run",
+            "--trackers", "mint",
+            "--attacks", "cross-bank-decoy",
+            "--intervals", "20",
+        ])
+        assert code == 2
+        assert "at least 2 banks" in capsys.readouterr().out
+
+    def test_banks_above_tfaw_ceiling_is_a_clean_usage_error(self, capsys):
+        code = main([
+            "exp", "run",
+            "--trackers", "mint",
+            "--attacks", "cross-bank-decoy",
+            "--banks", "24",
+            "--intervals", "20",
+        ])
+        assert code == 2
+        assert "tFAW" in capsys.readouterr().out

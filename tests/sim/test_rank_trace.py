@@ -1,0 +1,112 @@
+"""Tests for bank-addressed traces and their row-only conversions."""
+
+import pytest
+
+from repro.sim.trace import (
+    Interval,
+    RankInterval,
+    RankTrace,
+    Trace,
+    lift_trace,
+    repeat_interval,
+    repeat_rank_interval,
+)
+
+
+class TestIntervalLifting:
+    def test_row_only_interval_is_bank_zero(self):
+        interval = Interval.of([1, 2, 1])
+        assert interval.per_bank == ((0, (1, 2, 1)),)
+
+    def test_rank_interval_groups_by_bank(self):
+        interval = RankInterval.of([(1, 10), (0, 20), (1, 11), (0, 21)])
+        assert interval.per_bank == ((0, (20, 21)), (1, (10, 11)))
+
+    def test_rank_interval_preserves_order_within_bank(self):
+        interval = RankInterval.of([(0, 5), (0, 3), (0, 5)])
+        assert interval.acts_for_bank(0) == (5, 3, 5)
+        assert interval.acts_for_bank(7) == ()
+
+    def test_per_bank_cached_on_shared_interval(self):
+        intervals = repeat_rank_interval([(0, 1), (1, 2)], 100)
+        assert intervals[0] is intervals[99]
+        assert intervals[0].per_bank is intervals[99].per_bank
+
+
+class TestRankTrace:
+    def trace(self):
+        return RankTrace(
+            "t",
+            [
+                RankInterval.of([(0, 1), (1, 5)]),
+                RankInterval.of([(1, 5), (1, 6)], postpone=True),
+            ],
+        )
+
+    def test_counting(self):
+        trace = self.trace()
+        assert len(trace) == 2
+        assert trace.total_acts == 4
+        assert trace.banks_touched() == {0, 1}
+        assert trace.rows_touched() == {1, 5, 6}
+        assert trace.rows_touched(bank=0) == {1}
+
+    def test_budget_validation_is_per_bank(self):
+        # 3 ACTs in one interval, but at most 2 on any single bank.
+        trace = RankTrace(
+            "t", [RankInterval.of([(0, 1), (0, 2), (1, 3)])]
+        )
+        trace.validate(max_act=2)
+        with pytest.raises(ValueError):
+            trace.validate(max_act=1)
+
+    def test_bank_range_validation(self):
+        trace = self.trace()
+        trace.validate(max_act=8, num_banks=2)
+        with pytest.raises(ValueError):
+            trace.validate(max_act=8, num_banks=1)
+
+    def test_tfaw_validation(self):
+        trace = RankTrace(
+            "t", [RankInterval.of([(b, 1) for b in range(4)])]
+        )
+        trace.validate(max_act=8, concurrent_banks=4)
+        with pytest.raises(ValueError):
+            trace.validate(max_act=8, concurrent_banks=3)
+
+    def test_negative_bank_rejected(self):
+        trace = RankTrace("t", [RankInterval.of([(-1, 1)])])
+        with pytest.raises(ValueError):
+            trace.validate(max_act=8)
+
+
+class TestConversions:
+    def test_lift_then_project_round_trips(self):
+        base = Trace("base", repeat_interval([7, 8], 3, postpone=True))
+        lifted = lift_trace(base, bank=2)
+        assert lifted.banks_touched() == {2}
+        projected = lifted.bank_trace(2)
+        assert [i.acts for i in projected] == [i.acts for i in base]
+        assert all(i.postpone for i in projected)
+
+    def test_merge_pads_and_ors_postpone(self):
+        a = Trace("a", [Interval.of([1]), Interval.of([2], postpone=True)])
+        b = Trace("b", [Interval.of([9])])
+        merged = RankTrace.from_bank_traces("m", [a, b])
+        assert len(merged) == 2
+        assert merged.intervals[0].acts == ((0, 1), (1, 9))
+        # Bank 1 ran out of intervals; bank 0's postpone flag survives.
+        assert merged.intervals[1].acts == ((0, 2),)
+        assert merged.intervals[1].postpone
+
+    def test_merge_then_project_recovers_banks(self):
+        a = Trace("a", repeat_interval([1, 2], 2))
+        b = Trace("b", repeat_interval([3], 2))
+        merged = RankTrace.from_bank_traces("m", {0: a, 3: b})
+        traces = merged.bank_traces()
+        assert sorted(traces) == [0, 3]
+        assert [i.acts for i in traces[0]] == [(1, 2), (1, 2)]
+        assert [i.acts for i in traces[3]] == [(3,), (3,)]
+
+    def test_merge_empty(self):
+        assert len(RankTrace.from_bank_traces("m", [])) == 0
