@@ -1,16 +1,23 @@
-"""Rank-level simulation throughput must degrade sub-linearly in banks.
+"""Rank-level simulation throughput: scaling in banks, kernel speedup.
 
-The rank engine dispatches each interval's ACT batch per bank through
-the batched ``activate_many`` hot path, so the per-ACT cost should be
-nearly flat as banks are added: driving B banks at full rate costs ~B×
-the *work* of one bank (B× the ACTs), not B× the *per-ACT overhead*.
-The check pins throughput (ACTs simulated per second) at 4 banks to at
-least a large fraction of the single-bank figure; a regression to
-per-bank per-ACT dispatch (or per-ACT allocation in the bank split)
-trips it.
+Two pins on the engine's hot loop:
+
+* Sub-linear bank scaling — the engine dispatches each interval's ACT
+  batch per bank through the batched ``activate_many`` hot path, so the
+  per-ACT cost should be nearly flat as banks are added: driving B
+  banks at full rate costs ~B× the *work* of one bank (B× the ACTs),
+  not B× the *per-ACT overhead*.
+* Vectorized-kernel speedup — the NumPy activation kernel (array
+  interval views + shared per-unique-row aggregation + batched
+  oracle/tracker updates) must beat the scalar per-ACT engine it
+  replaced by at least 2× at 8 banks, while producing a bit-identical
+  :class:`~repro.sim.results.RankSimResult` (the scalar path *is* the
+  pre-vectorization engine, so this doubles as the no-regression pin).
 """
 
+import json
 import time
+from dataclasses import asdict
 
 from conftest import print_header, print_rows
 
@@ -25,10 +32,13 @@ MAX_ACT = 73
 #: 1-bank throughput (1.0 == perfectly flat hot loop; linear
 #: degradation would put it near 0.25).
 MIN_RETAINED = 0.35
+#: Floor on the vectorized kernel's speedup over the scalar engine at
+#: 8 banks (measured ~3.3× for MINT on the reference machine).
+MIN_KERNEL_SPEEDUP = 2.0
 
 
-def _throughput(num_banks: int) -> tuple[float, int]:
-    """Best-of-3 ACTs/second for a full-rate ``num_banks`` rank run."""
+def _run(num_banks: int, vectorized: bool | None = None):
+    """Best-of-3 (result, ACTs/second) for a full-rate rank run."""
     params = AttackParams(
         max_act=MAX_ACT, intervals=INTERVALS, base_row=1000
     )
@@ -36,15 +46,21 @@ def _throughput(num_banks: int) -> tuple[float, int]:
     total_acts = trace.total_acts
     assert total_acts == num_banks * MAX_ACT * INTERVALS
     best = float("inf")
+    result = None
     for _ in range(3):
         simulator = RankSimulator(
             bank_tracker_factory("mint", base_seed=7),
-            EngineConfig(num_banks=num_banks, trh=1e9),
+            EngineConfig(num_banks=num_banks, trh=1e9, vectorized=vectorized),
         )
         started = time.perf_counter()
-        simulator.run(trace)
+        result = simulator.run(trace)
         best = min(best, time.perf_counter() - started)
-    return total_acts / best, total_acts
+    return result, total_acts / best, total_acts
+
+
+def _throughput(num_banks: int) -> tuple[float, int]:
+    _, acts_per_second, total_acts = _run(num_banks)
+    return acts_per_second, total_acts
 
 
 def test_rank_throughput_scales_sublinearly_in_banks():
@@ -65,4 +81,32 @@ def test_rank_throughput_scales_sublinearly_in_banks():
         f"4-bank throughput retained only {retained:.2f} of the 1-bank "
         f"figure (floor {MIN_RETAINED}); the per-bank hot loop has "
         f"regressed toward per-ACT dispatch"
+    )
+
+
+def test_vectorized_kernel_speedup_and_bit_identity():
+    """The NumPy kernel is ≥2× the scalar engine at 8 banks, same bits."""
+    scalar_result, scalar_tp, total_acts = _run(8, vectorized=False)
+    vector_result, vector_tp, _ = _run(8, vectorized=True)
+
+    speedup = vector_tp / scalar_tp
+    print_header("Vectorized activation kernel vs scalar engine (MINT, 8 banks)")
+    print_rows(
+        ["kernel", "ACTs", "ACTs/second", "speedup"],
+        [
+            ["scalar", total_acts, f"{scalar_tp:,.0f}", "1.00"],
+            ["vectorized", total_acts, f"{vector_tp:,.0f}", f"{speedup:.2f}"],
+        ],
+    )
+
+    # Bit-identity first: a fast-but-different kernel is worthless.
+    # Canonical JSON catches stray NumPy scalar types that dataclass
+    # equality would let through.
+    assert json.dumps(asdict(scalar_result), sort_keys=True) == json.dumps(
+        asdict(vector_result), sort_keys=True
+    ), "vectorized kernel changed the RankSimResult"
+
+    assert speedup >= MIN_KERNEL_SPEEDUP, (
+        f"vectorized kernel is only {speedup:.2f}x the scalar engine at "
+        f"8 banks (floor {MIN_KERNEL_SPEEDUP}x)"
     )

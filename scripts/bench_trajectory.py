@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Record the engine's performance trajectory into ``BENCH_engine.json``.
+
+Runs the rank-scaling benchmark (full-rate ``rank_stripe`` traces) for
+each requested tracker at each requested bank count, through both the
+scalar per-ACT engine and the vectorized NumPy kernel, and verifies the
+two produce bit-identical ``RankSimResult``s while timing them. Also
+times the parallel experiment runner's fan-out (the exp-speedup
+benchmark) unless ``--no-exp`` is given.
+
+The output JSON is the machine-readable perf trajectory: acts/sec per
+(tracker, banks, kernel) plus the scalar→vectorized speedup, suitable
+for diffing across commits. CI uploads it as a build artifact on every
+push (non-blocking: wall-clock numbers on shared runners inform, they
+do not gate).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py            # full
+    PYTHONPATH=src python scripts/bench_trajectory.py --quick    # CI
+    PYTHONPATH=src python scripts/bench_trajectory.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.attacks.base import AttackParams  # noqa: E402
+from repro.attacks.rank import rank_stripe  # noqa: E402
+from repro.sim.engine import EngineConfig, RankSimulator  # noqa: E402
+from repro.trackers.registry import bank_tracker_factory  # noqa: E402
+
+MAX_ACT = 73
+
+
+def _canonical(result) -> str:
+    return json.dumps(asdict(result), sort_keys=True)
+
+
+def bench_engine_point(
+    tracker: str,
+    num_banks: int,
+    intervals: int,
+    repeats: int,
+) -> dict:
+    """Time one (tracker × banks) point on both kernels; verify identity."""
+    params = AttackParams(max_act=MAX_ACT, intervals=intervals, base_row=1000)
+    trace = rank_stripe(3 * num_banks, num_banks, params)
+    total_acts = trace.total_acts
+    point: dict = {
+        "tracker": tracker,
+        "num_banks": num_banks,
+        "intervals": intervals,
+        "total_acts": total_acts,
+    }
+    results = {}
+    for kernel, vectorized in (("scalar", False), ("vectorized", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            simulator = RankSimulator(
+                bank_tracker_factory(tracker, base_seed=7),
+                EngineConfig(num_banks=num_banks, trh=1e9, vectorized=vectorized),
+            )
+            started = time.perf_counter()
+            results[kernel] = simulator.run(trace)
+            best = min(best, time.perf_counter() - started)
+        point[f"{kernel}_acts_per_second"] = round(total_acts / best, 1)
+        point[f"{kernel}_seconds"] = round(best, 6)
+    point["speedup"] = round(
+        point["vectorized_acts_per_second"] / point["scalar_acts_per_second"], 3
+    )
+    point["bit_identical"] = _canonical(results["scalar"]) == _canonical(
+        results["vectorized"]
+    )
+    return point
+
+
+def bench_exp_runner(points: int, windows: int) -> dict:
+    """Time the experiment runner serially vs with a 4-worker pool."""
+    from repro.exp import run_grid
+    from repro.exp.presets import scaled_benchmark_grid
+    from repro.parallel import default_workers, fork_available
+
+    grid = scaled_benchmark_grid(points=points, windows=windows)
+    timings = {}
+    for label, workers in (("serial", 1), ("pool4", 4)):
+        started = time.perf_counter()
+        run_grid(grid, base_seed=11, n_workers=workers)
+        timings[label] = time.perf_counter() - started
+    return {
+        "points": len(grid),
+        "windows": windows,
+        "serial_seconds": round(timings["serial"], 3),
+        "pool4_seconds": round(timings["pool4"], 3),
+        "speedup": round(timings["serial"] / max(timings["pool4"], 1e-9), 3),
+        "fork_available": fork_available(),
+        "usable_cpus": default_workers(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="where to write the JSON record (default: repo root)",
+    )
+    parser.add_argument(
+        "--trackers",
+        default="mint,graphene,para,mithril",
+        help="comma-separated registry tracker names",
+    )
+    parser.add_argument(
+        "--banks",
+        default="1,4,8",
+        help="comma-separated bank counts",
+    )
+    parser.add_argument(
+        "--intervals", type=int, default=400, help="tREFIs per run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--no-exp",
+        action="store_true",
+        help="skip the experiment-runner fan-out benchmark",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI preset: fewer trackers/banks/intervals, single repeat",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.trackers = "mint,graphene"
+        args.banks = "1,8"
+        args.intervals = min(args.intervals, 200)
+        # Two repeats, best-of: a single cold run on a tiny trace mostly
+        # times NumPy ufunc warmup and the per-interval cache build.
+        args.repeats = 2
+
+    trackers = [name.strip() for name in args.trackers.split(",") if name.strip()]
+    banks = [int(n) for n in args.banks.split(",") if n.strip()]
+
+    record: dict = {
+        "schema": 1,
+        "benchmark": "engine-trajectory",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "engine_points": [],
+    }
+    failures = 0
+    for tracker in trackers:
+        for num_banks in banks:
+            point = bench_engine_point(
+                tracker, num_banks, args.intervals, args.repeats
+            )
+            record["engine_points"].append(point)
+            status = "ok" if point["bit_identical"] else "MISMATCH"
+            failures += not point["bit_identical"]
+            print(
+                f"{tracker:>10s} banks={num_banks:<2d} "
+                f"scalar {point['scalar_acts_per_second']:>12,.0f}/s  "
+                f"vectorized {point['vectorized_acts_per_second']:>12,.0f}/s  "
+                f"x{point['speedup']:<5.2f} [{status}]"
+            )
+    if not args.no_exp:
+        record["exp_runner"] = bench_exp_runner(
+            points=2 if args.quick else 4, windows=2 if args.quick else 3
+        )
+        print(
+            f"exp runner: serial {record['exp_runner']['serial_seconds']}s, "
+            f"4 workers {record['exp_runner']['pool4_seconds']}s "
+            f"(x{record['exp_runner']['speedup']})"
+        )
+
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failures:
+        print(f"ERROR: {failures} point(s) lost scalar/vectorized identity")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

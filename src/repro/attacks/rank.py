@@ -21,9 +21,29 @@ bank-addressed :class:`~repro.sim.trace.RankTrace` streams:
 
 from __future__ import annotations
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
 from ..sim.trace import RankInterval, RankTrace, Trace
 from .base import AttackParams, spaced_rows
 from .manysided import many_sided
+
+
+def _rank_interval(banks, rows, postpone: bool = False) -> RankInterval:
+    """Build a bank-addressed interval, via arrays when NumPy is around.
+
+    :meth:`RankInterval.from_arrays` seeds the interval's per-bank array
+    split directly, so the vectorized engine never re-derives it.
+    """
+    if np is not None:
+        return RankInterval.from_arrays(
+            np.asarray(banks, dtype=np.intp),
+            np.asarray(rows, dtype=np.intp),
+            postpone,
+        )
+    return RankInterval(tuple(zip(banks, rows)), postpone)
 
 
 def bank_interleaved(
@@ -47,26 +67,33 @@ def bank_interleaved(
     if scheme not in ("interval", "act"):
         raise ValueError(f"unknown scheme {scheme!r}; use 'interval' or 'act'")
     intervals: list[RankInterval] = []
+    # Repeated source intervals (the repeat_interval idiom) map to one
+    # shared bank-addressed interval per (contents, bank placement), so
+    # the engine's per-distinct-interval caches stay effective.
+    interned: dict[tuple, RankInterval] = {}
     if scheme == "interval":
         for i, interval in enumerate(base.intervals):
             bank = i % num_banks
-            intervals.append(
-                RankInterval(
-                    tuple((bank, row) for row in interval.acts),
-                    interval.postpone,
+            key = (interval.acts, interval.postpone, bank)
+            lifted = interned.get(key)
+            if lifted is None:
+                lifted = _rank_interval(
+                    [bank] * len(interval.acts), interval.acts, interval.postpone
                 )
-            )
+                interned[key] = lifted
+            intervals.append(lifted)
     else:
         for interval in base.intervals:
-            intervals.append(
-                RankInterval(
-                    tuple(
-                        (i % num_banks, row)
-                        for i, row in enumerate(interval.acts)
-                    ),
+            key = (interval.acts, interval.postpone)
+            striped = interned.get(key)
+            if striped is None:
+                striped = _rank_interval(
+                    [i % num_banks for i in range(len(interval.acts))],
+                    interval.acts,
                     interval.postpone,
                 )
-            )
+                interned[key] = striped
+            intervals.append(striped)
     return RankTrace(
         name=f"bank-interleaved({base.name},banks={num_banks},{scheme})",
         intervals=intervals,
@@ -105,22 +132,24 @@ def cross_bank_decoy(
     window = postponed + 1
     decoys = spaced_rows(params.max_act, params.base_row + 50_000, spacing=4)
     decoy_banks = [b for b in range(num_banks) if b != target_bank]
-    decoy_interval = RankInterval(
-        tuple(
-            (bank, row)
-            for bank in decoy_banks
-            for row in decoys[: params.max_act]
-        ),
+    decoy_interval = _rank_interval(
+        [bank for bank in decoy_banks for _ in decoys[: params.max_act]],
+        [row for _ in decoy_banks for row in decoys[: params.max_act]],
         postpone=True,
     )
     intervals: list[RankInterval] = []
     count = 0
-    hammer = [(target_bank, target)] * params.max_act
+    hammer_banks = [target_bank] * params.max_act
+    hammer_rows = [target] * params.max_act
+    # Two shared interval objects cover every hammer tREFI: the engine's
+    # per-distinct-interval caches then do the grouping work once.
+    hammer_postponed = _rank_interval(hammer_banks, hammer_rows, postpone=True)
+    hammer_final = _rank_interval(hammer_banks, hammer_rows, postpone=False)
     while count + window <= params.intervals:
         intervals.append(decoy_interval)
         for i in range(postponed):
             last = i == postponed - 1
-            intervals.append(RankInterval(tuple(hammer), postpone=not last))
+            intervals.append(hammer_final if last else hammer_postponed)
         count += window
     return RankTrace(
         name=(

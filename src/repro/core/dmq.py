@@ -68,6 +68,34 @@ class DelayedMitigationQueue(Tracker):
             self._enqueue(self.inner.pseudo_refresh())
         self.inner.on_activate(row)
 
+    def on_activate_batch(self, rows, counts=None) -> None:
+        """Feed a batch through in pseudo-refresh-boundary chunks.
+
+        The wrapped tracker sees the same act stream as the scalar path:
+        runs of up to ``max_act`` activations separated by the
+        pseudo-mitigation hand-offs the overflow rule inserts. The
+        shared ``counts`` aggregation is forwarded when a chunk covers
+        the whole batch (the common full-interval case); a sub-slice
+        passes ``counts=None`` since the whole-batch aggregation does
+        not describe it.
+        """
+        n = len(rows)
+        index = 0
+        while index < n:
+            space = self.max_act - self.num_acts
+            if space <= 0:
+                self.num_acts = 0
+                self.pseudo_mitigations += 1
+                self._enqueue(self.inner.pseudo_refresh())
+                space = self.max_act
+            chunk = min(n - index, space)
+            if index == 0 and chunk == n:
+                self.inner.on_activate_batch(rows, counts)
+            else:
+                self.inner.on_activate_batch(rows[index : index + chunk])
+            self.num_acts += chunk
+            index += chunk
+
     def on_mitigation_activate(self, row: int) -> None:
         # Victim-refresh activations do not advance the DMQ's activation
         # count (they happen inside the REF, not in the demand stream).

@@ -102,6 +102,24 @@ class MintTracker(Tracker):
             self.sar = row
             self.selections += 1
 
+    def on_activate_batch(self, rows, counts=None) -> None:
+        """O(1) batch observation: MINT only reads the SAN-th activation.
+
+        CAN advances by the batch size; if the selected activation
+        number falls inside this batch, capture that one row. Identical
+        to the scalar loop (no randomness is consumed between REFs).
+        """
+        n = len(rows)
+        if n == 0:
+            return
+        san = self.san
+        if san is not None:
+            index = san - self.can - 1
+            if 0 <= index < n:
+                self.sar = int(rows[index])
+                self.selections += 1
+        self.can += n
+
     def on_refresh(self) -> list[MitigationRequest]:
         requests = []
         if self.sar is not None:

@@ -5,7 +5,7 @@ from .commands import Command, CommandKind, act, drfm, ref, rfm
 from .device import DeviceConfig, DramDevice
 from .mapping import RankAddressMap, RowMapping, ScrambledRowMapping
 from .refresh import RefreshEvent, RefreshScheduler
-from .rowstate import FlipEvent, RowDisturbanceModel
+from .rowstate import DenseRowDisturbanceModel, FlipEvent, RowDisturbanceModel
 from .timing import (
     DDR5Timing,
     DEFAULT_TIMING,
@@ -21,6 +21,7 @@ __all__ = [
     "CommandKind",
     "DDR5Timing",
     "DEFAULT_TIMING",
+    "DenseRowDisturbanceModel",
     "DeviceConfig",
     "DramDevice",
     "FlipEvent",

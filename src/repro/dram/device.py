@@ -8,11 +8,10 @@ auto-refresh sweep that restores 1/8192 of the rows at each REF.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from ..constants import REFI_PER_REFW, ROWS_PER_BANK
 from .mapping import RankAddressMap
-from .rowstate import RowDisturbanceModel
+from .rowstate import RowBatch, RowDisturbanceModel
 from .timing import DDR5Timing, DEFAULT_TIMING
 
 
@@ -22,7 +21,10 @@ class DeviceConfig:
 
     ``refi_per_refw`` controls the granularity of the rolling
     auto-refresh (8192 for DDR5; tests shrink it together with
-    ``rows_per_bank`` to keep Monte-Carlo runs fast).
+    ``rows_per_bank`` to keep Monte-Carlo runs fast). ``backend``
+    selects the per-bank oracle storage
+    (:mod:`repro.dram.rowstate`): ``"auto"`` picks the dense NumPy
+    vectors for production-sized banks and the sparse dict otherwise.
     """
 
     timing: DDR5Timing = DEFAULT_TIMING
@@ -31,6 +33,7 @@ class DeviceConfig:
     trh: float = 4800.0
     blast_radius: int = 1
     refi_per_refw: int = REFI_PER_REFW
+    backend: str = "auto"
 
 
 class DramDevice:
@@ -50,6 +53,7 @@ class DramDevice:
                 num_rows=c.rows_per_bank,
                 trh=c.trh,
                 blast_radius=c.blast_radius,
+                backend=c.backend,
             )
             for _ in range(c.num_banks)
         ]
@@ -62,10 +66,20 @@ class DramDevice:
         self.banks[bank].activate(row, time_ns)
 
     def activate_many(
-        self, bank: int, rows: Iterable[int], time_ns: float = 0.0
+        self,
+        bank: int,
+        rows: RowBatch,
+        time_ns: float = 0.0,
+        agg=None,
     ) -> None:
-        """Batch of demand activations on one bank (hot-loop entry)."""
-        self.banks[bank].activate_many(rows, time_ns)
+        """Batch of demand activations on one bank (hot-loop entry).
+
+        ``rows`` may be any integer sequence or NumPy array and is
+        never mutated. ``agg`` is the optional sorted
+        ``(unique_rows, counts)`` pre-aggregation shared by the engine
+        (see :meth:`repro.dram.rowstate.RowDisturbanceModel.activate_many`).
+        """
+        self.banks[bank].activate_many(rows, time_ns, agg=agg)
 
     def activate_flat(self, address: int, time_ns: float = 0.0) -> tuple[int, int]:
         """Activate by flat physical address; returns the decoded
@@ -85,6 +99,11 @@ class DramDevice:
         Returns the refreshed rows.
         """
         model = self.banks[bank]
+        if distance == 1:
+            # The common (non-transitive) mitigation is exactly the
+            # model's own victim refresh; the dense backend specializes
+            # it, and this runs once per REF per bank.
+            return model.mitigate(aggressor, time_ns)
         refreshed = []
         # A victim refresh covers every ring the device's blast radius
         # disturbs: rings ``distance .. distance + blast_radius - 1``.
@@ -128,9 +147,7 @@ class DramDevice:
         hi = min(lo + self._rows_per_slice, model.num_rows)
         if i == refw - 1:
             hi = model.num_rows
-        for row in model.disturbed_rows():
-            if lo <= row < hi:
-                model.refresh_row(row, time_ns)
+        model.refresh_range(lo, hi, time_ns)
         self._ref_counter[bank] += 1
         return lo, hi
 

@@ -11,12 +11,60 @@ activation counts versus a scalar threshold. Mitigative refreshes are
 *silent activations* of the victim rows — they disturb the victims'
 neighbours in turn, which is exactly the mechanism behind transitive
 (Half-Double) attacks, so the oracle reproduces them for free.
+
+Two storage backends implement the same contract:
+
+``sparse`` (:class:`RowDisturbanceModel` proper)
+    A ``dict`` keyed by row. Attacks touch a handful of rows out of
+    128K, so the dict wins for tiny banks and ad-hoc interactive use,
+    and it works without NumPy.
+``dense`` (:class:`DenseRowDisturbanceModel`)
+    NumPy ``float64`` disturbance/peak vectors plus a flipped bitmap.
+    ``activate_many`` pre-aggregates the batch (unique rows + counts),
+    scatters the neighbour contributions in a handful of vector ops,
+    and detects flips by diffing a threshold mask against the bitmap.
+    Batches that interleave aggressors with their own victims (adjacent
+    activated rows) or that produce new flips are replayed through an
+    activation-exact scalar loop, so results are numerically identical
+    to the sparse backend — bit for bit, including flip-event order.
+
+Backend selection is automatic: constructing :class:`RowDisturbanceModel`
+picks the dense backend when NumPy is importable and the bank has at
+least :data:`DENSE_MIN_ROWS` rows, and the sparse dict otherwise. Pass
+``backend="sparse"``/``"dense"`` to force one (forcing ``"dense"``
+without NumPy raises).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+try:  # NumPy is a declared dependency, but the sparse backend works
+    import numpy as np  # without it so stripped-down installs degrade
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+#: Banks with at least this many rows get the dense backend under
+#: ``backend="auto"``. Below it (unit-test sized models, ad-hoc use)
+#: the dict backend's zero allocation cost wins.
+DENSE_MIN_ROWS = 1024
+
+#: Accepted row-batch types for ``activate_many``. Arrays are read,
+#: never written: the kernel treats caller batches as immutable.
+RowBatch = Union[Sequence[int], "np.ndarray"]
+
+
+def _resolve_backend(backend: str, num_rows: int) -> str:
+    if backend == "auto":
+        if np is not None and num_rows >= DENSE_MIN_ROWS:
+            return "dense"
+        return "sparse"
+    if backend == "dense" and np is None:
+        raise RuntimeError("backend='dense' requires numpy")
+    if backend not in ("sparse", "dense"):
+        raise ValueError(f"unknown backend {backend!r}; use auto/sparse/dense")
+    return backend
 
 
 @dataclass
@@ -49,7 +97,30 @@ class RowDisturbanceModel:
         ``decay ** (d - 1)``. The paper's analysis uses distance-1 only,
         i.e. within the blast radius every neighbour counts fully; keep
         ``decay=1.0`` to reproduce the paper.
+    backend:
+        ``"auto"`` (default) picks the dense NumPy backend for banks of
+        at least :data:`DENSE_MIN_ROWS` rows when NumPy is available,
+        the sparse dict otherwise; ``"sparse"``/``"dense"`` force one.
     """
+
+    #: Storage backend implemented by this class ("sparse" or "dense").
+    backend = "sparse"
+
+    def __new__(
+        cls,
+        num_rows: int = 0,
+        trh: float = 0.0,
+        blast_radius: int = 1,
+        decay: float = 1.0,
+        backend: str = "auto",
+    ) -> "RowDisturbanceModel":
+        # Dispatch on the resolved backend so plain
+        # ``RowDisturbanceModel(...)`` transparently builds the dense
+        # variant for production-sized banks.
+        if cls is RowDisturbanceModel:
+            if _resolve_backend(backend, num_rows) == "dense":
+                return super().__new__(DenseRowDisturbanceModel)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -57,6 +128,7 @@ class RowDisturbanceModel:
         trh: float,
         blast_radius: int = 1,
         decay: float = 1.0,
+        backend: str = "auto",
     ) -> None:
         if num_rows <= 0:
             raise ValueError("num_rows must be positive")
@@ -68,13 +140,17 @@ class RowDisturbanceModel:
         self.trh = float(trh)
         self.blast_radius = blast_radius
         self.decay = decay
+        self.flips: list[FlipEvent] = []
+        self._init_storage()
+
+    def _init_storage(self) -> None:
         # Sparse map row -> accumulated disturbance. Attacks touch a
-        # handful of rows out of 128K, so a dict beats a dense array.
+        # handful of rows out of 128K, so a dict beats a dense array
+        # for small/ad-hoc models.
         self._disturbance: dict[int, float] = {}
         # Historical per-row maxima (refreshes reset disturbance but
         # not the peak): the "max unmitigated hammers" metric.
         self._peak: dict[int, float] = {}
-        self.flips: list[FlipEvent] = []
         self._flipped: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -95,19 +171,30 @@ class RowDisturbanceModel:
                 if 0 <= victim < self.num_rows:
                     self._bump(victim, contribution, time_ns)
 
-    def activate_many(self, rows: Iterable[int], time_ns: float = 0.0) -> None:
+    def activate_many(
+        self,
+        rows: RowBatch,
+        time_ns: float = 0.0,
+        agg: tuple["np.ndarray", "np.ndarray"] | None = None,
+    ) -> None:
         """Record a batch of activations in order (hot-loop entry point).
 
-        Semantically identical to calling :meth:`activate` once per row,
-        but with the common case (blast radius 1, no decay) inlined so
-        the per-activation cost is a few dict operations and no Python
-        allocation. The simulation engine calls this once per tREFI
-        interval instead of once per ACT.
+        Semantically identical to calling :meth:`activate` once per row.
+        ``rows`` may be any integer sequence or a NumPy array; it is
+        never mutated. ``agg``, when given, is the batch's sorted
+        ``(unique_rows, counts)`` pre-aggregation — the simulation
+        engine computes it once per interval and shares it between the
+        oracle and the tracker; the sparse backend ignores it.
         """
+        if np is not None and isinstance(rows, np.ndarray):
+            rows = rows.tolist()
         if self.blast_radius != 1 or self.decay != 1.0:
             for row in rows:
                 self.activate(row, time_ns)
             return
+        # Common case (blast radius 1, no decay) inlined so the
+        # per-activation cost is a few dict operations and no Python
+        # allocation.
         disturbance = self._disturbance
         peak = self._peak
         flipped = self._flipped
@@ -119,8 +206,11 @@ class RowDisturbanceModel:
         trh = self.trh
         for row in rows:
             pop(row, None)
+            # Full bounds checks on both victims: out-of-range
+            # *aggressors* are legal (clipped) inputs, so row±1 can
+            # fall outside the bank on either side.
             victim = row - 1
-            if victim >= 0:
+            if 0 <= victim < num_rows:
                 total = get(victim, 0.0) + 1.0
                 disturbance[victim] = total
                 if total > peak_get(victim, 0.0):
@@ -129,7 +219,7 @@ class RowDisturbanceModel:
                     flipped.add(victim)
                     flips.append(FlipEvent(victim, total, time_ns))
             victim = row + 1
-            if victim < num_rows:
+            if 0 <= victim < num_rows:
                 total = get(victim, 0.0) + 1.0
                 disturbance[victim] = total
                 if total > peak_get(victim, 0.0):
@@ -161,8 +251,18 @@ class RowDisturbanceModel:
         """
         self._disturbance.pop(row, None)
 
+    def refresh_range(self, lo: int, hi: int, time_ns: float = 0.0) -> None:
+        """Refresh every row in ``[lo, hi)`` — the rolling auto-refresh
+        slice. One vector store on the dense backend."""
+        for row in [r for r in self._disturbance if lo <= r < hi]:
+            self._disturbance.pop(row, None)
+
     def disturbed_rows(self) -> list[int]:
-        """Rows currently carrying non-zero disturbance (stable order)."""
+        """Rows currently carrying non-zero disturbance.
+
+        Sparse backend: first-disturbance order; dense: ascending. Use
+        ``sorted()`` when the order matters across backends.
+        """
         return list(self._disturbance)
 
     def mitigate(self, aggressor: int, time_ns: float = 0.0) -> list[int]:
@@ -188,7 +288,7 @@ class RowDisturbanceModel:
         # sibling victim's activation deposited on them during this same
         # mitigation; clear again so a single mitigation is self-consistent.
         for victim in refreshed:
-            self._disturbance.pop(victim, None)
+            self.clear_row(victim)
         return refreshed
 
     def auto_refresh_all(self, time_ns: float = 0.0) -> None:
@@ -207,10 +307,16 @@ class RowDisturbanceModel:
         return max(self._disturbance.values(), default=0.0)
 
     def most_disturbed_row(self) -> int | None:
-        """Row with the highest accumulated disturbance, if any."""
+        """Lowest-indexed row with the highest accumulated disturbance.
+
+        The lowest-index tie-break is part of the contract: it makes the
+        answer identical across the sparse and dense backends (a dict's
+        insertion order would not be).
+        """
         if not self._disturbance:
             return None
-        return max(self._disturbance, key=self._disturbance.__getitem__)
+        best = max(self._disturbance.values())
+        return min(r for r, v in self._disturbance.items() if v == best)
 
     @property
     def any_flip(self) -> bool:
@@ -228,3 +334,268 @@ class RowDisturbanceModel:
         if total >= self.trh and row not in self._flipped:
             self._flipped.add(row)
             self.flips.append(FlipEvent(row=row, disturbance=total, time_ns=time_ns))
+
+
+class DenseRowDisturbanceModel(RowDisturbanceModel):
+    """NumPy-backed oracle: dense vectors, batched neighbour scatter.
+
+    State is three vectors over the bank's rows — ``float64``
+    disturbance and peak, plus a flipped bitmap. The batched
+    :meth:`activate_many` fast path aggregates the batch to unique rows,
+    scatters both neighbours' contributions with one bincount, and
+    compares the updated totals against TRH as a mask diffed with the
+    bitmap. Two batch shapes are replayed through an exact scalar loop
+    instead, keeping results bit-identical to the sparse backend:
+
+    * *aggressor/victim interleaving* — two activated rows within the
+      blast radius of each other, where the in-batch order of the
+      self-refresh (an ACT restores its own row) is observable; and
+    * *new flips* — the flip event must record the disturbance at the
+      crossing activation and events must appear in crossing order.
+
+    Batch geometry (unique rows, victim scatter indices and deltas) is
+    memoized per batch-array identity: attack traces reuse one interval
+    object for thousands of tREFIs, so the geometry is paid once. The
+    memo relies on the documented contract that caller batches are
+    immutable.
+    """
+
+    backend = "dense"
+
+    #: Memo ceiling; traces with unbounded distinct intervals flush it.
+    _BATCH_CACHE_LIMIT = 4096
+
+    def _init_storage(self) -> None:
+        self._dist = np.zeros(self.num_rows, dtype=np.float64)
+        self._peak_arr = np.zeros(self.num_rows, dtype=np.float64)
+        self._flipped_mask = np.zeros(self.num_rows, dtype=bool)
+        # id(batch) -> (batch_ref, plan) — see _batch_plan.
+        self._batch_cache: dict[int, tuple[object, tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # Disturbance events
+    # ------------------------------------------------------------------
+    def activate(self, row: int, time_ns: float = 0.0, weight: float = 1.0) -> None:
+        # Out-of-range rows are legal no-op targets in the sparse
+        # backend (dict pop); clip them here too — and never let a
+        # negative index wrap around the arrays.
+        if 0 <= row < self.num_rows:
+            self._dist[row] = 0.0
+        for distance in range(1, self.blast_radius + 1):
+            contribution = weight * self.decay ** (distance - 1)
+            for victim in (row - distance, row + distance):
+                if 0 <= victim < self.num_rows:
+                    self._bump(victim, contribution, time_ns)
+
+    def _bump(self, row: int, amount: float, time_ns: float) -> None:
+        dist = self._dist
+        total = dist[row] + amount
+        dist[row] = total
+        if total > self._peak_arr[row]:
+            self._peak_arr[row] = total
+        if total >= self.trh and not self._flipped_mask[row]:
+            self._flipped_mask[row] = True
+            self.flips.append(
+                FlipEvent(row=int(row), disturbance=float(total), time_ns=time_ns)
+            )
+
+    def _batch_plan(self, rows: RowBatch, agg) -> tuple | None:
+        """Resolve (and memoize) the batch's data-independent geometry.
+
+        Returns ``(uniq, conflict, victims_unique, delta)`` where
+        ``delta`` is the summed unit contribution each victim receives,
+        or ``None`` for an empty batch. ``conflict`` marks batches whose
+        activated rows fall within each other's blast radius.
+        """
+        # Memoize only on array identity (the engine's shared interval
+        # aggregation or an ndarray batch): arrays are immutable by
+        # contract, while a caller's plain list may be reused mutated.
+        # An agg key covers *both* arrays — a caller may legally pair
+        # one unique-rows array with different counts.
+        key = None
+        if agg is not None:
+            key = (id(agg[0]), id(agg[1]))
+        elif isinstance(rows, np.ndarray):
+            key = id(rows)
+        if key is not None:
+            cached = self._batch_cache.get(key)
+            if cached is not None:
+                return cached[1]
+        if agg is not None:
+            uniq, counts = agg
+        else:
+            arr = np.asarray(rows, dtype=np.intp)
+            if arr.size == 0:
+                return None
+            uniq, counts = np.unique(arr, return_counts=True)
+        if uniq.size == 0:
+            return None
+        # uniq is sorted and strictly increasing, so adjacency (an
+        # activated row being another's victim) shows as a diff of 1.
+        conflict = bool(uniq.size > 1 and np.any(np.diff(uniq) == 1))
+        victims_unique = delta = None
+        # Activated rows outside the bank are legal no-ops (the sparse
+        # dict clips them); only in-range rows get their self-reset.
+        reset_rows = uniq[(uniq >= 0) & (uniq < self.num_rows)]
+        if not conflict:
+            victims = np.concatenate((uniq - 1, uniq + 1))
+            weights = np.concatenate((counts, counts)).astype(np.float64)
+            valid = (victims >= 0) & (victims < self.num_rows)
+            victims = victims[valid]
+            weights = weights[valid]
+            victims_unique = np.unique(victims)
+            if victims_unique.size:
+                idx = np.searchsorted(victims_unique, victims)
+                delta = np.bincount(
+                    idx, weights=weights, minlength=victims_unique.size
+                )
+            else:
+                delta = np.zeros(0, dtype=np.float64)
+        plan = (reset_rows, conflict, victims_unique, delta)
+        if key is not None:
+            if len(self._batch_cache) >= self._BATCH_CACHE_LIMIT:
+                self._batch_cache.clear()
+            # Hold references to the keyed objects so their ids cannot
+            # be recycled while the memo entry lives.
+            self._batch_cache[key] = (agg if agg is not None else rows, plan)
+        return plan
+
+    def activate_many(
+        self,
+        rows: RowBatch,
+        time_ns: float = 0.0,
+        agg: tuple["np.ndarray", "np.ndarray"] | None = None,
+    ) -> None:
+        if self.blast_radius != 1 or self.decay != 1.0:
+            seq = rows.tolist() if isinstance(rows, np.ndarray) else rows
+            for row in seq:
+                self.activate(row, time_ns)
+            return
+        plan = self._batch_plan(rows, agg)
+        if plan is None:
+            return
+        reset_rows, conflict, victims_unique, delta = plan
+        if conflict:
+            self._activate_many_exact(rows, time_ns)
+            return
+        dist = self._dist
+        if victims_unique is None or not victims_unique.size:
+            dist[reset_rows] = 0.0
+            return
+        old = dist[victims_unique]
+        new = old + delta
+        # Flip detection: threshold mask diffed against the bitmap. The
+        # max() pre-check skips the mask work when no total is anywhere
+        # near TRH (the overwhelmingly common batch). State is untouched
+        # so far, so the exact replay (which must record per-crossing
+        # disturbances in act order) starts clean.
+        if new.max() >= self.trh and bool(
+            ((new >= self.trh) & ~self._flipped_mask[victims_unique]).any()
+        ):
+            self._activate_many_exact(rows, time_ns)
+            return
+        dist[reset_rows] = 0.0
+        dist[victims_unique] = new
+        peak = self._peak_arr
+        peak[victims_unique] = np.maximum(peak[victims_unique], new)
+
+    def _activate_many_exact(self, rows: RowBatch, time_ns: float) -> None:
+        """Activation-exact replay of a batch (the sparse loop on arrays).
+
+        Used for batches the vector path cannot reproduce bit-identically:
+        aggressor/victim interleavings and batches that flip rows (flip
+        events must carry the crossing-time disturbance, in act order).
+        """
+        seq = rows.tolist() if isinstance(rows, np.ndarray) else rows
+        dist = self._dist
+        peak = self._peak_arr
+        flipped = self._flipped_mask
+        flips = self.flips
+        num_rows = self.num_rows
+        trh = self.trh
+        for row in seq:
+            if 0 <= row < num_rows:
+                dist[row] = 0.0
+            victim = row - 1
+            if 0 <= victim < num_rows:
+                total = dist[victim] + 1.0
+                dist[victim] = total
+                if total > peak[victim]:
+                    peak[victim] = total
+                if total >= trh and not flipped[victim]:
+                    flipped[victim] = True
+                    flips.append(FlipEvent(victim, float(total), time_ns))
+            victim = row + 1
+            if 0 <= victim < num_rows:
+                total = dist[victim] + 1.0
+                dist[victim] = total
+                if total > peak[victim]:
+                    peak[victim] = total
+                if total >= trh and not flipped[victim]:
+                    flipped[victim] = True
+                    flips.append(FlipEvent(victim, float(total), time_ns))
+
+    def mitigate(self, aggressor: int, time_ns: float = 0.0) -> list[int]:
+        if self.blast_radius != 1 or self.decay != 1.0:
+            return super().mitigate(aggressor, time_ns)
+        # Radius-1 victim refresh, inlined: refresh aggressor±1, let each
+        # refresh's activation disturb *its* neighbours (the transitive
+        # channel), then restore the refreshed pair. Same op order as the
+        # generic path, minus the per-victim method dispatch — this runs
+        # once per REF per bank, right behind the hot loop.
+        num_rows = self.num_rows
+        refreshed = [
+            victim
+            for victim in (aggressor - 1, aggressor + 1)
+            if 0 <= victim < num_rows
+        ]
+        dist = self._dist
+        for victim in refreshed:
+            dist[victim] = 0.0
+        for victim in refreshed:
+            dist[victim] = 0.0
+            for neighbour in (victim - 1, victim + 1):
+                if 0 <= neighbour < num_rows:
+                    self._bump(neighbour, 1.0, time_ns)
+        for victim in refreshed:
+            dist[victim] = 0.0
+        return refreshed
+
+    def refresh_row(self, row: int, time_ns: float = 0.0) -> None:
+        if 0 <= row < self.num_rows:
+            self._dist[row] = 0.0
+
+    def clear_row(self, row: int) -> None:
+        if 0 <= row < self.num_rows:
+            self._dist[row] = 0.0
+
+    def refresh_range(self, lo: int, hi: int, time_ns: float = 0.0) -> None:
+        self._dist[max(0, lo) : hi] = 0.0
+
+    def disturbed_rows(self) -> list[int]:
+        return np.nonzero(self._dist)[0].tolist()
+
+    def auto_refresh_all(self, time_ns: float = 0.0) -> None:
+        self._dist.fill(0.0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def disturbance(self, row: int) -> float:
+        if not 0 <= row < self.num_rows:
+            return 0.0
+        return float(self._dist[row])
+
+    def max_disturbance(self) -> float:
+        return float(self._dist.max())
+
+    def most_disturbed_row(self) -> int | None:
+        row = int(self._dist.argmax())  # argmax: lowest index among ties
+        if self._dist[row] <= 0.0:
+            return None
+        return row
+
+    def peak_disturbance(self, row: int) -> float:
+        if not 0 <= row < self.num_rows:
+            return 0.0
+        return float(self._peak_arr[row])

@@ -5,11 +5,16 @@ behind one refresh schedule — through an attack trace interval by
 interval. Each bank owns its own tracker instance (in-DRAM trackers are
 per-bank structures; the paper's storage numbers scale ×32 per rank)
 and its own row-disturbance oracle. Per interval, the demand ACT batch
-is split by bank and fed through the batched ``activate_many`` hot
-path; at each tREFI boundary the shared :class:`RefreshScheduler`
-decides whether the rank's REF executes or is postponed (DDR5 allows
-four), and every executed REF performs each bank's rolling auto-refresh
-plus at most one tracker-directed mitigation per bank.
+is split by bank and fed through the vectorized activation kernel: the
+interval's cached array view supplies each bank's batch, the engine
+computes the per-unique-row aggregation once and shares it between the
+tracker's ``on_activate_batch`` and the oracle's ``activate_many``
+neighbour scatter (``EngineConfig.vectorized=False`` falls back to the
+scalar per-ACT dispatch, bit-identically). At each tREFI boundary the
+shared :class:`RefreshScheduler` decides whether the rank's REF
+executes or is postponed (DDR5 allows four), and every executed REF
+performs each bank's rolling auto-refresh plus at most one
+tracker-directed mitigation per bank.
 
 :class:`RankSimulator` is the canonical entry point: it accepts
 bank-addressed :class:`~repro.sim.trace.RankTrace` streams, row-only
@@ -33,6 +38,11 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
 
 from ..constants import CONCURRENT_BANKS
 from ..core.dmq import DelayedMitigationQueue
@@ -63,6 +73,14 @@ class EngineConfig:
     #: tFAW ceiling on banks sustaining full-rate ACTs concurrently;
     #: ``None`` means min(CONCURRENT_BANKS, num_banks).
     concurrent_banks: int | None = None
+    #: Activation-kernel selection. ``None`` (auto) uses the vectorized
+    #: kernel — array-backed interval views, one shared per-unique-row
+    #: aggregation feeding batched oracle and tracker updates — whenever
+    #: NumPy is available; ``False`` forces the scalar per-ACT path with
+    #: the sparse dict oracle (the pre-vectorization engine). Both
+    #: produce bit-identical :class:`~repro.sim.results.RankSimResult`s;
+    #: the benchmark suite asserts it.
+    vectorized: bool | None = None
 
 
 class _BankView:
@@ -151,6 +169,12 @@ class RankSimulator:
             CONCURRENT_BANKS if c.concurrent_banks is None else c.concurrent_banks,
             c.num_banks,
         )
+        if c.vectorized and np is None:
+            raise RuntimeError("EngineConfig.vectorized=True requires numpy")
+        #: Resolved kernel choice: vectorized unless disabled or no NumPy.
+        self.vectorized = (
+            c.vectorized if c.vectorized is not None else np is not None
+        )
         self.device = DramDevice(
             DeviceConfig(
                 timing=c.timing,
@@ -159,6 +183,10 @@ class RankSimulator:
                 trh=c.trh,
                 blast_radius=c.blast_radius,
                 refi_per_refw=c.refi_per_refw,
+                # The scalar engine is pinned to the sparse dict oracle
+                # (the pre-vectorization hot path); the vectorized
+                # engine lets the oracle pick per bank size.
+                backend="sparse" if not self.vectorized else "auto",
             )
         )
         self.trackers = [tracker_factory(bank) for bank in range(c.num_banks)]
@@ -168,6 +196,12 @@ class RankSimulator:
         self._bank_since = [dict() for _ in range(c.num_banks)]
         self._bank_peak = [dict() for _ in range(c.num_banks)]
         self._counts: Counter[int] = Counter()
+        # Per-batch aggregation memo for the vectorized kernel, keyed by
+        # batch-array identity: attack traces reuse one interval object
+        # (and hence one per-bank array) for thousands of tREFIs, so the
+        # unique/count/first-occurrence work is paid once per distinct
+        # interval. Entries hold the array ref, keeping ids stable.
+        self._agg_cache: dict[int, tuple] = {}
         self.bank_mitigations = [0] * c.num_banks
         self.bank_transitive_mitigations = [0] * c.num_banks
         self.bank_demand_acts = [0] * c.num_banks
@@ -186,10 +220,13 @@ class RankSimulator:
         ceiling rejects more concurrent traces than the rank sustains).
 
         The interval loop is the simulator's hot path: a full-grid
-        experiment pushes hundreds of millions of ACTs through it, so
-        bound methods are hoisted out of the loop and the per-ACT work
-        is reduced to one tracker callback plus batched oracle and
-        unmitigated-run updates (no per-ACT allocation).
+        experiment pushes hundreds of millions of ACTs through it. The
+        vectorized kernel (the default, see
+        :attr:`EngineConfig.vectorized`) walks each interval's cached
+        array view, computes the per-unique-row aggregation once, and
+        shares it between the batched tracker update and the oracle's
+        neighbour scatter; the scalar kernel is the per-ACT dispatch it
+        replaced, kept as the equivalence baseline.
         """
         c = self.config
         if isinstance(trace, (list, tuple)):
@@ -203,7 +240,8 @@ class RankSimulator:
                 )
             else:
                 trace.validate(c.timing.max_act)
-        absorb_acts = self._absorb_acts
+        vectorized = self.vectorized
+        absorb_acts = self._absorb_acts_vec if vectorized else self._absorb_acts
         scheduler_tick = self.scheduler.tick
         t_refi_ns = c.timing.t_refi_ns
         allow_postponement = c.allow_postponement
@@ -211,7 +249,8 @@ class RankSimulator:
         for interval in trace:
             intervals += 1
             time_ns = intervals * t_refi_ns
-            for bank, acts in interval.per_bank:
+            split = interval.per_bank_arrays if vectorized else interval.per_bank
+            for bank, acts in split:
                 absorb_acts(bank, acts, time_ns)
             want_postpone = interval.postpone and allow_postponement
             event = scheduler_tick(want_postpone=want_postpone)
@@ -283,6 +322,49 @@ class RankSimulator:
         counts.clear()
         counts.update(acts)
         for row, count in counts.items():
+            total = since.get(row, 0) + count
+            since[row] = total
+            if total > peak.get(row, 0):
+                peak[row] = total
+
+    #: Memo ceiling; traces with unbounded distinct intervals flush it.
+    _AGG_CACHE_LIMIT = 4096
+
+    def _absorb_acts_vec(
+        self, bank: int, acts: "np.ndarray", time_ns: float
+    ) -> None:
+        """Vectorized twin of :meth:`_absorb_acts` (one interval batch).
+
+        Computes the batch's per-unique-row aggregation once and shares
+        it: sorted ``(unique, counts)`` feeds the oracle's neighbour
+        scatter, the first-occurrence ordering feeds the tracker batch
+        update and the unmitigated-run counters (first-occurrence order
+        is what repeated scalar processing would produce, which the
+        tracker equivalence contract requires).
+        """
+        n = len(acts)
+        if n == 0:
+            return
+        self.bank_demand_acts[bank] += n
+        key = id(acts)
+        cached = self._agg_cache.get(key)
+        if cached is None:
+            uniq, first, counts = np.unique(
+                acts, return_index=True, return_counts=True
+            )
+            order = np.argsort(first, kind="stable")
+            tracker_agg = (uniq[order], counts[order])
+            items = list(zip(tracker_agg[0].tolist(), tracker_agg[1].tolist()))
+            if len(self._agg_cache) >= self._AGG_CACHE_LIMIT:
+                self._agg_cache.clear()
+            cached = (acts, (uniq, counts), tracker_agg, items)
+            self._agg_cache[key] = cached
+        _, oracle_agg, tracker_agg, items = cached
+        self.trackers[bank].on_activate_batch(acts, tracker_agg)
+        self.device.activate_many(bank, acts, time_ns, agg=oracle_agg)
+        since = self._bank_since[bank]
+        peak = self._bank_peak[bank]
+        for row, count in items:
             total = since.get(row, 0) + count
             since[row] = total
             if total > peak.get(row, 0):

@@ -19,6 +19,17 @@ Traces come in two address widths:
 The REF-postponement flag is rank-scoped in both formats: refresh
 scheduling is a rank-level memory-controller decision, so merging
 per-bank traces ORs their flags.
+
+Both interval types additionally expose a structured-array view,
+``per_bank_arrays`` — the same per-bank split with each bank's rows as
+a NumPy ``intp`` array instead of a tuple. The vectorized engine
+consumes this view; it is cached on the interval object, so traces
+built from :func:`repeat_interval`/:func:`repeat_rank_interval` (one
+shared interval object across thousands of tREFIs) pay the conversion
+once. Attack generators can skip the tuple round-trip entirely with
+:meth:`RankInterval.from_arrays`, which seeds the cache directly from
+``bank``/``row`` column arrays. Arrays handed out by these views are
+owned by the interval and must not be mutated.
 """
 
 from __future__ import annotations
@@ -26,6 +37,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterable, Iterator, Mapping, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+
+def _split_by_bank(banks, rows):
+    """Group ``rows`` by ``banks`` (ascending), issue order kept per bank."""
+    order = np.argsort(banks, kind="stable")
+    sorted_banks = banks[order]
+    sorted_rows = rows[order]
+    unique_banks, starts = np.unique(sorted_banks, return_index=True)
+    chunks = np.split(sorted_rows, starts[1:])
+    return tuple(
+        (int(bank), chunk) for bank, chunk in zip(unique_banks.tolist(), chunks)
+    )
 
 
 @dataclass(frozen=True)
@@ -43,6 +71,12 @@ class Interval:
     def per_bank(self) -> tuple[tuple[int, tuple[int, ...]], ...]:
         """Bank-addressed view: a row-only interval is bank 0's stream."""
         return ((0, self.acts),)
+
+    @cached_property
+    def per_bank_arrays(self):
+        """Array view of :attr:`per_bank` (cached; arrays are read-only
+        by contract). Requires NumPy."""
+        return ((0, np.asarray(self.acts, dtype=np.intp)),)
 
 
 @dataclass(frozen=True)
@@ -73,6 +107,41 @@ class RankInterval:
         return tuple(
             (bank, tuple(rows)) for bank, rows in sorted(grouped.items())
         )
+
+    @cached_property
+    def per_bank_arrays(self):
+        """ACTs grouped by bank with rows as NumPy ``intp`` arrays.
+
+        The array analogue of :attr:`per_bank`, cached for the same
+        reason; the vectorized engine iterates this view. Arrays are
+        owned by the interval — callers must not mutate them. Requires
+        NumPy.
+        """
+        if not self.acts:
+            return ()
+        pairs = np.asarray(self.acts, dtype=np.intp)
+        return _split_by_bank(pairs[:, 0], pairs[:, 1])
+
+    @classmethod
+    def from_arrays(cls, banks, rows, postpone: bool = False) -> "RankInterval":
+        """Build an interval straight from ``bank``/``row`` column arrays.
+
+        Attack generators that already produce arrays avoid the
+        tuple-of-pairs round-trip: the per-bank array split is computed
+        here and seeded into the :attr:`per_bank_arrays` cache (the
+        ``acts`` tuple is still materialized for the scalar API).
+        """
+        banks = np.asarray(banks, dtype=np.intp)
+        rows = np.asarray(rows, dtype=np.intp)
+        if banks.shape != rows.shape or banks.ndim != 1:
+            raise ValueError("banks and rows must be 1-D arrays of equal length")
+        interval = cls(tuple(zip(banks.tolist(), rows.tolist())), postpone)
+        # cached_property stores through the instance __dict__, which a
+        # frozen dataclass still allows.
+        interval.__dict__["per_bank_arrays"] = (
+            _split_by_bank(banks, rows) if banks.size else ()
+        )
+        return interval
 
     def acts_for_bank(self, bank: int) -> tuple[int, ...]:
         for b, rows in self.per_bank:
@@ -215,6 +284,12 @@ class RankTrace:
         padded with idle intervals to the longest; an interval's
         postpone flag is the OR of the banks' flags (postponement is a
         rank-level REF decision).
+
+        Identical merged intervals are interned — repeated hammer
+        patterns collapse to one shared :class:`RankInterval` object, so
+        downstream per-interval caches (the bank split, the engine's
+        batch aggregation) are computed once per *distinct* interval
+        rather than once per tREFI.
         """
         if not isinstance(traces, Mapping):
             traces = dict(enumerate(traces))
@@ -222,6 +297,7 @@ class RankTrace:
             return cls(name=name, intervals=[])
         length = max(len(trace) for trace in traces.values())
         intervals = []
+        interned: dict[tuple, RankInterval] = {}
         for i in range(length):
             acts: list[tuple[int, int]] = []
             postpone = False
@@ -232,21 +308,34 @@ class RankTrace:
                 interval = trace.intervals[i]
                 acts.extend((bank, row) for row in interval.acts)
                 postpone = postpone or interval.postpone
-            intervals.append(RankInterval(tuple(acts), postpone))
+            key = (tuple(acts), postpone)
+            merged = interned.get(key)
+            if merged is None:
+                merged = RankInterval(key[0], postpone)
+                interned[key] = merged
+            intervals.append(merged)
         return cls(name=name, intervals=intervals)
 
 
 def lift_trace(trace: Trace, bank: int = 0) -> RankTrace:
-    """Lift a row-only trace onto one bank of a rank."""
-    return RankTrace(
-        name=trace.name,
-        intervals=[
-            RankInterval(
+    """Lift a row-only trace onto one bank of a rank.
+
+    Identical source intervals (e.g. from :func:`repeat_interval`) lift
+    to one shared :class:`RankInterval`, preserving the per-distinct-
+    interval caching the repeat idiom buys.
+    """
+    interned: dict[tuple, RankInterval] = {}
+    intervals = []
+    for interval in trace.intervals:
+        key = (interval.acts, interval.postpone)
+        lifted = interned.get(key)
+        if lifted is None:
+            lifted = RankInterval(
                 tuple((bank, row) for row in interval.acts), interval.postpone
             )
-            for interval in trace.intervals
-        ],
-    )
+            interned[key] = lifted
+        intervals.append(lifted)
+    return RankTrace(name=trace.name, intervals=intervals)
 
 
 def repeat_interval(

@@ -2,7 +2,9 @@
 
 Every tracker in the paper fits one life-cycle:
 
-* :meth:`Tracker.on_activate` is called for each demand activation.
+* :meth:`Tracker.on_activate` is called for each demand activation, or
+  :meth:`Tracker.on_activate_batch` for a whole tREFI interval's batch
+  at once (the vectorized engine's hot path).
 * :meth:`Tracker.on_refresh` is called at each REF command; the tracker
   returns the (possibly empty) list of mitigations to perform now.
 * :meth:`Tracker.pseudo_refresh` is called by the Delayed Mitigation
@@ -14,12 +16,56 @@ Every tracker in the paper fits one life-cycle:
 A mitigation is a :class:`MitigationRequest` — an aggressor row plus a
 *distance*: 1 for a normal victim refresh (aggressor±1), 2 for a
 transitive mitigation (aggressor±2, Section V-E), etc.
+
+The batch contract (for third-party trackers)
+---------------------------------------------
+
+``on_activate_batch(rows, counts=None)`` must be *observably
+equivalent* to calling ``on_activate`` once per entry of ``rows`` in
+order: same table contents, same mitigation stream, and — for
+randomized trackers — the same draws from the tracker's ``rng`` (so a
+simulation produces bit-identical results whichever entry point the
+engine uses; the property suite pins this for every registry tracker).
+The default implementation is exactly that scalar loop; override it
+only with an implementation that preserves the equivalence, falling
+back to the scalar loop for batches whose outcome is order-dependent
+(table overflow, mid-batch threshold crossings, ...).
+
+``rows`` is the interval's act stream — a sequence or NumPy integer
+array, never to be mutated. ``counts``, when provided, is the batch's
+``(unique_rows, counts)`` pre-aggregation **in first-occurrence
+order** (the order scalar processing would first insert each row),
+computed once by the engine and shared with the disturbance oracle;
+use :func:`batch_items` to consume it uniformly.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence, Union
+
+BatchRows = Union[Sequence[int], "object"]  # Sequence[int] | np.ndarray
+
+
+def batch_items(rows, counts=None) -> list[tuple[int, int]]:
+    """``(row, count)`` pairs of a batch, in first-occurrence order.
+
+    Uses the engine-provided ``counts`` pre-aggregation when available
+    (array pairs convert via ``tolist`` so downstream dict keys are
+    plain ints); otherwise aggregates ``rows`` directly.
+    """
+    if counts is not None:
+        uniq, cnt = counts
+        if hasattr(uniq, "tolist"):
+            uniq = uniq.tolist()
+        if hasattr(cnt, "tolist"):
+            cnt = cnt.tolist()
+        return list(zip(uniq, cnt))
+    agg: dict[int, int] = {}
+    for row in rows.tolist() if hasattr(rows, "tolist") else rows:
+        agg[row] = agg.get(row, 0) + 1
+    return list(agg.items())
 
 
 @dataclass(frozen=True)
@@ -65,6 +111,19 @@ class Tracker(abc.ABC):
     def on_activate(self, row: int) -> None:
         """Observe one demand activation of ``row``."""
 
+    def on_activate_batch(self, rows: BatchRows, counts=None) -> None:
+        """Observe one interval's demand activations at once.
+
+        Must be observably equivalent to ``on_activate`` per row in
+        order (see the module docstring for the full contract). This
+        default is that scalar loop; ``counts`` is the optional shared
+        ``(unique_rows, counts)`` pre-aggregation in first-occurrence
+        order, which this default does not need.
+        """
+        on_activate = self.on_activate
+        for row in rows.tolist() if hasattr(rows, "tolist") else rows:
+            on_activate(row)
+
     @abc.abstractmethod
     def on_refresh(self) -> list[MitigationRequest]:
         """REF boundary: return mitigations to perform, reset interval."""
@@ -106,6 +165,9 @@ class NullTracker(Tracker):
     centric = "none"
 
     def on_activate(self, row: int) -> None:
+        pass
+
+    def on_activate_batch(self, rows: BatchRows, counts=None) -> None:
         pass
 
     def on_refresh(self) -> list[MitigationRequest]:

@@ -14,7 +14,7 @@ immunity. The closed-form entries-vs-threshold bound lives in
 from __future__ import annotations
 
 from ..constants import SAR_BITS
-from .base import MitigationRequest, Tracker
+from .base import MitigationRequest, Tracker, batch_items
 
 
 class MithrilTracker(Tracker):
@@ -44,6 +44,24 @@ class MithrilTracker(Tracker):
             min_count = self.counters[victim]
             del self.counters[victim]
             self.counters[row] = min_count + 1
+
+    def on_activate_batch(self, rows, counts=None) -> None:
+        """Pre-aggregated batch: counters advance by whole batch counts.
+
+        Exact while no Space-Saving eviction can occur, i.e. the table
+        has room for every row the batch introduces (additions commute
+        and a new row's insert-at-1-then-increment ends at its batch
+        count). Eviction picks a minimum — an order-sensitive choice —
+        so batches that would overflow replay through the scalar loop.
+        """
+        items = batch_items(rows, counts)
+        counters = self.counters
+        new_rows = sum(1 for row, _ in items if row not in counters)
+        if len(counters) + new_rows <= self.num_entries:
+            for row, count in items:
+                counters[row] = counters.get(row, 0) + count
+            return
+        super().on_activate_batch(rows, counts)
 
     def on_mitigation_activate(self, row: int) -> None:
         self.on_activate(row)

@@ -65,6 +65,38 @@ class InDramParaTracker(Tracker):
             self.sar = row
             self.samples += 1
 
+    def on_activate_batch(self, rows, counts=None) -> None:
+        """Batched sampling that preserves the scalar RNG stream.
+
+        The overwrite variant draws exactly once per activation no
+        matter what, so the batch draws the same ``len(rows)`` uniforms
+        from the same ``random.Random`` the scalar loop would — bit-for-
+        bit identical SAR outcomes — and only then reduces: the SAR ends
+        on the *last* sampled position. (A single binomial draw per
+        batch would be distributionally equivalent but would desync the
+        RNG stream and break scalar/vectorized result identity, which
+        the engine pins.) The no-overwrite variant stops consuming
+        randomness once the SAR latches, so its draw count is
+        data-dependent and the scalar loop is the only exact form.
+        """
+        if not self.overwrite:
+            super().on_activate_batch(rows, counts)
+            return
+        n = len(rows)
+        if n == 0:
+            return
+        random_ = self.rng.random
+        p = self.p
+        hits = [i for i in range(n) if random_() < p]
+        if not hits:
+            return
+        if self.sar is not None:
+            self.overwrites += len(hits)
+        else:
+            self.overwrites += len(hits) - 1
+        self.samples += len(hits)
+        self.sar = int(rows[hits[-1]])
+
     def on_refresh(self) -> list[MitigationRequest]:
         requests = []
         if self.sar is not None:

@@ -40,6 +40,18 @@ class ParfmTracker(Tracker):
             # This is precisely the vulnerability Table IV quantifies.
             self.dropped_activations += 1
 
+    def on_activate_batch(self, rows, counts=None) -> None:
+        # One slice-extend up to the buffer's remaining space; the
+        # overflow tail is dropped exactly as the scalar loop would.
+        n = len(rows)
+        space = self.max_act - len(self.buffer)
+        if space > 0:
+            taken = rows[:space]
+            self.buffer.extend(
+                taken.tolist() if hasattr(taken, "tolist") else taken
+            )
+        self.dropped_activations += max(0, n - max(0, space))
+
     def on_refresh(self) -> list[MitigationRequest]:
         requests = []
         if self.buffer:

@@ -20,7 +20,7 @@ import math
 
 from ..constants import ROWS_PER_BANK
 from ..dram.timing import DDR5Timing, DEFAULT_TIMING
-from .base import MitigationRequest, Tracker
+from .base import MitigationRequest, Tracker, batch_items
 
 #: tRC with PRAC's read-modify-write of the in-row counter (§IX).
 PRAC_TRC_NS = 52.0
@@ -60,6 +60,24 @@ class PracTracker(Tracker):
             self.counters[row] = 0
             self._alerts.append(row)
             self.alerts_raised += 1
+
+    def on_activate_batch(self, rows, counts=None) -> None:
+        """Bincount-style accumulation: each counter advances by its
+        batch count in one add.
+
+        Exact while no counter reaches the ALERT threshold within the
+        batch — an alert resets the counter mid-stream and the alert
+        *order* across rows follows the act order, so threshold-crossing
+        batches replay through the scalar loop.
+        """
+        items = batch_items(rows, counts)
+        counters = self.counters
+        threshold = self.alert_threshold
+        if any(counters.get(row, 0) + count >= threshold for row, count in items):
+            super().on_activate_batch(rows, counts)
+            return
+        for row, count in items:
+            counters[row] = counters.get(row, 0) + count
 
     def on_mitigation_activate(self, row: int) -> None:
         self.on_activate(row)

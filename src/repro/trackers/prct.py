@@ -13,7 +13,7 @@ perform, which makes PRCT immune to transitive attacks (Section V-G).
 from __future__ import annotations
 
 from ..constants import ROWS_PER_BANK
-from .base import MitigationRequest, Tracker
+from .base import MitigationRequest, Tracker, batch_items
 
 
 class PrctTracker(Tracker):
@@ -40,6 +40,14 @@ class PrctTracker(Tracker):
 
     def on_activate(self, row: int) -> None:
         self.counters[row] = self.counters.get(row, 0) + 1
+
+    def on_activate_batch(self, rows, counts=None) -> None:
+        # Pure counting commutes: always exact on the aggregation (new
+        # rows appear in first-occurrence order, matching the scalar
+        # insertion order that on_refresh's max tie-break observes).
+        counters = self.counters
+        for row, count in batch_items(rows, counts):
+            counters[row] = counters.get(row, 0) + count
 
     def on_mitigation_activate(self, row: int) -> None:
         # Victim-refresh activations count too: transitive immunity.

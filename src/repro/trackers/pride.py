@@ -54,6 +54,27 @@ class PrideTracker(Tracker):
                 self.losses += 1
             self.fifo.append(row)
 
+    def on_activate_batch(self, rows, counts=None) -> None:
+        # Sampling draws once per activation unconditionally, so the
+        # batch consumes the same RNG stream as the scalar loop (the
+        # stream-equality contract of on_activate_batch), then replays
+        # only the sampled positions through the FIFO.
+        n = len(rows)
+        if n == 0:
+            return
+        random_ = self.rng.random
+        p = self.p
+        hits = [i for i in range(n) if random_() < p]
+        if not hits:
+            return
+        self.samples += len(hits)
+        fifo = self.fifo
+        for i in hits:
+            if len(fifo) >= self.fifo_depth:
+                fifo.popleft()
+                self.losses += 1
+            fifo.append(int(rows[i]))
+
     def on_refresh(self) -> list[MitigationRequest]:
         if not self.fifo:
             return []

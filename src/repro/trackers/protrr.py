@@ -13,7 +13,7 @@ preserving transitive immunity.
 from __future__ import annotations
 
 from ..constants import SAR_BITS
-from .base import MitigationRequest, Tracker
+from .base import MitigationRequest, Tracker, batch_items
 
 
 class ProTrrTracker(Tracker):
@@ -56,6 +56,31 @@ class ProTrrTracker(Tracker):
         for distance in range(1, self.blast_radius + 1):
             self._credit(row - distance)
             self._credit(row + distance)
+
+    def on_activate_batch(self, rows, counts=None) -> None:
+        """Accumulate victim credits from the batch aggregation.
+
+        Each aggressor's count fans out to its in-bounds neighbours
+        (victim order mirrors the scalar loop's first-credit order).
+        Exact while the table can hold every new victim; the
+        decrement-all eviction is order-sensitive, so overflowing
+        batches replay through the scalar loop.
+        """
+        credits: dict[int, int] = {}
+        num_rows = self.num_rows
+        for row, count in batch_items(rows, counts):
+            for distance in range(1, self.blast_radius + 1):
+                for victim in (row - distance, row + distance):
+                    if num_rows is not None and not 0 <= victim < num_rows:
+                        continue
+                    credits[victim] = credits.get(victim, 0) + count
+        counters = self.counters
+        new_rows = sum(1 for victim in credits if victim not in counters)
+        if len(counters) + new_rows <= self.num_entries:
+            for victim, credit in credits.items():
+                counters[victim] = counters.get(victim, 0) + credit
+            return
+        super().on_activate_batch(rows, counts)
 
     def on_mitigation_activate(self, row: int) -> None:
         self.on_activate(row)

@@ -15,7 +15,7 @@ foil for the "secure" trackers in the comparison experiments.
 from __future__ import annotations
 
 from ..constants import SAR_BITS
-from .base import MitigationRequest, Tracker
+from .base import MitigationRequest, Tracker, batch_items
 
 
 class TrrTracker(Tracker):
@@ -45,6 +45,19 @@ class TrrTracker(Tracker):
                 self.counters[key] -= 1
                 if self.counters[key] <= 0:
                     del self.counters[key]
+
+    def on_activate_batch(self, rows, counts=None) -> None:
+        # Exact while the table never thrashes mid-batch (room for every
+        # new row); eviction cascades are order-sensitive, so
+        # overflowing batches replay through the scalar loop.
+        items = batch_items(rows, counts)
+        counters = self.counters
+        new_rows = sum(1 for row, _ in items if row not in counters)
+        if len(counters) + new_rows <= self.num_entries:
+            for row, count in items:
+                counters[row] = counters.get(row, 0) + count
+            return
+        super().on_activate_batch(rows, counts)
 
     def on_refresh(self) -> list[MitigationRequest]:
         if not self.counters:
