@@ -8,8 +8,10 @@ postponed intervals — with and without the Delayed Mitigation Queue,
 then sweeps the DMQ depth.
 
 The whole study is one ``repro.exp`` grid (the ``postponement``
-preset): MINT ± DMQ against the single- and multi-target decoy
-attacks, fanned out over the process pool and cacheable via --store.
+preset, built from a base ``Scenario`` via ``Scenario.sweep``): MINT ±
+DMQ against the single- and multi-target decoy attacks, each point
+executed through the ``Session`` facade, fanned out over the process
+pool and cacheable via --store.
 
 Run:  python examples/postponement_study.py [--workers N] [--store FILE]
 """

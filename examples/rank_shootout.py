@@ -13,9 +13,11 @@ rank-wide decision, and attackers exploit exactly that seam:
 * ``rank-stripe`` drives every bank at full rate with its own
   TRRespass aggressor set, stretching the rank's total tracker budget.
 
-The sweep is one declarative grid — trackers × cross-bank attacks ×
-bank counts — handed to the ``repro.exp`` runner; each point runs on
-the ``RankSimulator`` with one seeded tracker instance per bank.
+The sweep is one base ``Scenario`` crossed into a grid — trackers ×
+cross-bank attacks × bank counts (``Scenario.sweep``) — and handed to
+the ``repro.exp`` runner; each point executes through the ``Session``
+facade on the ``RankSimulator`` with one seeded tracker instance per
+bank.
 
 Run:  python examples/rank_shootout.py [--banks N] [--workers N]
       [--store FILE]

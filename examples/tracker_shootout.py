@@ -7,9 +7,11 @@ executable version of the paper's Sections II-F and V-G story:
 deployed low-cost trackers break, counter tables hold but cost
 kilobytes, MINT holds with four bytes.
 
-The sweep is one declarative grid handed to the ``repro.exp`` runner:
-the 40 points fan out across the process pool, and with ``--store``
-a re-run serves every unchanged point from cache.
+The sweep is one base ``Scenario`` crossed with tracker/attack axes
+(``Scenario.sweep``) and handed to the ``repro.exp`` runner, which
+executes every point through the ``Session`` facade: the 40 points fan
+out across the process pool, and with ``--store`` a re-run serves
+every unchanged point from cache.
 
 Run:  python examples/tracker_shootout.py [--workers N] [--store FILE]
 """

@@ -5,7 +5,9 @@ Runs the rank-scaling benchmark (full-rate ``rank_stripe`` traces) for
 each requested tracker at each requested bank count, through both the
 scalar per-ACT engine and the vectorized NumPy kernel, and verifies the
 two produce bit-identical ``RankSimResult``s while timing them. Also
-times the parallel experiment runner's fan-out (the exp-speedup
+times the Scenario ``Session`` facade against driving the engine
+directly (the facade must cost <5%, recorded as ``scenario_overhead``)
+and the parallel experiment runner's fan-out (the exp-speedup
 benchmark) unless ``--no-exp`` is given.
 
 The output JSON is the machine-readable perf trajectory: acts/sec per
@@ -38,10 +40,14 @@ if str(SRC) not in sys.path:
 
 from repro.attacks.base import AttackParams  # noqa: E402
 from repro.attacks.rank import rank_stripe  # noqa: E402
+from repro.scenario import AttackSpec, Scenario, Session, TrackerSpec  # noqa: E402
 from repro.sim.engine import EngineConfig, RankSimulator  # noqa: E402
 from repro.trackers.registry import bank_tracker_factory  # noqa: E402
 
 MAX_ACT = 73
+
+#: Budget for the Session facade over the direct engine drive (ratio).
+SCENARIO_OVERHEAD_BUDGET = 0.05
 
 
 def _canonical(result) -> str:
@@ -84,6 +90,67 @@ def bench_engine_point(
         results["vectorized"]
     )
     return point
+
+
+def bench_scenario_overhead(intervals: int, repeats: int) -> dict:
+    """Time the Session facade against driving the engine directly.
+
+    Both paths execute the *same* computation — scenario-derived
+    trackers, trace, and config through ``RankSimulator`` — so the gap
+    is pure facade cost (payload hashing for the seed streams plus
+    dispatch), which must stay under ``SCENARIO_OVERHEAD_BUDGET``. The
+    two results are asserted bit-identical while timing.
+    """
+    scenario = Scenario(
+        tracker=TrackerSpec.of("mint"),
+        attack=AttackSpec.of("rank-stripe", sides=12),
+        trh=1e9,
+        intervals=intervals,
+        num_banks=4,
+        seed=7,
+    )
+    results = {}
+
+    def direct() -> None:
+        simulator = RankSimulator(
+            scenario.tracker_factory(), scenario.engine_config()
+        )
+        results["direct"] = simulator.run(scenario.build_trace())
+
+    def facade() -> None:
+        results["session"] = Session(scenario).run()
+
+    # Paired measurement: the facade delta is far below this machine's
+    # run-to-run jitter, so time the two paths back to back each round
+    # (drift hits both sides of a round equally) and report the median
+    # per-round ratio. Best-of seconds are recorded for context.
+    pairs = (("direct", direct), ("session", facade))
+    timings = {label: float("inf") for label, _ in pairs}
+    for _, runner in pairs:
+        runner()  # warmup: NumPy ufunc + per-interval cache build
+    ratios = []
+    for _ in range(repeats):
+        round_times = {}
+        for label, runner in pairs:
+            started = time.perf_counter()
+            runner()
+            round_times[label] = time.perf_counter() - started
+            timings[label] = min(timings[label], round_times[label])
+        ratios.append(round_times["session"] / round_times["direct"])
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2] - 1.0
+    return {
+        "intervals": intervals,
+        "num_banks": 4,
+        "direct_seconds": round(timings["direct"], 6),
+        "session_seconds": round(timings["session"], 6),
+        "overhead_ratio": round(overhead, 4),
+        "budget": SCENARIO_OVERHEAD_BUDGET,
+        "within_budget": overhead < SCENARIO_OVERHEAD_BUDGET,
+        "bit_identical": (
+            _canonical(results["direct"]) == _canonical(results["session"])
+        ),
+    }
 
 
 def bench_exp_runner(points: int, windows: int) -> dict:
@@ -180,6 +247,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"vectorized {point['vectorized_acts_per_second']:>12,.0f}/s  "
                 f"x{point['speedup']:<5.2f} [{status}]"
             )
+    # Longer runs + more interleaved repeats than the kernel points:
+    # the facade delta is tiny, so the measurement needs a deep floor.
+    record["scenario_overhead"] = bench_scenario_overhead(
+        intervals=2 * args.intervals, repeats=max(args.repeats, 7)
+    )
+    overhead = record["scenario_overhead"]
+    overhead_status = "ok" if (
+        overhead["within_budget"] and overhead["bit_identical"]
+    ) else "OVER BUDGET" if not overhead["within_budget"] else "MISMATCH"
+    failures += overhead_status != "ok"
+    print(
+        f"scenario facade: direct {overhead['direct_seconds']}s, "
+        f"session {overhead['session_seconds']}s "
+        f"({overhead['overhead_ratio'] * 100:+.2f}%, budget "
+        f"{SCENARIO_OVERHEAD_BUDGET * 100:.0f}%) [{overhead_status}]"
+    )
     if not args.no_exp:
         record["exp_runner"] = bench_exp_runner(
             points=2 if args.quick else 4, windows=2 if args.quick else 3
@@ -193,7 +276,8 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}")
     if failures:
-        print(f"ERROR: {failures} point(s) lost scalar/vectorized identity")
+        print(f"ERROR: {failures} check(s) failed (kernel identity or "
+              f"scenario-facade overhead budget)")
         return 1
     return 0
 

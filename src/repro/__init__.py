@@ -19,8 +19,23 @@ MINT: Securely Mitigating Rowhammer with a Minimalist In-DRAM Tracker
   number in the paper.
 * :mod:`repro.perf` — the performance/energy substrate standing in for
   the paper's Gem5 setup.
+* :mod:`repro.scenario` — **the canonical entry point**: the frozen,
+  serializable :class:`~repro.scenario.Scenario` description of one
+  evaluation and the :class:`~repro.scenario.Session` facade that runs
+  it (single run, Monte-Carlo ``run_many``, grid ``sweep``, ``perf``).
+  Every other entry point (CLI, experiment runner, the legacy free
+  functions below) is a view onto it.
 
-Quickstart::
+Quickstart — declarative::
+
+    from repro import Scenario, Session
+
+    scenario = Scenario(tracker="mint", attack="double-sided",
+                        trh=4800, intervals=1000, seed=1)
+    result = Session(scenario).run()
+    assert not result.failed
+
+Quickstart — legacy free-function shim (bit-identical engine)::
 
     import random
     from repro import MintTracker, run_attack
@@ -50,6 +65,13 @@ from .core import (
     equivalent_activations,
 )
 from .dram import DDR5Timing, DEFAULT_TIMING, DramDevice, RowDisturbanceModel
+from .scenario import (
+    AttackSpec,
+    Scenario,
+    Session,
+    TrackerSpec,
+    run_scenario,
+)
 from .sim import (
     BankSimulator,
     EngineConfig,
@@ -60,6 +82,7 @@ from .sim import (
     Trace,
     run_attack,
     run_rank_attack,
+    system_mttf_years,
 )
 from .trackers import (
     InDramParaTracker,
@@ -76,6 +99,7 @@ from .trackers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AttackSpec",
     "BANKS_PER_RANK",
     "BankSimulator",
     "CONCURRENT_BANKS",
@@ -102,14 +126,19 @@ __all__ = [
     "RfmController",
     "RowDisturbanceModel",
     "RowPressMintTracker",
+    "Scenario",
+    "Session",
     "SimResult",
     "Trace",
     "Tracker",
+    "TrackerSpec",
     "available_trackers",
     "bank_tracker_factory",
     "equivalent_activations",
     "make_tracker",
     "run_attack",
     "run_rank_attack",
+    "run_scenario",
+    "system_mttf_years",
     "__version__",
 ]

@@ -2,18 +2,29 @@
 
 Commands
 --------
-``attack``  run an attack pattern against a tracker in the simulator
-``mintrh``  compute the tolerated threshold of a MINT configuration
-``table``   print one of the paper's comparison tables
-``plan``    recommend a configuration for a device threshold
-``exp``     run/inspect batched experiment grids (parallel + cached)
+``run``      execute a scenario file through the Session facade
+``scenario`` inspect a scenario file (``show`` / ``fingerprint``)
+``attack``   run an attack pattern against a tracker in the simulator
+``mintrh``   compute the tolerated threshold of a MINT configuration
+``table``    print one of the paper's comparison tables
+``plan``     recommend a configuration for a device threshold
+``exp``      run/inspect batched experiment grids (parallel + cached)
+
+Every simulation command goes through :mod:`repro.scenario`: ``run``
+consumes a serialized :class:`~repro.scenario.Scenario` verbatim,
+``attack`` builds one from flags, and ``exp run`` fans a grid of them
+out over the process pool. ``--format json|csv`` renders results via
+the shared serializers on
+:class:`~repro.sim.results.RankSimResult` /
+:class:`~repro.sim.montecarlo.MonteCarloResult`.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import os
-import random
 import sys
 
 from .analysis.adaptive import AdaConfig, worst_case_ada_mintrh
@@ -26,14 +37,10 @@ from .analysis.rfm_scaling import (
     ttf_sensitivity,
 )
 from .analysis.storage import table9
-from .attacks import (
-    AttackParams,
-    available_attacks,
-    available_rank_attacks,
-    make_attack,
-)
-from .sim.engine import run_attack
-from .trackers import available_trackers, make_tracker
+from .attacks import available_attacks, available_rank_attacks
+from .scenario import AttackSpec, Scenario, Session, TrackerSpec
+from .sim.results import RESULT_CSV_COLUMNS, result_csv_rows
+from .trackers import available_trackers
 
 #: Attack families exposed by ``repro attack`` (the full registry also
 #: carries the postponement/decoy patterns used by ``repro exp``).
@@ -43,17 +50,92 @@ _CLI_ATTACKS = (
 )
 
 
+def _load_scenario(path: str) -> Scenario:
+    """Read a scenario file (JSON payload) or raise ``SystemExit(2)``."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        print(f"cannot read scenario file: {error}")
+        raise SystemExit(2)
+    except json.JSONDecodeError as error:
+        print(f"{path}: not valid JSON ({error})")
+        raise SystemExit(2)
+    try:
+        return Scenario.from_payload(payload)
+    except (KeyError, TypeError, ValueError) as error:
+        print(f"{path}: invalid scenario: {error}")
+        raise SystemExit(2)
+
+
+def _emit_csv(rows: list[dict], columns) -> None:
+    writer = csv.DictWriter(sys.stdout, fieldnames=list(columns))
+    writer.writeheader()
+    writer.writerows(rows)
+
+
+def _emit_run_result(result, fmt: str) -> None:
+    """Render a RankSimResult in the requested format."""
+    if fmt == "json":
+        print(json.dumps(result.to_payload(), indent=2, sort_keys=True))
+    elif fmt == "csv":
+        _emit_csv(result_csv_rows(result.to_payload()), RESULT_CSV_COLUMNS)
+    else:
+        print(result.summary())
+        if result.failed:
+            flip = result.flips[0]
+            print(f"first flip: row {flip.row} after "
+                  f"{flip.disturbance:.0f} disturbances at "
+                  f"{flip.time_ns / 1e6:.2f} ms")
+
+
+def _cmd_run(args) -> int:
+    scenario = _load_scenario(args.scenario)
+    session = Session(scenario)
+    if args.windows:
+        result = session.run_many(args.windows, n_workers=args.workers or 1)
+        payload = result.to_payload()
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        elif args.format == "csv":
+            _emit_csv([payload], payload.keys())
+        else:
+            low, high = result.confidence_interval()
+            print(f"{scenario.label}: {result.failures}/{result.windows} "
+                  f"windows failed (p = {result.failure_probability:.4g}, "
+                  f"95% CI [{low:.4g}, {high:.4g}], "
+                  f"{result.total_mitigations} mitigations)")
+        return 1 if result.failures else 0
+    result = session.run()
+    _emit_run_result(result, args.format)
+    return 1 if result.failed else 0
+
+
+def _cmd_scenario_show(args) -> int:
+    scenario = _load_scenario(args.scenario)
+    if args.format == "json":
+        print(json.dumps(scenario.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(scenario.describe())
+    return 0
+
+
+def _cmd_scenario_fingerprint(args) -> int:
+    print(_load_scenario(args.scenario).fingerprint())
+    return 0
+
+
 def _cmd_attack(args) -> int:
-    params = AttackParams(max_act=args.max_act, intervals=args.intervals)
-    trace = make_attack(args.attack, params)
-    tracker = make_tracker(
-        args.tracker, rng=random.Random(args.seed), dmq=args.dmq,
+    scenario = Scenario(
+        tracker=TrackerSpec.of(args.tracker, dmq=args.dmq),
+        attack=AttackSpec.of(args.attack),
+        trh=args.trh,
+        intervals=args.intervals,
         max_act=args.max_act,
-    )
-    result = run_attack(
-        tracker, trace, trh=args.trh,
         allow_postponement=args.allow_postponement,
+        seed=args.seed,
     )
+    result = Session(scenario).run().per_bank[0]
     print(result.summary())
     if result.failed:
         flip = result.flips[0]
@@ -186,6 +268,26 @@ def _cmd_exp_run(args) -> int:
         # generators and the engine's trace validation.
         print(f"exp run: {error}")
         return 2
+    failed = any(result.failed for result in report.results)
+    if args.format == "json":
+        print(json.dumps(
+            [result.to_payload() for result in report.results],
+            indent=2, sort_keys=True,
+        ))
+        return 1 if failed else 0
+    if args.format == "csv":
+        rows = []
+        for result in report.results:
+            for row in result_csv_rows(result.metrics):
+                row["tracker"] = result.tracker
+                rows.append({
+                    "key": result.key[:12],
+                    "attack": result.attack,
+                    "seed": result.seed,
+                    **row,
+                })
+        _emit_csv(rows, ("key", "attack", "seed", *RESULT_CSV_COLUMNS))
+        return 1 if failed else 0
     print(f"exp run: {report.summary()}")
     for result in report.results:
         metrics = result.metrics
@@ -205,7 +307,7 @@ def _cmd_exp_run(args) -> int:
                 f"acts={bank_metrics['demand_acts']:<9} "
                 f"mitigations={bank_metrics['mitigations']}"
             )
-    return 1 if any(result.failed for result in report.results) else 0
+    return 1 if failed else 0
 
 
 def _cmd_exp_status(args) -> int:
@@ -229,6 +331,40 @@ def build_parser() -> argparse.ArgumentParser:
         description="MINT (MICRO 2024) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a scenario file (JSON) through the facade"
+    )
+    run.add_argument("scenario",
+                     help="path to a scenario JSON payload "
+                          "(see `repro scenario show` and README)")
+    run.add_argument("--windows", type=int, default=None,
+                     help="Monte-Carlo mode: run N independent tREFW "
+                          "windows instead of one full trace")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size for --windows fan-out")
+    run.add_argument("--format", choices=["human", "json", "csv"],
+                     default="human")
+    run.set_defaults(func=_cmd_run)
+
+    scenario = sub.add_parser(
+        "scenario", help="inspect a scenario file"
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_show = scenario_sub.add_parser(
+        "show", help="print the normalized scenario (human or json)"
+    )
+    scenario_show.add_argument("scenario", help="path to a scenario JSON")
+    scenario_show.add_argument("--format", choices=["human", "json"],
+                               default="human")
+    scenario_show.set_defaults(func=_cmd_scenario_show)
+    scenario_fp = scenario_sub.add_parser(
+        "fingerprint", help="print the scenario's stable fingerprint"
+    )
+    scenario_fp.add_argument("scenario", help="path to a scenario JSON")
+    scenario_fp.set_defaults(func=_cmd_scenario_fingerprint)
 
     attack = sub.add_parser("attack", help="simulate an attack vs a tracker")
     attack.add_argument("--tracker", choices=available_trackers(),
@@ -290,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON result store for incremental re-runs")
     exp_run.add_argument("--dmq", action="store_true")
     exp_run.add_argument("--allow-postponement", action="store_true")
+    exp_run.add_argument("--format", choices=["human", "json", "csv"],
+                         default="human",
+                         help="result export format (json/csv render via "
+                              "the shared result serializers)")
     exp_run.set_defaults(func=_cmd_exp_run)
 
     exp_status = exp_sub.add_parser(

@@ -4,6 +4,12 @@ The subsystem behind ``python -m repro exp``: declare a grid of
 (tracker × attack × config) points, fan it out over a process pool
 with deterministic per-task seeding, and collect the outcomes into a
 fingerprint-keyed store so re-runs are incremental.
+
+A grid point is a factored :class:`~repro.scenario.Scenario`: build
+grids from a base scenario with
+:meth:`Scenario.sweep <repro.scenario.Scenario.sweep>`, and the runner
+executes every point through the :class:`~repro.scenario.Session`
+facade.
 """
 
 from .grid import (

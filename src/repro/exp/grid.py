@@ -3,101 +3,56 @@
 A grid point names a tracker, an attack pattern, and the engine knobs —
 all plain JSON-serialisable values, never live objects — so points can
 be fingerprinted for the incremental result store, shipped to worker
-processes, and re-derived bit-identically from a base seed. The specs
-resolve through the two factory registries
-(:func:`repro.trackers.registry.make_tracker`,
-:func:`repro.attacks.registry.make_attack`).
+processes, and re-derived bit-identically from a base seed.
+
+Since the Scenario API landed, a grid point is just a factored
+:class:`~repro.scenario.Scenario`: the specs are re-exported from
+:mod:`repro.scenario`, :class:`PointConfig` is the engine-knob slice of
+a scenario, and :meth:`ExperimentPoint.scenario` recombines the three
+coordinates with a base seed into the canonical object the runner
+executes. :meth:`Scenario.sweep <repro.scenario.Scenario.sweep>` builds
+grids from a base scenario plus axes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from itertools import product
 from typing import Any, Iterator, Mapping
 
-from ..sim.seeding import stable_hash, stable_seed
+from ..scenario import AttackSpec, Scenario, TrackerSpec
+from ..sim.seeding import stable_hash
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AttackSpec",
+    "ExperimentGrid",
+    "ExperimentPoint",
+    "PointConfig",
+    "TrackerSpec",
+]
 
 #: Bump when the result schema or the seeding scheme changes, so stale
 #: store entries are invalidated instead of silently reused.
 #: v2: rank-level points (``PointConfig.num_banks``, per-bank metrics).
-SCHEMA_VERSION = 2
-
-
-def _frozen_params(params: Mapping[str, Any] | None) -> tuple:
-    """Normalise a kwargs mapping into a hashable, ordered tuple."""
-    if not params:
-        return ()
-    return tuple(
-        (key, tuple(value) if isinstance(value, list) else value)
-        for key, value in sorted(params.items())
-    )
-
-
-@dataclass(frozen=True)
-class TrackerSpec:
-    """A tracker by registry name plus factory kwargs."""
-
-    name: str
-    params: tuple = ()
-    dmq: bool = False
-    dmq_depth: int = 4
-
-    @classmethod
-    def of(cls, name: str, dmq: bool = False, dmq_depth: int = 4,
-           **params: Any) -> "TrackerSpec":
-        return cls(name, _frozen_params(params), dmq, dmq_depth)
-
-    @property
-    def label(self) -> str:
-        """Human-readable identity, unique within a well-formed grid."""
-        base = self.name
-        if self.params:
-            args = ",".join(f"{key}={value}" for key, value in self.params)
-            base = f"{base}({args})"
-        if self.dmq:
-            base = f"{base}+dmq{self.dmq_depth}"
-        return base
-
-    def to_payload(self) -> dict:
-        return {
-            "name": self.name,
-            "params": dict(self.params),
-            "dmq": self.dmq,
-            "dmq_depth": self.dmq_depth,
-        }
-
-    @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "TrackerSpec":
-        return cls(
-            payload["name"],
-            _frozen_params(payload.get("params")),
-            payload.get("dmq", False),
-            payload.get("dmq_depth", 4),
-        )
-
-
-@dataclass(frozen=True)
-class AttackSpec:
-    """An attack pattern by registry name plus factory kwargs."""
-
-    name: str
-    params: tuple = ()
-
-    @classmethod
-    def of(cls, name: str, **params: Any) -> "AttackSpec":
-        return cls(name, _frozen_params(params))
-
-    def to_payload(self) -> dict:
-        return {"name": self.name, "params": dict(self.params)}
-
-    @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "AttackSpec":
-        return cls(payload["name"], _frozen_params(payload.get("params")))
+#: v3: points execute through the Scenario facade (seed streams derive
+#: from ``Scenario.task_seed``; ``vectorized``/``concurrent_banks``
+#: knobs). v2 stores still *load* — their records and point payloads
+#: parse unchanged — but their fingerprints no longer match, so their
+#: points re-execute on the next run.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
 class PointConfig:
     """Engine and trace knobs for one grid point (JSON-safe).
+
+    This is exactly the grid-able engine-knob slice of a
+    :class:`~repro.scenario.Scenario` — every field mirrors the
+    scenario field of the same name, and the conversions
+    (:meth:`from_scenario`, :meth:`scenario` on the enclosing
+    :class:`ExperimentPoint`) are lossless for any scenario without a
+    full custom-timing override.
 
     ``scaled_timing=True`` swaps the real DDR5 timing for the scaled
     Monte-Carlo device whose window holds ``max_act`` ACTs per tREFI —
@@ -120,25 +75,48 @@ class PointConfig:
     refi_per_refw: int = 8192
     scaled_timing: bool = False
     num_banks: int = 1
+    concurrent_banks: int | None = None
+    vectorized: bool | None = None
 
     def to_payload(self) -> dict:
-        return {
-            "trh": self.trh,
-            "intervals": self.intervals,
-            "max_act": self.max_act,
-            "base_row": self.base_row,
-            "num_rows": self.num_rows,
-            "blast_radius": self.blast_radius,
-            "allow_postponement": self.allow_postponement,
-            "max_postponed": self.max_postponed,
-            "refi_per_refw": self.refi_per_refw,
-            "scaled_timing": self.scaled_timing,
-            "num_banks": self.num_banks,
-        }
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "PointConfig":
-        return cls(**dict(payload))
+        """Rebuild from a payload of any schema generation.
+
+        The loader shim for pre-v3 stores: missing fields (knobs that
+        did not exist yet) take their defaults, and unknown fields from
+        a newer store are ignored rather than fatal.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "PointConfig":
+        """The engine-knob slice of ``scenario``.
+
+        Raises ``ValueError`` for a scenario carrying a full custom
+        :class:`~repro.dram.timing.DDR5Timing` override — grid points
+        hold only JSON scalars; use ``scaled_timing`` or run such a
+        scenario directly through the Session facade.
+        """
+        if scenario.timing is not None:
+            raise ValueError(
+                "grid points cannot carry a custom DDR5Timing override; "
+                "use scaled_timing, or run the scenario via Session"
+            )
+        return cls(**{
+            f.name: getattr(scenario, f.name) for f in fields(cls)
+        })
+
+    def scenario(
+        self, tracker: TrackerSpec, attack: AttackSpec, seed: int = 0
+    ) -> Scenario:
+        """Recombine this config with specs and a base seed."""
+        return Scenario(
+            tracker=tracker, attack=attack, seed=seed, **self.to_payload()
+        )
 
 
 @dataclass(frozen=True)
@@ -164,22 +142,36 @@ class ExperimentPoint:
             PointConfig.from_payload(payload["config"]),
         )
 
+    def scenario(self, base_seed: int = 0) -> Scenario:
+        """The canonical :class:`~repro.scenario.Scenario` this point
+        denotes under ``base_seed`` (what the runner executes)."""
+        return self.config.scenario(self.tracker, self.attack, seed=base_seed)
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "ExperimentPoint":
+        """Factor a scenario into grid coordinates (drops the seed —
+        grids re-key every point from the run's base seed)."""
+        return cls(
+            scenario.tracker,
+            scenario.attack,
+            PointConfig.from_scenario(scenario),
+        )
+
     def fingerprint(self, base_seed: int) -> str:
         """Stable identity of this point's *result*.
 
         Any change to the tracker, attack, engine knobs, base seed, or
         schema version yields a new fingerprint — which is exactly the
-        cache-invalidation rule of the result store.
+        cache-invalidation rule of the result store. Delegates to the
+        scenario fingerprint, wrapped with the exp schema version.
         """
         return stable_hash(
-            "exp-point", SCHEMA_VERSION, self.to_payload(), base_seed
+            "exp-point", SCHEMA_VERSION, self.scenario(base_seed).fingerprint()
         )
 
     def task_seed(self, base_seed: int) -> int:
         """The 64-bit seed this point's random streams derive from."""
-        return stable_seed(
-            "exp-task", SCHEMA_VERSION, self.to_payload(), base_seed
-        )
+        return self.scenario(base_seed).task_seed()
 
 
 @dataclass
@@ -210,6 +202,10 @@ class ExperimentGrid:
                 self.trackers, self.attacks, self.configs
             )
         ]
+
+    def scenarios(self, base_seed: int = 0) -> list[Scenario]:
+        """Every point as a full scenario under ``base_seed``."""
+        return [point.scenario(base_seed) for point in self.points()]
 
     def __iter__(self) -> Iterator[ExperimentPoint]:
         return iter(self.points())

@@ -5,17 +5,18 @@ examples used to carry: the tracker-shootout matrix (Sections II-F and
 V-G) and the refresh-postponement study (Section VI). Examples and the
 CLI both resolve presets from here so the sweep definitions live in
 exactly one place.
+
+Every preset is one base :class:`~repro.scenario.Scenario` crossed
+with its axes via :meth:`~repro.scenario.Scenario.sweep` — the same
+facade the runner executes each resulting point through.
 """
 
 from __future__ import annotations
 
-from .grid import (
-    AttackSpec,
-    ExperimentGrid,
-    ExperimentPoint,
-    PointConfig,
-    TrackerSpec,
-)
+from dataclasses import replace
+
+from ..scenario import AttackSpec, Scenario, TrackerSpec
+from .grid import ExperimentGrid, ExperimentPoint
 
 #: The trackers of the shootout table, in presentation order.
 SHOOTOUT_TRACKERS = (
@@ -53,13 +54,17 @@ def shootout_grid(
     max_act: int = 73,
 ) -> ExperimentGrid:
     """Every shootout tracker × every classic attack family."""
-    return ExperimentGrid(
-        trackers=[TrackerSpec.of(name) for name in SHOOTOUT_TRACKERS],
-        attacks=[
+    base = Scenario(
+        tracker="mint",
+        attack="single-sided",
+        trh=trh,
+        intervals=intervals,
+        max_act=max_act,
+    )
+    return base.sweep(
+        tracker=list(SHOOTOUT_TRACKERS),
+        attack=[
             AttackSpec.of(name, **params) for name, params in SHOOTOUT_ATTACKS
-        ],
-        configs=[
-            PointConfig(trh=trh, intervals=intervals, max_act=max_act)
         ],
     )
 
@@ -77,21 +82,20 @@ def rank_shootout_grid(
     cross-bank decoy can play its REF-debt game; the non-postponing
     attacks simply never request it.
     """
-    return ExperimentGrid(
-        trackers=[TrackerSpec.of(name) for name in RANK_TRACKERS],
-        attacks=[
+    base = Scenario(
+        tracker="mint",
+        attack="rank-stripe",
+        trh=trh,
+        intervals=intervals,
+        max_act=max_act,
+        allow_postponement=True,
+    )
+    return base.sweep(
+        tracker=list(RANK_TRACKERS),
+        attack=[
             AttackSpec.of(name, **params) for name, params in RANK_ATTACKS
         ],
-        configs=[
-            PointConfig(
-                trh=trh,
-                intervals=intervals,
-                max_act=max_act,
-                allow_postponement=True,
-                num_banks=num_banks,
-            )
-            for num_banks in banks
-        ],
+        num_banks=list(banks),
     )
 
 
@@ -108,30 +112,31 @@ def postponement_grid(
     faces the single-target decoy, while only the depth sweep faces the
     multi-target variant — the exact point set the study consumes.
     """
-    config = PointConfig(
+    targets = [POSTPONEMENT_TARGET + 10 * i for i in range(4)]
+    base = Scenario(
+        tracker="mint",
+        attack=AttackSpec.of("decoy", target=POSTPONEMENT_TARGET),
         trh=1e9,
         intervals=intervals,
         max_act=max_act,
         allow_postponement=True,
     )
-    decoy = AttackSpec.of("decoy", target=POSTPONEMENT_TARGET)
-    targets = [POSTPONEMENT_TARGET + 10 * i for i in range(4)]
-    headline = [
-        ExperimentPoint(TrackerSpec.of("mint"), decoy, config),
-        ExperimentPoint(
-            TrackerSpec.of("mint", dmq=True, dmq_depth=4), decoy, config
-        ),
-    ]
-    return ExperimentGrid(
-        trackers=[
+    grid = base.sweep(
+        tracker=[
             TrackerSpec.of("mint", dmq=True, dmq_depth=depth,
                            transitive=False)
             for depth in depths
         ],
-        attacks=[AttackSpec.of("decoy-multi", targets=targets)],
-        configs=[config],
-        extra_points=headline,
+        attack=[AttackSpec.of("decoy-multi", targets=targets)],
     )
+    grid.extra_points = [
+        ExperimentPoint.from_scenario(base),
+        ExperimentPoint.from_scenario(
+            replace(base, tracker=TrackerSpec.of("mint", dmq=True,
+                                                 dmq_depth=4))
+        ),
+    ]
+    return grid
 
 
 def scaled_benchmark_grid(
@@ -155,19 +160,19 @@ def scaled_benchmark_grid(
         AttackSpec.of("one-location"),
         AttackSpec.of("double-sided"),
     ]
-    return ExperimentGrid(
-        trackers=[TrackerSpec.of("mint"), TrackerSpec.of("para")],
-        attacks=attack_pool[: points // 2],
-        configs=[
-            PointConfig(
-                trh=1e9,
-                intervals=windows * intervals_per_window,
-                max_act=max_act,
-                num_rows=4096,
-                refi_per_refw=intervals_per_window,
-                scaled_timing=True,
-            )
-        ],
+    base = Scenario(
+        tracker="mint",
+        attack="pattern2",
+        trh=1e9,
+        intervals=windows * intervals_per_window,
+        max_act=max_act,
+        num_rows=4096,
+        refi_per_refw=intervals_per_window,
+        scaled_timing=True,
+    )
+    return base.sweep(
+        tracker=["mint", "para"],
+        attack=attack_pool[: points // 2],
     )
 
 

@@ -74,28 +74,13 @@ class ExperimentResult:
 
 
 def summarise_sim_result(result: SimResult) -> dict:
-    """Flatten a :class:`SimResult` into JSON-safe metrics."""
-    return {
-        "trace": result.trace,
-        "intervals": result.intervals,
-        "demand_acts": result.demand_acts,
-        "refreshes": result.refreshes,
-        "mitigations": result.mitigations,
-        "transitive_mitigations": result.transitive_mitigations,
-        "pseudo_mitigations": result.pseudo_mitigations,
-        "failed": result.failed,
-        "flips": [
-            {"row": flip.row, "disturbance": flip.disturbance,
-             "time_ns": flip.time_ns}
-            for flip in result.flips
-        ],
-        "max_disturbance": result.max_disturbance,
-        "most_disturbed_row": result.most_disturbed_row,
-        "max_unmitigated": {
-            str(row): value
-            for row, value in sorted(result.max_unmitigated.items())
-        },
-    }
+    """Flatten a :class:`SimResult` into JSON-safe metrics.
+
+    The canonical flattening now lives on the result class itself
+    (:meth:`~repro.sim.results.SimResult.to_payload`); this name stays
+    as the exp-layer alias every store record was written through.
+    """
+    return result.to_payload()
 
 
 def summarise_rank_result(result: RankSimResult) -> dict:
@@ -103,31 +88,7 @@ def summarise_rank_result(result: RankSimResult) -> dict:
 
     Rank-level aggregates at the top level (so single-bank consumers of
     ``demand_acts``/``mitigations``/``failed`` keep working), per-bank
-    :func:`summarise_sim_result` dicts under ``per_bank``.
+    dicts under ``per_bank`` — see
+    :meth:`~repro.sim.results.RankSimResult.to_payload`.
     """
-    return {
-        "trace": result.trace,
-        "intervals": result.intervals,
-        "num_banks": result.num_banks,
-        "demand_acts": result.demand_acts,
-        "refreshes": result.refreshes,
-        "mitigations": result.mitigations,
-        "transitive_mitigations": result.transitive_mitigations,
-        "pseudo_mitigations": result.pseudo_mitigations,
-        "failed": result.failed,
-        "failed_banks": result.failed_banks,
-        "max_disturbance": result.max_disturbance,
-        # Row-wise maximum across banks, so the Table-IV accessor
-        # (ExperimentResult.max_unmitigated) works on rank points too.
-        "max_unmitigated": _merged_max_unmitigated(result),
-        "per_bank": [summarise_sim_result(r) for r in result.per_bank],
-    }
-
-
-def _merged_max_unmitigated(result: RankSimResult) -> dict:
-    merged: dict[int, float] = {}
-    for bank_result in result.per_bank:
-        for row, value in bank_result.max_unmitigated.items():
-            if value > merged.get(row, 0):
-                merged[row] = value
-    return {str(row): value for row, value in sorted(merged.items())}
+    return result.to_payload()

@@ -1,9 +1,11 @@
 """Batched experiment runner: fan a grid out over a process pool.
 
 Every (tracker × attack × config) point becomes one task. A task is a
-pure function of its payload — tracker/trace randomness derives from a
-stable hash of the point's coordinates plus the base seed — so results
-are bit-identical whether the grid runs on one worker or many, and a
+pure function of its payload: the point recombines with the base seed
+into a :class:`~repro.scenario.Scenario`, the worker executes it
+through the :class:`~repro.scenario.Session` facade, and every random
+stream derives from the scenario's stable task seed — so results are
+bit-identical whether the grid runs on one worker or many, and a
 point's fingerprint fully identifies its result. Fingerprints already
 present in the :class:`~repro.exp.store.ResultStore` are served from
 cache, making re-runs incremental: only new or edited coordinates
@@ -12,18 +14,11 @@ execute.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 
-from ..attacks.base import AttackParams
-from ..attacks.registry import is_rank_attack, make_attack, make_rank_attack
-from ..dram.timing import DEFAULT_TIMING
 from ..parallel import default_workers, fork_map
-from ..sim.engine import BankSimulator, EngineConfig, RankSimulator
-from ..sim.montecarlo import scaled_timing
-from ..sim.seeding import stable_seed
-from ..trackers.registry import make_tracker
+from ..scenario import Session
 from .grid import ExperimentGrid, ExperimentPoint
 from .result import (
     ExperimentResult,
@@ -60,110 +55,37 @@ def run_point(point: ExperimentPoint, base_seed: int = 0) -> ExperimentResult:
     return _execute_task(
         {
             "key": point.fingerprint(base_seed),
-            "seed": point.task_seed(base_seed),
+            "base_seed": base_seed,
             "point": point.to_payload(),
         }
     )
 
 
 def _execute_task(task: dict) -> ExperimentResult:
-    point = ExperimentPoint.from_payload(task["point"])
-    seed = task["seed"]
-    cfg = point.config
-    if cfg.num_banks > 1 or is_rank_attack(point.attack.name):
-        return _execute_rank_task(task, point)
-    tracker = make_tracker(
-        point.tracker.name,
-        rng=random.Random(stable_seed(seed, "tracker")),
-        dmq=point.tracker.dmq,
-        dmq_depth=point.tracker.dmq_depth,
-        max_act=cfg.max_act,
-        **dict(point.tracker.params),
-    )
-    trace = make_attack(
-        point.attack.name,
-        AttackParams(
-            max_act=cfg.max_act,
-            intervals=cfg.intervals,
-            base_row=cfg.base_row,
-        ),
-        rng=random.Random(stable_seed(seed, "trace")),
-        **dict(point.attack.params),
-    )
-    sim_result = BankSimulator(tracker, _engine_config(cfg)).run(trace)
-    return ExperimentResult(
-        key=task["key"],
-        tracker=point.tracker.label,
-        attack=point.attack.name,
-        trace=sim_result.trace,
-        seed=seed,
-        point=task["point"],
-        metrics=summarise_sim_result(sim_result),
-        tracker_stats=_tracker_stats([tracker]),
-    )
+    """Worker body: one point, executed through the Scenario facade.
 
-
-def _execute_rank_task(task: dict, point: ExperimentPoint) -> ExperimentResult:
-    """Worker body of a rank-level grid point.
-
-    Each bank's tracker derives its randomness from the task seed plus
-    the bank index, so rank points keep the runner's determinism
-    guarantee: bit-identical results for any worker count.
+    Single-bank points keep the classic flat :class:`SimResult` metric
+    shape; rank points (``num_banks > 1`` or a dedicated rank attack)
+    report rank aggregates plus ``per_bank`` metrics. Tracker-side
+    counters always sum across the scenario's bank instances.
     """
-    seed = task["seed"]
-    cfg = point.config
-    num_banks = max(1, cfg.num_banks)
-
-    def tracker_factory(bank: int):
-        return make_tracker(
-            point.tracker.name,
-            rng=random.Random(stable_seed(seed, "tracker", bank)),
-            dmq=point.tracker.dmq,
-            dmq_depth=point.tracker.dmq_depth,
-            max_act=cfg.max_act,
-            **dict(point.tracker.params),
-        )
-
-    trace = make_rank_attack(
-        point.attack.name,
-        AttackParams(
-            max_act=cfg.max_act,
-            intervals=cfg.intervals,
-            base_row=cfg.base_row,
-        ),
-        rng=random.Random(stable_seed(seed, "trace")),
-        num_banks=num_banks,
-        **dict(point.attack.params),
-    )
-    simulator = RankSimulator(tracker_factory, _engine_config(cfg))
-    rank_result = simulator.run(trace)
+    point = ExperimentPoint.from_payload(task["point"])
+    scenario = point.scenario(task["base_seed"])
+    session = Session(scenario)
+    rank_result = session.run()
+    if scenario.is_rank:
+        metrics = summarise_rank_result(rank_result)
+    else:
+        metrics = summarise_sim_result(rank_result.per_bank[0])
     return ExperimentResult(
         key=task["key"],
         tracker=point.tracker.label,
         attack=point.attack.name,
         trace=rank_result.trace,
-        seed=seed,
+        seed=scenario.task_seed(),
         point=task["point"],
-        metrics=summarise_rank_result(rank_result),
-        tracker_stats=_tracker_stats(simulator.trackers),
-    )
-
-
-def _engine_config(cfg) -> EngineConfig:
-    timing = (
-        scaled_timing(cfg.max_act, cfg.refi_per_refw)
-        if cfg.scaled_timing
-        else DEFAULT_TIMING
-    )
-    return EngineConfig(
-        timing=timing,
-        trh=cfg.trh,
-        num_rows=cfg.num_rows,
-        blast_radius=cfg.blast_radius,
-        allow_postponement=cfg.allow_postponement,
-        max_postponed=cfg.max_postponed,
-        refi_per_refw=cfg.refi_per_refw,
-        num_banks=max(1, cfg.num_banks),
+        metrics=metrics,
+        tracker_stats=_tracker_stats(session.trackers),
     )
 
 
@@ -203,7 +125,7 @@ def run_grid(
             pending.append(
                 {
                     "key": key,
-                    "seed": point.task_seed(base_seed),
+                    "base_seed": base_seed,
                     "point": point.to_payload(),
                 }
             )

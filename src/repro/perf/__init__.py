@@ -13,6 +13,7 @@ from .energy import (
 from .memctrl import MemorySystemSim, MitigationPolicy, PerfResult
 from .runner import (
     NormalizedPerf,
+    evaluate_scenario,
     evaluate_workload,
     figure16,
     figure17,
@@ -24,6 +25,7 @@ from .workloads import (
     all_rate_names,
     mixed_workloads,
     rate_mix,
+    workload_cores,
 )
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "TRNG_POWER_W",
     "Workload",
     "all_rate_names",
+    "evaluate_scenario",
     "evaluate_workload",
     "figure16",
     "figure17",
@@ -48,4 +51,5 @@ __all__ = [
     "rate_mix",
     "scheme_energy",
     "table8",
+    "workload_cores",
 ]

@@ -9,11 +9,21 @@ reports performance normalised to the baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..dram.timing import DDR5Timing, DEFAULT_TIMING
 from ..parallel import fork_map
 from .memctrl import MemorySystemSim, MitigationPolicy, PerfResult
-from .workloads import RATE_WORKLOADS, Workload, mixed_workloads, rate_mix
+from .workloads import (
+    RATE_WORKLOADS,
+    Workload,
+    mixed_workloads,
+    rate_mix,
+    workload_cores,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (scenario -> here)
+    from ..scenario import Scenario
 
 
 @dataclass
@@ -72,6 +82,33 @@ def evaluate_workload(
         rfm32=rfm32.ipc / base_ipc,
         rfm16=rfm16.ipc / base_ipc,
         mc_para=mc_para,
+    )
+
+
+def evaluate_scenario(
+    scenario: "Scenario",
+    workload: str = "mcf_r",
+    sim_time_ns: float = 2_000_000.0,
+    include_mc_para: bool = False,
+    mc_para_probability: float = 1.0 / 74.0,
+) -> NormalizedPerf:
+    """Relative performance of the schemes under a declarative scenario.
+
+    The scenario contributes the device timing (including any custom
+    :class:`~repro.dram.timing.DDR5Timing` override) and the seed
+    policy — the perf simulator's RNG derives from the scenario's
+    stable task seed, so the figure is reproducible from the scenario
+    alone. ``workload`` names a rate workload or ``mixN`` (see
+    :func:`repro.perf.workloads.workload_cores`).
+    """
+    return evaluate_workload(
+        workload,
+        workload_cores(workload),
+        sim_time_ns=sim_time_ns,
+        seed=scenario.task_seed(),
+        timing=scenario.resolved_timing(),
+        include_mc_para=include_mc_para,
+        mc_para_probability=mc_para_probability,
     )
 
 

@@ -92,3 +92,28 @@ def rate_mix(workload: Workload, cores: int = 4) -> list[Workload]:
 
 def all_rate_names() -> list[str]:
     return [w.name for w in RATE_WORKLOADS]
+
+
+def workload_cores(name: str, cores: int = 4) -> list[Workload]:
+    """Resolve a workload *name* to its core list.
+
+    Accepts any rate workload name (a ``cores``-way rate mix of that
+    program) or ``mixN`` for the N-th deterministic four-way mix
+    (1-based, as the figures label them). The name-based entry point
+    the Scenario facade resolves through.
+    """
+    for workload in RATE_WORKLOADS:
+        if workload.name == name:
+            return rate_mix(workload, cores=cores)
+    if name.startswith("mix"):
+        try:
+            index = int(name[3:])
+        except ValueError:
+            index = 0
+        mixes = mixed_workloads()
+        if 1 <= index <= len(mixes):
+            return mixes[index - 1]
+    raise KeyError(
+        f"unknown workload {name!r}; known: {all_rate_names()} "
+        f"plus mix1..mix{len(mixed_workloads())}"
+    )

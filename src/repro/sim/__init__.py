@@ -8,13 +8,22 @@ from .engine import (
     run_rank_attack,
     with_dmq,
 )
-from .rank import RankResult, system_mttf_years
 from .montecarlo import (
     MonteCarloResult,
     estimate_failure_probability,
+    scenario_failure_probability,
     scaled_timing,
 )
-from .results import RankSimResult, SimResult
+from .results import (
+    RankSimResult,
+    SimResult,
+    result_csv_rows,
+    system_mttf_years,
+)
+
+#: Legacy alias from the retired per-bank fan-out API (kept importable
+#: here without the ``repro.sim.rank`` deprecation warning).
+RankResult = RankSimResult
 from .seeding import canonical_json, derive_rng, stable_hash, stable_seed
 from .trace import (
     Interval,
@@ -44,9 +53,11 @@ __all__ = [
     "lift_trace",
     "repeat_interval",
     "repeat_rank_interval",
+    "result_csv_rows",
     "run_attack",
     "run_rank_attack",
     "scaled_timing",
+    "scenario_failure_probability",
     "stable_hash",
     "stable_seed",
     "system_mttf_years",

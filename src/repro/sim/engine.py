@@ -16,7 +16,12 @@ executes or is postponed (DDR5 allows four), and every executed REF
 performs each bank's rolling auto-refresh plus at most one
 tracker-directed mitigation per bank.
 
-:class:`RankSimulator` is the canonical entry point: it accepts
+:class:`RankSimulator` is the canonical *engine* entry point — the
+canonical way to *describe and launch* an evaluation is the declarative
+:class:`repro.scenario.Scenario` / :class:`repro.scenario.Session`
+facade, which builds the simulator from a serializable payload and
+drives every other layer (CLI, experiment grids, Monte-Carlo, perf)
+through the same object. The simulator accepts
 bank-addressed :class:`~repro.sim.trace.RankTrace` streams, row-only
 :class:`~repro.sim.trace.Trace` streams (auto-lifted to bank 0), or a
 legacy list of per-bank traces (merged, with the tFAW concurrency
@@ -458,7 +463,13 @@ def run_attack(
     allow_postponement: bool = False,
     refi_per_refw: int = 8192,
 ) -> SimResult:
-    """One-call convenience wrapper around :class:`BankSimulator`."""
+    """One-call convenience wrapper around :class:`BankSimulator`.
+
+    Legacy shim: takes live tracker/trace objects. New code should
+    describe the evaluation declaratively and run it through
+    ``Session(scenario).run()`` — the shim-equivalence tests pin this
+    function bit-identical to that facade for every registry tracker.
+    """
     config = EngineConfig(
         timing=timing,
         trh=trh,
@@ -481,7 +492,11 @@ def run_rank_attack(
     allow_postponement: bool = False,
     refi_per_refw: int = 8192,
 ) -> RankSimResult:
-    """One-call convenience wrapper around :class:`RankSimulator`."""
+    """One-call convenience wrapper around :class:`RankSimulator`.
+
+    Legacy shim (see :func:`run_attack`): pinned bit-identical to the
+    ``Session`` facade by the shim-equivalence tests.
+    """
     config = EngineConfig(
         timing=timing,
         trh=trh,

@@ -7,20 +7,30 @@ in a scaled-down regime — small M, small tREFW, aggressive thresholds —
 where failures are frequent enough to measure, and check the empirical
 failure rate against the same formulas evaluated at the scaled
 parameters. The test suite pins the agreement.
+
+Two entry points share one window loop:
+:func:`scenario_failure_probability` consumes a declarative
+:class:`repro.scenario.Scenario` (the path behind
+``Session.run_many``), and :func:`estimate_failure_probability` is the
+legacy factory-based shim, kept bit-identical to the facade (pinned by
+``tests/scenario/test_scenario.py``).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, TYPE_CHECKING
 
 from ..dram.timing import DDR5Timing
 from ..parallel import fork_map
 from ..trackers.base import Tracker
-from .engine import BankSimulator, EngineConfig
+from .engine import BankSimulator, EngineConfig, RankSimulator
 from .seeding import stable_seed
 from .trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (scenario -> here)
+    from ..scenario import Scenario
 
 
 @dataclass
@@ -45,6 +55,18 @@ class MonteCarloResult:
         half = z * (p * (1.0 - p) / self.windows) ** 0.5
         return (max(0.0, p - half), min(1.0, p + half))
 
+    def to_payload(self) -> dict:
+        """JSON-safe form (the ``repro run --windows`` export format)."""
+        low, high = self.confidence_interval()
+        return {
+            "windows": self.windows,
+            "failures": self.failures,
+            "total_mitigations": self.total_mitigations,
+            "failure_probability": self.failure_probability,
+            "ci95_low": low,
+            "ci95_high": high,
+        }
+
 
 def scaled_timing(max_act: int, refi_per_refw: int) -> DDR5Timing:
     """A toy DDR5 whose window holds ``max_act`` ACTs per tREFI."""
@@ -55,6 +77,56 @@ def scaled_timing(max_act: int, refi_per_refw: int) -> DDR5Timing:
     return DDR5Timing(
         t_refw_ms=t_refw_ms, t_refi_ns=t_refi, t_rfc_ns=t_rfc, t_rc_ns=t_rc
     )
+
+
+def _collect_windows(
+    run_window: Callable[[int], tuple[bool, int]],
+    windows: int,
+    n_workers: int,
+) -> MonteCarloResult:
+    """Fan ``run_window`` out and aggregate (the shared loop body)."""
+    outcomes = fork_map(run_window, range(windows), n_workers=n_workers)
+    failures = sum(1 for failed, _ in outcomes if failed)
+    mitigations = sum(count for _, count in outcomes)
+    return MonteCarloResult(
+        windows=windows, failures=failures, total_mitigations=mitigations
+    )
+
+
+def scenario_failure_probability(
+    scenario: "Scenario",
+    windows: int = 2000,
+    n_workers: int = 1,
+) -> MonteCarloResult:
+    """Run ``windows`` independent tREFW windows of ``scenario``.
+
+    Each window gets fresh trackers, fresh device state, and a fresh
+    trace, all derived from one window RNG seeded by a stable hash of
+    ``(scenario.task_seed(), "mc-window", index)`` — the same
+    derivation the legacy shim uses — threaded through tracker
+    construction first, then trace construction (patterns with
+    randomised placement can vary per window). The estimate is a pure
+    function of the scenario: bit-identical counts for any worker
+    count or scheduling.
+
+    On a multi-bank scenario a window fails when *any* bank flips, and
+    mitigations sum across the rank's banks.
+    """
+    config = scenario.engine_config()
+    task_seed = scenario.task_seed()
+    num_banks = scenario.num_banks
+
+    def run_window(index: int) -> tuple[bool, int]:
+        window_rng = random.Random(stable_seed(task_seed, "mc-window", index))
+        trackers = [
+            scenario.build_tracker(bank, rng=window_rng)
+            for bank in range(num_banks)
+        ]
+        trace = scenario.build_trace(rng=window_rng)
+        result = RankSimulator(lambda bank: trackers[bank], config).run(trace)
+        return result.failed, result.mitigations
+
+    return _collect_windows(run_window, windows, n_workers)
 
 
 def estimate_failure_probability(
@@ -71,13 +143,17 @@ def estimate_failure_probability(
 ) -> MonteCarloResult:
     """Run ``windows`` independent tREFW windows; count flip events.
 
-    Each window gets a fresh tracker, fresh device state, and a fresh
-    trace (patterns with randomised placement can vary per window). The
-    window's RNG is seeded by a stable hash of ``(seed, index)``, not by
-    a sequential draw, so the estimate is a pure function of the inputs:
-    fanning the windows out over ``n_workers`` processes (fork-based;
-    falls back to serial where unavailable) returns bit-identical
-    counts regardless of worker count or scheduling.
+    The legacy factory-based entry point, kept for callers whose
+    tracker or trace is not registry-describable; registry-describable
+    evaluations should prefer ``Session(scenario).run_many`` — with
+    ``seed`` set to the scenario's ``task_seed()`` the two are
+    bit-identical (pinned by the shim-equivalence tests).
+
+    Each window's RNG is seeded by a stable hash of ``(seed, index)``,
+    not by a sequential draw, so the estimate is a pure function of the
+    inputs: fanning the windows out over ``n_workers`` processes
+    (fork-based; falls back to serial where unavailable) returns
+    bit-identical counts regardless of worker count or scheduling.
     """
     timing = scaled_timing(max_act, refi_per_refw)
     config = EngineConfig(
@@ -95,9 +171,4 @@ def estimate_failure_probability(
         result = BankSimulator(tracker, config).run(trace)
         return result.failed, result.mitigations
 
-    outcomes = fork_map(run_window, range(windows), n_workers=n_workers)
-    failures = sum(1 for failed, _ in outcomes if failed)
-    mitigations = sum(count for _, count in outcomes)
-    return MonteCarloResult(
-        windows=windows, failures=failures, total_mitigations=mitigations
-    )
+    return _collect_windows(run_window, windows, n_workers)

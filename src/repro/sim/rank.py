@@ -1,45 +1,46 @@
-"""Rank-level compatibility facade plus system-level MTTF helpers.
+"""Deprecated compatibility import path for the rank-level API.
 
-The rank engine itself now lives in :mod:`repro.sim.engine`:
-:class:`~repro.sim.engine.RankSimulator` owns one tracker instance per
-bank, drives the shared refresh scheduler, and accepts bank-addressed
-traces as well as the legacy one-row-trace-per-bank input format (with
-the tFAW concurrency ceiling enforced — 22 of 64 banks in the paper's
-system, Section VIII-B). This module re-exports it under its historical
-import path and keeps the MTTF conversion helpers: the paper's storage
-numbers are all per-bank (scaled ×32 per rank), and per-bank MTTF
-converts to system MTTF through the number of concurrently attackable
-banks.
+Everything that used to live here has been folded into the modern
+stack: the engine is :class:`repro.sim.engine.RankSimulator`, the
+result type is :class:`repro.sim.results.RankSimResult`, the MTTF
+conversion is :func:`repro.sim.results.system_mttf_years`, and the
+canonical way to *construct and run* a rank evaluation is the
+declarative :class:`repro.scenario.Scenario` /
+:class:`repro.scenario.Session` facade.
 
-One deliberate behaviour change from the pre-rank class: the old
-``num_banks`` default of ``CONCURRENT_BANKS`` (22) is gone — the merged
-engine defaults to one bank, so pass ``num_banks`` explicitly (every
-in-repo caller always did).
+``system_mttf_years`` stays re-exported here without complaint (it has
+long-standing callers); importing the engine or result classes through
+this module still works but emits a :class:`DeprecationWarning` naming
+the modern home.
 """
 
 from __future__ import annotations
 
-from ..constants import CONCURRENT_BANKS
-from .engine import RankSimulator
-from .results import RankSimResult
+import warnings
 
-#: Legacy name for the aggregated outcome of a rank-level run.
-RankResult = RankSimResult
+from .engine import RankSimulator as _RankSimulator
+from .results import RankSimResult as _RankSimResult
+from .results import system_mttf_years
 
 __all__ = ["RankResult", "RankSimResult", "RankSimulator", "system_mttf_years"]
 
+#: Deprecated name -> (replacement object, modern import path).
+_DEPRECATED = {
+    "RankResult": (_RankSimResult, "repro.sim.results.RankSimResult"),
+    "RankSimResult": (_RankSimResult, "repro.sim.results.RankSimResult"),
+    "RankSimulator": (_RankSimulator, "repro.sim.engine.RankSimulator"),
+}
 
-def system_mttf_years(
-    per_bank_mttf_years: float, banks: int = CONCURRENT_BANKS
-) -> float:
-    """System MTTF given independent per-bank failure rates (§VIII-B).
 
-    The paper: 64 banks, of which 22 can be attacked concurrently due
-    to tFAW, so the system failure rate is 22x the per-bank rate
-    (e.g. 10,000-year banks => 450-year system).
-    """
-    if per_bank_mttf_years <= 0:
-        raise ValueError("per_bank_mttf_years must be positive")
-    if banks < 1:
-        raise ValueError("banks must be >= 1")
-    return per_bank_mttf_years / banks
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        replacement, path = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.sim.rank.{name} is deprecated; import {path} (or use "
+            f"the repro.scenario.Scenario/Session facade to build and "
+            f"run rank evaluations)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return replacement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,9 +1,20 @@
-"""Result records produced by the security simulation engine."""
+"""Result records produced by the security simulation engine.
+
+Both record types carry their own canonical JSON serialisation
+(:meth:`SimResult.to_payload`, :meth:`RankSimResult.to_payload`) — the
+single source the experiment store, the CLI's ``--format json`` export,
+and the determinism tests all read from — plus a shared flat CSV
+rendering (:func:`result_csv_rows`). The system-level MTTF conversion
+(:func:`system_mttf_years`) lives here too, folded in from the retired
+``repro.sim.rank`` compatibility module.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
+from ..constants import CONCURRENT_BANKS
 from ..dram.rowstate import FlipEvent
 
 
@@ -45,6 +56,31 @@ class SimResult:
             f"({self.transitive_mitigations} transitive), "
             f"max disturbance {self.max_disturbance:.0f}"
         )
+
+    def to_payload(self) -> dict:
+        """Flatten into JSON-safe metrics (the store/export format)."""
+        return {
+            "tracker": self.tracker,
+            "trace": self.trace,
+            "intervals": self.intervals,
+            "demand_acts": self.demand_acts,
+            "refreshes": self.refreshes,
+            "mitigations": self.mitigations,
+            "transitive_mitigations": self.transitive_mitigations,
+            "pseudo_mitigations": self.pseudo_mitigations,
+            "failed": self.failed,
+            "flips": [
+                {"row": flip.row, "disturbance": flip.disturbance,
+                 "time_ns": flip.time_ns}
+                for flip in self.flips
+            ],
+            "max_disturbance": self.max_disturbance,
+            "most_disturbed_row": self.most_disturbed_row,
+            "max_unmitigated": {
+                str(row): value
+                for row, value in sorted(self.max_unmitigated.items())
+            },
+        }
 
 
 @dataclass
@@ -132,3 +168,107 @@ class RankSimResult:
                 f"max disturbance {result.max_disturbance:.0f}"
             )
         return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """Flatten into JSON-safe metrics.
+
+        Rank-level aggregates at the top level (so single-bank
+        consumers of ``demand_acts``/``mitigations``/``failed`` keep
+        working), per-bank :meth:`SimResult.to_payload` dicts under
+        ``per_bank``, and a row-wise maximum of the unmitigated-run
+        counters so the Table-IV accessor works on rank results too.
+        """
+        merged: dict[int, float] = {}
+        for bank_result in self.per_bank:
+            for row, value in bank_result.max_unmitigated.items():
+                if value > merged.get(row, 0):
+                    merged[row] = value
+        return {
+            "tracker": self.tracker,
+            "trace": self.trace,
+            "intervals": self.intervals,
+            "num_banks": self.num_banks,
+            "demand_acts": self.demand_acts,
+            "refreshes": self.refreshes,
+            "mitigations": self.mitigations,
+            "transitive_mitigations": self.transitive_mitigations,
+            "pseudo_mitigations": self.pseudo_mitigations,
+            "failed": self.failed,
+            "failed_banks": self.failed_banks,
+            # Rank-wide flip events, each attributed to its bank (the
+            # per-bank payloads carry the same events without the bank
+            # key; the aggregate CSV row counts these).
+            "flips": [
+                {"bank": bank, "row": flip.row,
+                 "disturbance": flip.disturbance, "time_ns": flip.time_ns}
+                for bank, result in enumerate(self.per_bank)
+                for flip in result.flips
+            ],
+            "max_disturbance": self.max_disturbance,
+            "max_unmitigated": {
+                str(row): value for row, value in sorted(merged.items())
+            },
+            "per_bank": [r.to_payload() for r in self.per_bank],
+        }
+
+
+#: Column order of the flat CSV export (shared by ``repro run`` and
+#: ``repro exp run``).
+RESULT_CSV_COLUMNS = (
+    "scope", "bank", "tracker", "trace", "intervals", "num_banks",
+    "demand_acts", "refreshes", "mitigations", "transitive_mitigations",
+    "pseudo_mitigations", "failed", "flips", "max_disturbance",
+)
+
+
+def _csv_row(payload: Mapping[str, Any], scope: str, bank) -> dict:
+    return {
+        "scope": scope,
+        "bank": bank,
+        "tracker": payload.get("tracker", ""),
+        "trace": payload.get("trace", ""),
+        "intervals": payload.get("intervals", 0),
+        "num_banks": payload.get("num_banks", 1),
+        "demand_acts": payload.get("demand_acts", 0),
+        "refreshes": payload.get("refreshes", 0),
+        "mitigations": payload.get("mitigations", 0),
+        "transitive_mitigations": payload.get("transitive_mitigations", 0),
+        "pseudo_mitigations": payload.get("pseudo_mitigations", 0),
+        "failed": payload.get("failed", False),
+        "flips": len(payload.get("flips", [])),
+        "max_disturbance": payload.get("max_disturbance", 0.0),
+    }
+
+
+def result_csv_rows(payload: Mapping[str, Any]) -> list[dict]:
+    """Flat CSV rows for one result payload.
+
+    Accepts either a :meth:`SimResult.to_payload` dict (one ``bank``
+    row) or a :meth:`RankSimResult.to_payload` dict (one aggregate
+    ``rank`` row followed by one row per bank). Implemented once here
+    so every exporter renders identical columns.
+    """
+    if "per_bank" in payload:
+        rows = [_csv_row(payload, scope="rank", bank="")]
+        rows.extend(
+            _csv_row(bank_payload, scope="bank", bank=bank)
+            for bank, bank_payload in enumerate(payload["per_bank"])
+        )
+        return rows
+    return [_csv_row(payload, scope="bank", bank=0)]
+
+
+def system_mttf_years(
+    per_bank_mttf_years: float, banks: int = CONCURRENT_BANKS
+) -> float:
+    """System MTTF given independent per-bank failure rates (§VIII-B).
+
+    The paper: 64 banks, of which 22 can be attacked concurrently due
+    to tFAW, so the system failure rate is 22x the per-bank rate
+    (e.g. 10,000-year banks => 450-year system).
+    """
+    if per_bank_mttf_years <= 0:
+        raise ValueError("per_bank_mttf_years must be positive")
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    return per_bank_mttf_years / banks

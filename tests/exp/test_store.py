@@ -67,6 +67,83 @@ class TestAccessors:
         assert store.get("abc123").tracker == "para"
 
 
+class TestSchemaV2Compat:
+    """A v2-era store must load unchanged under the bumped schema."""
+
+    #: Verbatim shape of a SCHEMA_VERSION=2 store entry: the config
+    #: payload carries only the eleven pre-Scenario knobs, and the
+    #: metrics dict predates the `tracker` key.
+    V2_DOCUMENT = {
+        "format": 1,
+        "results": {
+            "feedc0de": {
+                "key": "feedc0de",
+                "tracker": "mint",
+                "attack": "single-sided",
+                "trace": "single-sided(row=1000)",
+                "seed": 1234,
+                "point": {
+                    "tracker": {"name": "mint", "params": {},
+                                "dmq": False, "dmq_depth": 4},
+                    "attack": {"name": "single-sided", "params": {}},
+                    "config": {
+                        "trh": 300.0,
+                        "intervals": 120,
+                        "max_act": 73,
+                        "base_row": 1000,
+                        "num_rows": 131072,
+                        "blast_radius": 1,
+                        "allow_postponement": False,
+                        "max_postponed": 4,
+                        "refi_per_refw": 8192,
+                        "scaled_timing": False,
+                        "num_banks": 1,
+                    },
+                },
+                "metrics": {"failed": False, "demand_acts": 8760,
+                            "mitigations": 120},
+                "tracker_stats": {"storage_bits": 32},
+            }
+        },
+    }
+
+    def test_v2_store_loads_unchanged(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps(self.V2_DOCUMENT))
+        store = ResultStore(path)
+        assert len(store) == 1
+        result = store.get("feedc0de")
+        assert result.tracker == "mint"
+        assert not result.failed
+        assert result.metrics["demand_acts"] == 8760
+
+    def test_v2_point_payload_reconstructs(self, tmp_path):
+        """The loader shim: a v2 point payload parses — missing v3
+        knobs take their defaults — and recombines into a scenario."""
+        from repro.exp import ExperimentPoint
+
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps(self.V2_DOCUMENT))
+        result = ResultStore(path).get("feedc0de")
+        point = ExperimentPoint.from_payload(result.point)
+        assert point.config.trh == 300.0
+        assert point.config.vectorized is None
+        assert point.config.concurrent_banks is None
+        scenario = point.scenario(base_seed=7)
+        assert scenario.tracker.name == "mint"
+        assert scenario.seed == 7
+
+    def test_v3_fingerprints_rekey_v2_results(self, tmp_path):
+        """The schema bump deliberately invalidates cached results:
+        the old key is not what v3 fingerprints the same point to, so
+        a re-run executes it afresh instead of serving stale bits."""
+        from repro.exp import ExperimentPoint
+
+        result_payload = self.V2_DOCUMENT["results"]["feedc0de"]
+        point = ExperimentPoint.from_payload(result_payload["point"])
+        assert point.fingerprint(base_seed=5) != "feedc0de"
+
+
 class TestCorruption:
     def test_garbage_file_treated_as_empty(self, tmp_path):
         path = tmp_path / "store.json"

@@ -1,0 +1,1 @@
+"""Scenario API tests."""

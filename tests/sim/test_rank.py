@@ -6,12 +6,23 @@ import pytest
 
 from repro.attacks import AttackParams, double_sided
 from repro.core.mint import MintTracker
-from repro.sim.rank import RankSimulator, system_mttf_years
+from repro.sim.engine import RankSimulator
+from repro.sim.results import system_mttf_years
 from repro.trackers.base import NullTracker
 
 
 def mint_factory(bank):
     return MintTracker(rng=random.Random(1000 + bank))
+
+
+class TestDeprecatedImportPath:
+    def test_legacy_module_warns_but_still_resolves(self):
+        import repro.sim.rank as legacy
+
+        with pytest.warns(DeprecationWarning, match="RankSimulator"):
+            assert legacy.RankSimulator is RankSimulator
+        # The MTTF helper is a deliberate permanent re-export: no warning.
+        assert legacy.system_mttf_years is system_mttf_years
 
 
 class TestRankSimulator:

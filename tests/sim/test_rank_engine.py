@@ -245,7 +245,8 @@ class TestRankSimulator:
             simulator.run(trace)
 
     def test_legacy_rank_result_constructible_from_per_bank(self):
-        from repro.sim.rank import RankResult
+        with pytest.warns(DeprecationWarning, match="RankResult"):
+            from repro.sim.rank import RankResult
 
         bank = run_attack(
             NullTracker(), Trace("t", repeat_interval([100], 3)), trh=1e9

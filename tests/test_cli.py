@@ -1,8 +1,118 @@
 """Tests for the command-line interface."""
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.scenario import Scenario
+
+
+def scenario_file(tmp_path, **overrides):
+    """Write a small scaled-regime scenario to disk, return its path."""
+    payload = {
+        "tracker": {"name": overrides.pop("tracker", "mint")},
+        "attack": {"name": overrides.pop("attack", "double-sided")},
+        "trh": 60.0,
+        "intervals": 64,
+        "max_act": 8,
+        "num_rows": 1024,
+        "refi_per_refw": 64,
+        "scaled_timing": True,
+        "seed": 3,
+        **overrides,
+    }
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestRunCommand:
+    def test_run_scenario_file(self, capsys, tmp_path):
+        code = main(["run", str(scenario_file(tmp_path))])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[ok]" in out and "MINT" in out
+
+    def test_run_detects_flips(self, capsys, tmp_path):
+        path = scenario_file(tmp_path, tracker="none")
+        code = main(["run", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FLIP" in out and "first flip" in out
+
+    def test_run_json_format_is_the_result_payload(self, capsys, tmp_path):
+        path = scenario_file(tmp_path)
+        code = main(["run", str(path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["failed"] is False
+        assert payload["num_banks"] == 1
+        assert payload["per_bank"][0]["demand_acts"] == 512
+
+    def test_run_csv_format(self, capsys, tmp_path):
+        path = scenario_file(tmp_path, num_banks=2, attack="rank-stripe")
+        code = main(["run", str(path), "--format", "csv"])
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert code == 0
+        # One aggregate rank row plus one row per bank.
+        assert [row["scope"] for row in rows] == ["rank", "bank", "bank"]
+
+    def test_run_windows_monte_carlo(self, capsys, tmp_path):
+        path = scenario_file(tmp_path, trh=30.0)
+        code = main(["run", str(path), "--windows", "6", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert payload["windows"] == 6
+        assert code == (1 if payload["failures"] else 0)
+
+    def test_missing_file_is_a_usage_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(tmp_path / "absent.json")])
+        assert excinfo.value.code == 2
+
+    def test_invalid_scenario_is_a_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"tracker": {"name": "mint"}}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(path)])
+        assert excinfo.value.code == 2
+        assert "attack" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    def test_show(self, capsys, tmp_path):
+        path = scenario_file(tmp_path)
+        assert main(["scenario", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mint vs double-sided" in out
+        assert "fingerprint" in out
+
+    def test_show_json_round_trips(self, capsys, tmp_path):
+        path = scenario_file(tmp_path)
+        assert main(["scenario", "show", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        original = Scenario.from_payload(json.loads(path.read_text()))
+        assert Scenario.from_payload(payload) == original
+
+    def test_fingerprint(self, capsys, tmp_path):
+        path = scenario_file(tmp_path)
+        assert main(["scenario", "fingerprint", str(path)]) == 0
+        printed = capsys.readouterr().out.strip()
+        expected = Scenario.from_payload(
+            json.loads(path.read_text())
+        ).fingerprint()
+        assert printed == expected
+
+    def test_repo_example_scenario_runs(self, capsys):
+        """The README's examples/scenario.json must stay runnable."""
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples" / "scenario.json"
+        assert main(["run", str(example)]) == 0
+        assert "[ok]" in capsys.readouterr().out
 
 
 class TestAttackCommand:
@@ -112,6 +222,23 @@ class TestExpCommand:
         code = main(["exp", "run"])
         assert code == 2
         assert "--preset" in capsys.readouterr().out
+
+    def test_exp_run_json_format(self, capsys, tmp_path):
+        args = self._run_args(tmp_path / "store.json")
+        code = main(args + ["--format", "json"])
+        payloads = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert len(payloads) == 2
+        assert {p["tracker"] for p in payloads} == {"mint", "none"}
+        assert any(p["metrics"]["failed"] for p in payloads)
+
+    def test_exp_run_csv_format(self, capsys, tmp_path):
+        args = self._run_args(tmp_path / "store.json")
+        code = main(args + ["--format", "csv"])
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert code == 1
+        assert {row["tracker"] for row in rows} == {"mint", "none"}
+        assert {row["failed"] for row in rows} == {"True", "False"}
 
 
 class TestPlanCommand:
