@@ -22,9 +22,13 @@ from dataclasses import asdict
 from conftest import print_header, print_rows
 
 from repro.attacks.base import AttackParams
+from repro.attacks.channel import rank_synchronized
 from repro.attacks.rank import rank_stripe
-from repro.sim.engine import EngineConfig, RankSimulator
-from repro.trackers.registry import bank_tracker_factory
+from repro.sim.engine import ChannelSimulator, EngineConfig, RankSimulator
+from repro.trackers.registry import (
+    bank_tracker_factory,
+    channel_tracker_factory,
+)
 
 INTERVALS = 400
 MAX_ACT = 73
@@ -35,6 +39,10 @@ MIN_RETAINED = 0.35
 #: Floor on the vectorized kernel's speedup over the scalar engine at
 #: 8 banks (measured ~3.3× for MINT on the reference machine).
 MIN_KERNEL_SPEEDUP = 2.0
+#: Channel throughput at 4 ranks must retain this fraction of 1-rank
+#: throughput (the channel march adds only chunk-granular dispatch on
+#: top of the rank hot loop; measured ~0.9 on the reference machine).
+MIN_CHANNEL_RETAINED = 0.35
 
 
 def _run(num_banks: int, vectorized: bool | None = None):
@@ -109,4 +117,51 @@ def test_vectorized_kernel_speedup_and_bit_identity():
     assert speedup >= MIN_KERNEL_SPEEDUP, (
         f"vectorized kernel is only {speedup:.2f}x the scalar engine at "
         f"8 banks (floor {MIN_KERNEL_SPEEDUP}x)"
+    )
+
+
+def _run_channel(num_ranks: int):
+    """Best-of-3 (result, ACTs/second) for a full-rate channel run."""
+    params = AttackParams(max_act=MAX_ACT, intervals=INTERVALS, base_row=1000)
+    trace = rank_synchronized(6, num_ranks, params, num_banks=2)
+    total_acts = num_ranks * 2 * MAX_ACT * INTERVALS
+    best = float("inf")
+    result = None
+    for _ in range(3):
+        simulator = ChannelSimulator(
+            channel_tracker_factory("mint", base_seed=7),
+            EngineConfig(num_banks=2, trh=1e9, num_ranks=num_ranks),
+        )
+        started = time.perf_counter()
+        result = simulator.run(trace)
+        best = min(best, time.perf_counter() - started)
+    assert result.demand_acts == total_acts
+    return result, total_acts / best, total_acts
+
+
+def test_channel_throughput_scales_sublinearly_in_ranks():
+    """Driving R ranks costs ~R× the work of one, not R× the overhead.
+
+    The channel march (streamed per-rank schedules, chunk-granular
+    lockstep) must not regress the rank hot loop: per-ACT cost stays
+    nearly flat as ranks are added.
+    """
+    single_result, single, single_acts = _run_channel(1)
+    channel_result, channel, channel_acts = _run_channel(4)
+
+    retained = channel / single
+    print_header("Channel engine throughput vs rank count (MINT, full rate)")
+    print_rows(
+        ["ranks", "ACTs", "ACTs/second", "retained"],
+        [
+            ["1", single_acts, f"{single:,.0f}", "1.00"],
+            ["4", channel_acts, f"{channel:,.0f}", f"{retained:.2f}"],
+        ],
+    )
+
+    assert channel_result.num_ranks == 4
+    assert retained >= MIN_CHANNEL_RETAINED, (
+        f"4-rank throughput retained only {retained:.2f} of the 1-rank "
+        f"figure (floor {MIN_CHANNEL_RETAINED}); the channel march has "
+        f"regressed the rank hot loop"
     )

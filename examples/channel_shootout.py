@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Channel shootout: channel-scale attacks vs ranks of tracker instances.
+
+The channel-level edition of the rank shootout. A DDR5 channel carries
+``num_ranks`` full ranks behind one command bus — each rank with its
+own per-bank trackers and its own refresh schedule — and the channel
+attacks exploit exactly that scale:
+
+* ``rank-rotation`` deals a classic pattern's intervals round-robin
+  across the ranks, so every rank's trackers see a slow, gappy slice;
+* ``rank-synchronized`` hammers the many-sided stripe on *every* rank
+  in lockstep — the channel-scale TRRespass, stressing the sum of all
+  rank tracker budgets at once;
+* ``channel-stripe-decoy`` plays the §VI-B postponement decoy on the
+  target rank while sibling ranks burn the bus with decoy stripes.
+
+The sweep is one base ``Scenario`` crossed into a grid — trackers ×
+channel attacks × rank counts (``Scenario.sweep``) — and handed to the
+``repro.exp`` runner; each point executes through the ``Session``
+facade on the ``ChannelSimulator``, with per-rank derived seeds and
+streaming per-rank schedules (memory stays flat in the horizon).
+
+Run:  python examples/channel_shootout.py [--ranks N] [--banks N]
+      [--workers N] [--store FILE]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.exp import ResultStore, run_grid
+from repro.exp.presets import RANK_TRACKERS, channel_shootout_grid
+
+TRH_D = 1500
+INTERVALS = 1000
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=None,
+                        help="run a single rank count instead of the "
+                             "default (1, 2) sweep")
+    parser.add_argument("--banks", type=int, default=2,
+                        help="banks per rank (default 2)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: usable CPUs)")
+    parser.add_argument("--store", default=None,
+                        help="JSON result store for incremental re-runs")
+    args = parser.parse_args()
+
+    ranks = (args.ranks,) if args.ranks else (1, 2)
+    grid = channel_shootout_grid(
+        ranks=ranks, banks=(args.banks,), trh=TRH_D, intervals=INTERVALS
+    )
+    print(f"device threshold TRH-D = {TRH_D}; {INTERVALS} tREFI per attack; "
+          f"rank counts {ranks} x {args.banks} banks\n")
+
+    store = ResultStore(args.store) if args.store else None
+    report = run_grid(grid, base_seed=1, n_workers=args.workers, store=store)
+
+    # One table block per rank count: tracker x attack, with the failing
+    # ranks called out (a channel fails if any rank fails).
+    by_ranks = defaultdict(list)
+    for result in report.results:
+        by_ranks[result.num_ranks].append(result)
+    for num_ranks in sorted(by_ranks):
+        print(f"--- {num_ranks}-rank channel ---")
+        for result in by_ranks[num_ranks]:
+            status = "FLIP" if result.failed else "ok"
+            failed = result.metrics.get("failed_ranks", [])
+            detail = f" failed ranks {failed}" if failed else ""
+            print(f"  [{status:>4}] {result.tracker:<8} vs "
+                  f"{result.trace:<56} "
+                  f"mitigations={result.metrics['mitigations']:<6}{detail}")
+        print()
+
+    survivors = sorted(
+        {r.tracker for r in report.results}
+        - {r.tracker for r in report.results if r.failed}
+    )
+    print(f"[{report.summary()}]")
+    print(f"channel-level survivors across {sorted(by_ranks)} ranks: "
+          f"{', '.join(survivors) or 'none'} "
+          f"(of {', '.join(RANK_TRACKERS)})")
+
+
+if __name__ == "__main__":
+    main()

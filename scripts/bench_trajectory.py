@@ -4,11 +4,16 @@
 Runs the rank-scaling benchmark (full-rate ``rank_stripe`` traces) for
 each requested tracker at each requested bank count, through both the
 scalar per-ACT engine and the vectorized NumPy kernel, and verifies the
-two produce bit-identical ``RankSimResult``s while timing them. Also
-times the Scenario ``Session`` facade against driving the engine
-directly (the facade must cost <5%, recorded as ``scenario_overhead``)
-and the parallel experiment runner's fan-out (the exp-speedup
-benchmark) unless ``--no-exp`` is given.
+two produce bit-identical ``RankSimResult``s while timing them. On top
+of that it records the channel trajectory (``channel_points``: acts/sec
+vs rank count through ``ChannelSimulator``) and the streaming pipeline
+(``streaming``: streamed-vs-materialized overhead with bit-identity,
+plus the bounded-memory check — peak traced memory of a streamed run
+must stay flat as the horizon grows 16x). Also times the Scenario
+``Session`` facade against driving the engine directly (the facade must
+cost <5%, recorded as ``scenario_overhead``) and the parallel
+experiment runner's fan-out (the exp-speedup benchmark) unless
+``--no-exp`` is given.
 
 The output JSON is the machine-readable perf trajectory: acts/sec per
 (tracker, banks, kernel) plus the scalar→vectorized speedup, suitable
@@ -39,10 +44,22 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 from repro.attacks.base import AttackParams  # noqa: E402
-from repro.attacks.rank import rank_stripe  # noqa: E402
+from repro.attacks.channel import rank_synchronized  # noqa: E402
+from repro.attacks.rank import (  # noqa: E402
+    cross_bank_decoy,
+    cross_bank_decoy_stream,
+    rank_stripe,
+)
 from repro.scenario import AttackSpec, Scenario, Session, TrackerSpec  # noqa: E402
-from repro.sim.engine import EngineConfig, RankSimulator  # noqa: E402
-from repro.trackers.registry import bank_tracker_factory  # noqa: E402
+from repro.sim.engine import (  # noqa: E402
+    ChannelSimulator,
+    EngineConfig,
+    RankSimulator,
+)
+from repro.trackers.registry import (  # noqa: E402
+    bank_tracker_factory,
+    channel_tracker_factory,
+)
 
 MAX_ACT = 73
 
@@ -153,6 +170,131 @@ def bench_scenario_overhead(intervals: int, repeats: int) -> dict:
     }
 
 
+def bench_channel_scaling(
+    tracker: str,
+    ranks: list[int],
+    intervals: int,
+    repeats: int,
+    num_banks: int = 2,
+) -> list[dict]:
+    """Acts/sec vs rank count on the channel engine (throughput must be
+    ~flat per ACT: R ranks do R× the work, not R× the overhead)."""
+    points = []
+    for num_ranks in ranks:
+        params = AttackParams(
+            max_act=MAX_ACT, intervals=intervals, base_row=1000
+        )
+        trace = rank_synchronized(6, num_ranks, params, num_banks=num_banks)
+        total_acts = num_ranks * num_banks * MAX_ACT * intervals
+        best = float("inf")
+        for _ in range(repeats):
+            simulator = ChannelSimulator(
+                channel_tracker_factory(tracker, base_seed=7),
+                EngineConfig(
+                    num_banks=num_banks, trh=1e9, num_ranks=num_ranks
+                ),
+            )
+            started = time.perf_counter()
+            result = simulator.run(trace)
+            best = min(best, time.perf_counter() - started)
+        assert result.demand_acts == total_acts
+        points.append({
+            "tracker": tracker,
+            "num_ranks": num_ranks,
+            "num_banks": num_banks,
+            "intervals": intervals,
+            "total_acts": total_acts,
+            "acts_per_second": round(total_acts / best, 1),
+            "seconds": round(best, 6),
+        })
+    base = points[0]["acts_per_second"]
+    for point in points:
+        point["retained_vs_1_rank"] = round(
+            point["acts_per_second"] / base, 3
+        )
+    return points
+
+
+def bench_streaming(intervals: int, repeats: int) -> dict:
+    """Streamed vs materialized: time overhead, bit-identity, and the
+    bounded-memory guarantee.
+
+    The same cross-bank decoy schedule runs once as a materialized
+    ``RankTrace`` and once as its ``CycleStream`` twin; the results
+    must be bit-identical and the stream's cost stays within a few
+    percent. The memory probe then runs the stream at 1× and 16× the
+    horizon: peak traced memory must stay flat (a materialized trace
+    would grow by 8 bytes of pointer per added tREFI).
+    """
+    import tracemalloc
+
+    params = AttackParams(max_act=MAX_ACT, intervals=intervals, base_row=1000)
+    num_banks = 4
+
+    def simulator():
+        return RankSimulator(
+            bank_tracker_factory("mint", base_seed=7),
+            EngineConfig(
+                num_banks=num_banks, trh=1e9, allow_postponement=True
+            ),
+        )
+
+    results = {}
+    timings = {"materialized": float("inf"), "streamed": float("inf")}
+    variants = {
+        "materialized": lambda: cross_bank_decoy(60_000, num_banks, params),
+        "streamed": lambda: cross_bank_decoy_stream(
+            60_000, num_banks, params
+        ),
+    }
+    for label, build in variants.items():
+        trace = build()
+        for _ in range(repeats):
+            sim = simulator()
+            started = time.perf_counter()
+            results[label] = sim.run(trace)
+            timings[label] = min(
+                timings[label], time.perf_counter() - started
+            )
+
+    def streamed_peak(horizon_intervals: int) -> int:
+        stream = cross_bank_decoy_stream(
+            60_000,
+            num_banks,
+            AttackParams(
+                max_act=MAX_ACT, intervals=horizon_intervals, base_row=1000
+            ),
+        )
+        sim = simulator()
+        tracemalloc.start()
+        sim.run(stream)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    streamed_peak(intervals)  # warm-up: caches, ufunc state
+    short_peak = streamed_peak(intervals)
+    long_peak = streamed_peak(16 * intervals)
+    overhead = timings["streamed"] / timings["materialized"] - 1.0
+    return {
+        "intervals": intervals,
+        "num_banks": num_banks,
+        "materialized_seconds": round(timings["materialized"], 6),
+        "streamed_seconds": round(timings["streamed"], 6),
+        "overhead_ratio": round(overhead, 4),
+        "bit_identical": (
+            _canonical(results["materialized"]) == _canonical(
+                results["streamed"]
+            )
+        ),
+        "peak_bytes_at_1x_horizon": short_peak,
+        "peak_bytes_at_16x_horizon": long_peak,
+        # Flat = the 16x run costs at most ~the 1x run plus slack; a
+        # materialized 16x trace would add 8 bytes/tREFI of pointers.
+        "memory_flat_in_horizon": long_peak <= 2 * short_peak + 65536,
+    }
+
+
 def bench_exp_runner(points: int, windows: int) -> dict:
     """Time the experiment runner serially vs with a 4-worker pool."""
     from repro.exp import run_grid
@@ -247,6 +389,31 @@ def main(argv: list[str] | None = None) -> int:
                 f"vectorized {point['vectorized_acts_per_second']:>12,.0f}/s  "
                 f"x{point['speedup']:<5.2f} [{status}]"
             )
+    record["channel_points"] = bench_channel_scaling(
+        trackers[0], [1, 2, 4], args.intervals, args.repeats
+    )
+    for point in record["channel_points"]:
+        print(
+            f"{point['tracker']:>10s} ranks={point['num_ranks']:<2d} "
+            f"channel {point['acts_per_second']:>12,.0f}/s  "
+            f"retained x{point['retained_vs_1_rank']:<5.2f}"
+        )
+    record["streaming"] = bench_streaming(
+        intervals=2 * args.intervals, repeats=max(args.repeats, 3)
+    )
+    streaming = record["streaming"]
+    streaming_status = "ok" if (
+        streaming["bit_identical"] and streaming["memory_flat_in_horizon"]
+    ) else "MISMATCH" if not streaming["bit_identical"] else "MEM GROWTH"
+    failures += streaming_status != "ok"
+    print(
+        f"streaming: materialized {streaming['materialized_seconds']}s, "
+        f"streamed {streaming['streamed_seconds']}s "
+        f"({streaming['overhead_ratio'] * 100:+.2f}%), peak "
+        f"{streaming['peak_bytes_at_1x_horizon']:,}B -> "
+        f"{streaming['peak_bytes_at_16x_horizon']:,}B at 16x horizon "
+        f"[{streaming_status}]"
+    )
     # Longer runs + more interleaved repeats than the kernel points:
     # the facade delta is tiny, so the measurement needs a deep floor.
     record["scenario_overhead"] = bench_scenario_overhead(
@@ -276,8 +443,9 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}")
     if failures:
-        print(f"ERROR: {failures} check(s) failed (kernel identity or "
-              f"scenario-facade overhead budget)")
+        print(f"ERROR: {failures} check(s) failed (kernel identity, "
+              f"streaming identity/memory, or scenario-facade overhead "
+              f"budget)")
         return 1
     return 0
 

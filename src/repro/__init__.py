@@ -74,13 +74,18 @@ from .scenario import (
 )
 from .sim import (
     BankSimulator,
+    ChannelSimResult,
+    ChannelSimulator,
+    ChannelTrace,
     EngineConfig,
     RankSimResult,
     RankSimulator,
     RankTrace,
     SimResult,
     Trace,
+    TraceStream,
     run_attack,
+    run_channel_attack,
     run_rank_attack,
     system_mttf_years,
 )
@@ -93,6 +98,7 @@ from .trackers import (
     Tracker,
     available_trackers,
     bank_tracker_factory,
+    channel_tracker_factory,
     make_tracker,
 )
 
@@ -103,6 +109,9 @@ __all__ = [
     "BANKS_PER_RANK",
     "BankSimulator",
     "CONCURRENT_BANKS",
+    "ChannelSimResult",
+    "ChannelSimulator",
+    "ChannelTrace",
     "DDR5Timing",
     "DEFAULT_BLAST_RADIUS",
     "DEFAULT_TARGET_TTF_YEARS",
@@ -130,13 +139,16 @@ __all__ = [
     "Session",
     "SimResult",
     "Trace",
+    "TraceStream",
     "Tracker",
     "TrackerSpec",
     "available_trackers",
     "bank_tracker_factory",
+    "channel_tracker_factory",
     "equivalent_activations",
     "make_tracker",
     "run_attack",
+    "run_channel_attack",
     "run_rank_attack",
     "run_scenario",
     "system_mttf_years",

@@ -18,14 +18,29 @@ from .feinting import FeintingOutcome, run_feinting
 from .halfdouble import half_double, half_double_distance
 from .manysided import decoy_assisted, many_sided
 from .multirow import pattern2, pattern2_double_sided, pattern3
-from .rank import bank_interleaved, cross_bank_decoy, rank_stripe
+from .channel import (
+    channel_stripe_decoy,
+    rank_rotation,
+    rank_synchronized,
+    replicate_across_ranks,
+)
+from .rank import (
+    bank_interleaved,
+    cross_bank_decoy,
+    cross_bank_decoy_stream,
+    rank_stripe,
+)
 from .registry import (
     available_attacks,
+    available_channel_attacks,
     available_rank_attacks,
+    is_channel_attack,
     is_rank_attack,
     make_attack,
+    make_channel_attack,
     make_rank_attack,
     register_attack,
+    register_channel_attack,
     register_rank_attack,
 )
 
@@ -35,10 +50,13 @@ __all__ = [
     "FuzzedAggressor",
     "adaptive_attack",
     "available_attacks",
+    "available_channel_attacks",
     "available_rank_attacks",
     "bank_interleaved",
     "blacksmith",
+    "channel_stripe_decoy",
     "cross_bank_decoy",
+    "cross_bank_decoy_stream",
     "build_trace",
     "decoy_assisted",
     "double_sided",
@@ -46,8 +64,10 @@ __all__ = [
     "fuzz_aggressors",
     "half_double",
     "half_double_distance",
+    "is_channel_attack",
     "is_rank_attack",
     "make_attack",
+    "make_channel_attack",
     "make_rank_attack",
     "many_sided",
     "one_location",
@@ -57,9 +77,13 @@ __all__ = [
     "postponement_decoy",
     "postponement_decoy_multi",
     "random_blacksmith",
+    "rank_rotation",
     "rank_stripe",
+    "rank_synchronized",
     "register_attack",
+    "register_channel_attack",
     "register_rank_attack",
+    "replicate_across_ranks",
     "repeated_adaptive_attack",
     "run_feinting",
     "single_sided",

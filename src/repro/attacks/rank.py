@@ -26,7 +26,7 @@ try:
 except ImportError:  # pragma: no cover - exercised only without numpy
     np = None  # type: ignore[assignment]
 
-from ..sim.trace import RankInterval, RankTrace, Trace
+from ..sim.trace import CycleStream, RankInterval, RankTrace, Trace
 from .base import AttackParams, spaced_rows
 from .manysided import many_sided
 
@@ -123,13 +123,67 @@ def cross_bank_decoy(
     own-interval selection is wasted.
     """
     params = params or AttackParams()
+    window = _decoy_window(target, num_banks, params, postponed, target_bank)
+    repeats = params.intervals // len(window)
+    return RankTrace(
+        name=_decoy_name(target, num_banks, postponed),
+        intervals=window * repeats,
+    )
+
+
+def cross_bank_decoy_stream(
+    target: int,
+    num_banks: int,
+    params: AttackParams | None = None,
+    postponed: int = 4,
+    target_bank: int = 0,
+) -> CycleStream:
+    """The streaming form of :func:`cross_bank_decoy`.
+
+    Same super-window, same interval objects, but the schedule is a
+    :class:`~repro.sim.trace.CycleStream` repeated out to the horizon
+    lazily — a multi-refresh-window campaign (``params.intervals`` in
+    the billions) costs no more memory than one super-window, where the
+    materialized builder would spend 8 bytes of pointer per tREFI.
+    Bit-identical to the materialized trace (pinned by the
+    stream-equivalence tests).
+    """
+    params = params or AttackParams()
+    window = _decoy_window(target, num_banks, params, postponed, target_bank)
+    repeats = params.intervals // len(window)
+    return CycleStream(
+        _decoy_name(target, num_banks, postponed),
+        window,
+        repeats * len(window),
+    )
+
+
+def _decoy_name(target: int, num_banks: int, postponed: int) -> str:
+    return (
+        f"cross-bank-decoy(target={target},banks={num_banks},"
+        f"postponed={postponed})"
+    )
+
+
+def _decoy_window(
+    target: int,
+    num_banks: int,
+    params: AttackParams,
+    postponed: int,
+    target_bank: int,
+) -> list[RankInterval]:
+    """One decoy-then-hammer super-window (``postponed + 1`` intervals).
+
+    Three shared interval objects cover the whole attack no matter the
+    horizon: the engine's per-distinct-interval caches then do the
+    grouping work once.
+    """
     if num_banks < 2:
         raise ValueError("cross-bank decoy needs at least 2 banks")
     if postponed < 1:
         raise ValueError("postponed must be >= 1")
     if not 0 <= target_bank < num_banks:
         raise ValueError(f"target_bank {target_bank} outside 0..{num_banks - 1}")
-    window = postponed + 1
     decoys = spaced_rows(params.max_act, params.base_row + 50_000, spacing=4)
     decoy_banks = [b for b in range(num_banks) if b != target_bank]
     decoy_interval = _rank_interval(
@@ -137,26 +191,14 @@ def cross_bank_decoy(
         [row for _ in decoy_banks for row in decoys[: params.max_act]],
         postpone=True,
     )
-    intervals: list[RankInterval] = []
-    count = 0
     hammer_banks = [target_bank] * params.max_act
     hammer_rows = [target] * params.max_act
-    # Two shared interval objects cover every hammer tREFI: the engine's
-    # per-distinct-interval caches then do the grouping work once.
     hammer_postponed = _rank_interval(hammer_banks, hammer_rows, postpone=True)
     hammer_final = _rank_interval(hammer_banks, hammer_rows, postpone=False)
-    while count + window <= params.intervals:
-        intervals.append(decoy_interval)
-        for i in range(postponed):
-            last = i == postponed - 1
-            intervals.append(hammer_final if last else hammer_postponed)
-        count += window
-    return RankTrace(
-        name=(
-            f"cross-bank-decoy(target={target},banks={num_banks},"
-            f"postponed={postponed})"
-        ),
-        intervals=intervals,
+    return (
+        [decoy_interval]
+        + [hammer_postponed] * (postponed - 1)
+        + [hammer_final]
     )
 
 

@@ -13,8 +13,14 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from ..sim.trace import RankTrace, Trace
+from ..sim.trace import ChannelTrace, RankTrace, Trace
 from .base import AttackParams
+from .channel import (
+    channel_stripe_decoy,
+    rank_rotation,
+    rank_synchronized,
+    replicate_across_ranks,
+)
 from .classic import double_sided, one_location, single_sided
 from .blacksmith import random_blacksmith
 from .decoy import postponement_decoy, postponement_decoy_multi
@@ -25,6 +31,7 @@ from .rank import bank_interleaved, cross_bank_decoy, rank_stripe
 
 _FACTORIES: dict[str, Callable[..., Trace]] = {}
 _RANK_FACTORIES: dict[str, Callable[..., RankTrace]] = {}
+_CHANNEL_FACTORIES: dict[str, Callable[..., ChannelTrace]] = {}
 
 
 def register_attack(name: str, factory: Callable[..., Trace]) -> None:
@@ -104,6 +111,64 @@ def available_rank_attacks() -> list[str]:
 def is_rank_attack(name: str) -> bool:
     """True if ``name`` resolves to a bank-addressed (rank) factory."""
     return name.lower() in _RANK_FACTORIES
+
+
+def register_channel_attack(
+    name: str, factory: Callable[..., ChannelTrace]
+) -> None:
+    """Register a channel (multi-rank) attack factory (case-insensitive).
+
+    Channel factories take ``(params, rng=None, num_ranks=...,
+    num_banks=..., **extra)`` and return a
+    :class:`~repro.sim.trace.ChannelTrace` of per-rank schedules.
+    """
+    _CHANNEL_FACTORIES[name.lower()] = factory
+
+
+def make_channel_attack(
+    name: str,
+    params: AttackParams | None = None,
+    rng: random.Random | None = None,
+    num_ranks: int = 2,
+    num_banks: int = 1,
+    **kwargs,
+) -> ChannelTrace:
+    """Build a channel-level attack schedule by name.
+
+    Falls back through the registries for convenience: a rank-attack
+    name resolves via :func:`make_rank_attack` and a row-only name via
+    :func:`make_attack` (auto-interleaved), then the resulting
+    rank-scoped schedule is replicated onto every rank (synchronized
+    channel play; see
+    :func:`~repro.attacks.channel.replicate_across_ranks`).
+    """
+    factory = _CHANNEL_FACTORIES.get(name.lower())
+    if factory is not None:
+        return factory(
+            params or AttackParams(), rng=rng, num_ranks=num_ranks,
+            num_banks=num_banks, **kwargs,
+        )
+    lower = name.lower()
+    if lower in _RANK_FACTORIES or lower in _FACTORIES:
+        base = make_rank_attack(
+            name, params, rng=rng, num_banks=num_banks, **kwargs
+        )
+        return replicate_across_ranks(base, num_ranks)
+    raise KeyError(
+        f"unknown channel attack {name!r}; known: "
+        f"{sorted(_CHANNEL_FACTORIES)} (plus any rank or row-only "
+        f"attack, replicated across the ranks)"
+    )
+
+
+def available_channel_attacks() -> list[str]:
+    """Names with a dedicated channel (multi-rank) factory."""
+    return sorted(_CHANNEL_FACTORIES)
+
+
+def is_channel_attack(name: str) -> bool:
+    """True if ``name`` resolves to a dedicated channel factory."""
+    return name.lower() in _CHANNEL_FACTORIES
 
 
 # ---------------------------------------------------------------------
@@ -199,6 +264,35 @@ register_attack("decoy", _decoy)
 register_attack("decoy-multi", _decoy_multi)
 register_attack("decoy-assisted", _decoy_assisted)
 
+# --- channel (multi-rank) factories ----------------------------------
+
+def _rank_rotation(params, rng=None, num_ranks=2, num_banks=1,
+                   base="double-sided", bank=0, **base_kwargs):
+    base_trace = make_attack(base, params, rng=rng, **base_kwargs)
+    return rank_rotation(base_trace, num_ranks, bank=bank)
+
+
+def _rank_synchronized(params, rng=None, num_ranks=2, num_banks=1,
+                       sides=12, spacing=8):
+    return rank_synchronized(
+        sides, num_ranks, params, num_banks=num_banks, spacing=spacing
+    )
+
+
+def _channel_stripe_decoy(params, rng=None, num_ranks=2, num_banks=2,
+                          target=60_000, postponed=4, target_rank=0,
+                          target_bank=0):
+    return channel_stripe_decoy(
+        target, num_ranks, params, num_banks=num_banks,
+        postponed=postponed, target_rank=target_rank,
+        target_bank=target_bank,
+    )
+
+
 register_rank_attack("bank-interleaved", _bank_interleaved)
 register_rank_attack("cross-bank-decoy", _cross_bank_decoy)
 register_rank_attack("rank-stripe", _rank_stripe)
+
+register_channel_attack("rank-rotation", _rank_rotation)
+register_channel_attack("rank-synchronized", _rank_synchronized)
+register_channel_attack("channel-stripe-decoy", _channel_stripe_decoy)

@@ -37,7 +37,11 @@ from .analysis.rfm_scaling import (
     ttf_sensitivity,
 )
 from .analysis.storage import table9
-from .attacks import available_attacks, available_rank_attacks
+from .attacks import (
+    available_attacks,
+    available_channel_attacks,
+    available_rank_attacks,
+)
 from .scenario import AttackSpec, Scenario, Session, TrackerSpec
 from .sim.results import RESULT_CSV_COLUMNS, result_csv_rows
 from .trackers import available_trackers
@@ -133,9 +137,13 @@ def _cmd_attack(args) -> int:
         intervals=args.intervals,
         max_act=args.max_act,
         allow_postponement=args.allow_postponement,
+        num_banks=args.banks,
+        num_ranks=args.ranks,
         seed=args.seed,
     )
-    result = Session(scenario).run().per_bank[0]
+    result = Session(scenario).run()
+    if not scenario.is_channel and not scenario.is_rank:
+        result = result.per_bank[0]
     print(result.summary())
     if result.failed:
         flip = result.flips[0]
@@ -223,11 +231,19 @@ def _cmd_exp_run(args) -> int:
     if args.preset:
         preset_kwargs = {}
         if args.banks is not None:
-            if args.preset != "rank-shootout":
+            if args.preset not in ("rank-shootout", "channel-shootout"):
                 print(f"exp run: --banks only applies to the rank-shootout "
-                      f"preset (got --preset {args.preset})")
+                      f"and channel-shootout presets (got --preset "
+                      f"{args.preset})")
                 return 2
             preset_kwargs["banks"] = (args.banks,)
+        if args.ranks is not None:
+            if args.preset != "channel-shootout":
+                print(f"exp run: --ranks only applies to the "
+                      f"channel-shootout preset (got --preset "
+                      f"{args.preset})")
+                return 2
+            preset_kwargs["ranks"] = (args.ranks,)
         try:
             grid = preset_grid(args.preset, **preset_kwargs)
         except TypeError as error:
@@ -250,6 +266,7 @@ def _cmd_exp_run(args) -> int:
                     max_act=args.max_act,
                     allow_postponement=args.allow_postponement,
                     num_banks=args.banks or 1,
+                    num_ranks=args.ranks or 1,
                 )
             ],
         )
@@ -293,13 +310,22 @@ def _cmd_exp_run(args) -> int:
         metrics = result.metrics
         status = "FLIP" if result.failed else "ok"
         label = result.attack
-        if result.num_banks > 1:
+        if result.num_ranks > 1:
+            label = f"{label}@{result.num_ranks}r{result.num_banks}b"
+        elif result.num_banks > 1:
             label = f"{label}@{result.num_banks}b"
         print(
             f"  [{status:>4}] {result.tracker:<14} vs {label:<17} "
             f"acts={metrics['demand_acts']:<9} "
             f"mitigations={metrics['mitigations']}"
         )
+        for rank, rank_metrics in enumerate(result.per_rank_metrics):
+            rank_status = "FLIP" if rank_metrics.get("failed") else "ok"
+            print(
+                f"         rank {rank}: [{rank_status:>4}] "
+                f"acts={rank_metrics['demand_acts']:<9} "
+                f"mitigations={rank_metrics['mitigations']}"
+            )
         for bank, bank_metrics in enumerate(result.per_bank_metrics):
             bank_status = "FLIP" if bank_metrics.get("failed") else "ok"
             print(
@@ -374,6 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--trh", type=float, default=4800.0)
     attack.add_argument("--intervals", type=int, default=2000)
     attack.add_argument("--max-act", type=int, default=73)
+    attack.add_argument("--banks", type=int, default=1,
+                        help="banks per rank (runs on the rank engine "
+                             "when above 1)")
+    attack.add_argument("--ranks", type=int, default=1,
+                        help="ranks in the simulated channel (runs on "
+                             "the channel engine when above 1)")
     attack.add_argument("--seed", type=int, default=1)
     attack.add_argument("--dmq", action="store_true")
     attack.add_argument("--allow-postponement", action="store_true")
@@ -403,7 +435,9 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run a (tracker x attack) grid through the pool"
     )
     exp_run.add_argument(
-        "--preset", choices=["shootout", "postponement", "rank-shootout"]
+        "--preset",
+        choices=["shootout", "postponement", "rank-shootout",
+                 "channel-shootout"],
     )
     exp_run.add_argument("--trackers",
                          help="comma-separated tracker names "
@@ -418,6 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="banks in the simulated rank (runs points on "
                               "the rank-level engine; rank attacks: "
                               f"{','.join(available_rank_attacks())})")
+    exp_run.add_argument("--ranks", type=int, default=None,
+                         help="ranks in the simulated channel (runs points "
+                              "on the channel-level engine; channel "
+                              "attacks: "
+                              f"{','.join(available_channel_attacks())})")
     exp_run.add_argument("--seed", type=int, default=0,
                          help="base seed; every task seed derives from it")
     exp_run.add_argument("--workers", type=int, default=None,

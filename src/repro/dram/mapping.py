@@ -119,6 +119,78 @@ class RankAddressMap:
         return bank * self.rows_per_bank + row
 
 
+class ChannelAddressMap:
+    """Flat physical address ↔ ``(rank, bank, row)`` decode for a channel.
+
+    The rank-bits layer above :class:`RankAddressMap`: memory
+    controllers place the rank-select bits low (``interleaved`` —
+    consecutive addresses alternate ranks, maximizing rank-level
+    parallelism on the shared command bus) or high (``rank-major`` —
+    each rank owns a contiguous address span, the layout an attacker
+    prefers because one rank's trackers absorb a contiguous stream).
+    The per-rank remainder decodes through an inner
+    :class:`RankAddressMap` with its own bank policy.
+    """
+
+    POLICIES = ("interleaved", "rank-major")
+
+    def __init__(
+        self,
+        num_ranks: int,
+        num_banks: int,
+        rows_per_bank: int,
+        policy: str = "interleaved",
+        bank_policy: str = "interleaved",
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; known: {self.POLICIES}"
+            )
+        self.num_ranks = num_ranks
+        self.policy = policy
+        self.rank_map = RankAddressMap(
+            num_banks, rows_per_bank, policy=bank_policy
+        )
+
+    @property
+    def num_banks(self) -> int:
+        return self.rank_map.num_banks
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.rank_map.rows_per_bank
+
+    @property
+    def num_addresses(self) -> int:
+        return self.num_ranks * self.rank_map.num_addresses
+
+    def decode(self, address: int) -> tuple[int, int, int]:
+        """Split a flat physical address into ``(rank, bank, row)``."""
+        if not 0 <= address < self.num_addresses:
+            raise ValueError(
+                f"address {address} out of range [0, {self.num_addresses})"
+            )
+        if self.policy == "interleaved":
+            rank, rest = address % self.num_ranks, address // self.num_ranks
+        else:
+            rank, rest = divmod(address, self.rank_map.num_addresses)
+        bank, row = self.rank_map.decode(rest)
+        return rank, bank, row
+
+    def encode(self, rank: int, bank: int, row: int) -> int:
+        """Inverse of :meth:`decode`."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(
+                f"rank {rank} out of range [0, {self.num_ranks})"
+            )
+        rest = self.rank_map.encode(bank, row)
+        if self.policy == "interleaved":
+            return rest * self.num_ranks + rank
+        return rank * self.rank_map.num_addresses + rest
+
+
 def _gcd(a: int, b: int) -> int:
     while b:
         a, b = b, a % b

@@ -21,6 +21,7 @@ from .grid import (
     TrackerSpec,
 )
 from .presets import (
+    channel_shootout_grid,
     postponement_grid,
     preset_grid,
     rank_shootout_grid,
@@ -28,6 +29,7 @@ from .presets import (
 )
 from .result import (
     ExperimentResult,
+    summarise_channel_result,
     summarise_rank_result,
     summarise_sim_result,
 )
@@ -44,12 +46,14 @@ __all__ = [
     "ResultStore",
     "RunReport",
     "TrackerSpec",
+    "channel_shootout_grid",
     "postponement_grid",
     "preset_grid",
     "rank_shootout_grid",
     "run_grid",
     "run_point",
     "shootout_grid",
+    "summarise_channel_result",
     "summarise_rank_result",
     "summarise_sim_result",
 ]

@@ -37,10 +37,14 @@ __all__ = [
 #: v2: rank-level points (``PointConfig.num_banks``, per-bank metrics).
 #: v3: points execute through the Scenario facade (seed streams derive
 #: from ``Scenario.task_seed``; ``vectorized``/``concurrent_banks``
-#: knobs). v2 stores still *load* — their records and point payloads
-#: parse unchanged — but their fingerprints no longer match, so their
-#: points re-execute on the next run.
-SCHEMA_VERSION = 3
+#: knobs). v4: channel-level points (``PointConfig.num_ranks``,
+#: per-rank metrics for multi-rank points). Older stores still *load*
+#: — :meth:`PointConfig.from_payload` is the tolerant shim (a v3
+#: payload simply has no ``num_ranks`` key and takes the default of 1,
+#: and unknown keys from newer stores are ignored) — but their
+#: fingerprints no longer match, so their points re-execute on the
+#: next run.
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -62,6 +66,9 @@ class PointConfig:
     attack resolves through the rank registry (row-only attacks are
     auto-interleaved across the banks) and each bank gets its own
     tracker instance seeded from the task seed plus the bank index.
+    ``num_ranks > 1`` lifts the point onto the channel engine (one
+    rank of per-bank trackers per rank, per-rank derived seeds,
+    metrics with a ``per_rank`` level).
     """
 
     trh: float = 4800.0
@@ -75,6 +82,7 @@ class PointConfig:
     refi_per_refw: int = 8192
     scaled_timing: bool = False
     num_banks: int = 1
+    num_ranks: int = 1
     concurrent_banks: int | None = None
     vectorized: bool | None = None
 

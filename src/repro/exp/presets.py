@@ -47,6 +47,13 @@ RANK_ATTACKS = (
     ("rank-stripe", {"sides": 12}),
 )
 
+#: The channel-level attack families of the channel shootout.
+CHANNEL_ATTACKS = (
+    ("rank-rotation", {"base": "double-sided"}),
+    ("rank-synchronized", {"sides": 12}),
+    ("channel-stripe-decoy", {"target": POSTPONEMENT_TARGET}),
+)
+
 
 def shootout_grid(
     trh: float = 1500.0,
@@ -95,6 +102,40 @@ def rank_shootout_grid(
         attack=[
             AttackSpec.of(name, **params) for name, params in RANK_ATTACKS
         ],
+        num_banks=list(banks),
+    )
+
+
+def channel_shootout_grid(
+    ranks: tuple[int, ...] = (2,),
+    banks: tuple[int, ...] = (2,),
+    trh: float = 1500.0,
+    intervals: int = 1000,
+    max_act: int = 73,
+) -> ExperimentGrid:
+    """Channel-level study: trackers × channel attacks × rank counts.
+
+    The channel-scoped variant of :func:`rank_shootout_grid`: every
+    point runs on the :class:`~repro.sim.engine.ChannelSimulator` (one
+    full rank of per-bank trackers per rank, independent refresh
+    schedules, per-rank derived seeds) against the channel attack
+    families — rotation hammering, rank-synchronized many-sided, and
+    the channel stripe decoy.
+    """
+    base = Scenario(
+        tracker="mint",
+        attack=AttackSpec.of("rank-synchronized", sides=12),
+        trh=trh,
+        intervals=intervals,
+        max_act=max_act,
+        allow_postponement=True,
+    )
+    return base.sweep(
+        tracker=list(RANK_TRACKERS),
+        attack=[
+            AttackSpec.of(name, **params) for name, params in CHANNEL_ATTACKS
+        ],
+        num_ranks=list(ranks),
         num_banks=list(banks),
     )
 
@@ -180,6 +221,7 @@ PRESETS = {
     "shootout": shootout_grid,
     "postponement": postponement_grid,
     "rank-shootout": rank_shootout_grid,
+    "channel-shootout": channel_shootout_grid,
 }
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..sim.results import RankSimResult, SimResult
+from ..sim.results import ChannelSimResult, RankSimResult, SimResult
 
 
 @dataclass(frozen=True)
@@ -39,9 +39,19 @@ class ExperimentResult:
         return int(self.metrics.get("num_banks", 1))
 
     @property
+    def num_ranks(self) -> int:
+        """Ranks the point simulated (1 for rank/bank-scoped points)."""
+        return int(self.metrics.get("num_ranks", 1))
+
+    @property
     def per_bank_metrics(self) -> list[dict]:
         """Per-bank metric dicts for rank points ([] for single-bank)."""
         return list(self.metrics.get("per_bank", []))
+
+    @property
+    def per_rank_metrics(self) -> list[dict]:
+        """Per-rank metric dicts for channel points ([] otherwise)."""
+        return list(self.metrics.get("per_rank", []))
 
     def max_unmitigated(self, row: int) -> float:
         """Peak unmitigated-run length observed on ``row`` (0 if unseen)."""
@@ -90,5 +100,15 @@ def summarise_rank_result(result: RankSimResult) -> dict:
     ``demand_acts``/``mitigations``/``failed`` keep working), per-bank
     dicts under ``per_bank`` — see
     :meth:`~repro.sim.results.RankSimResult.to_payload`.
+    """
+    return result.to_payload()
+
+
+def summarise_channel_result(result: ChannelSimResult) -> dict:
+    """Flatten a :class:`ChannelSimResult` into JSON-safe metrics.
+
+    Channel aggregates at the top level, per-rank dicts (each with its
+    own ``per_bank`` level) under ``per_rank`` — see
+    :meth:`~repro.sim.results.ChannelSimResult.to_payload`.
     """
     return result.to_payload()

@@ -22,6 +22,7 @@ from ..scenario import Session
 from .grid import ExperimentGrid, ExperimentPoint
 from .result import (
     ExperimentResult,
+    summarise_channel_result,
     summarise_rank_result,
     summarise_sim_result,
 )
@@ -66,14 +67,18 @@ def _execute_task(task: dict) -> ExperimentResult:
 
     Single-bank points keep the classic flat :class:`SimResult` metric
     shape; rank points (``num_banks > 1`` or a dedicated rank attack)
-    report rank aggregates plus ``per_bank`` metrics. Tracker-side
-    counters always sum across the scenario's bank instances.
+    report rank aggregates plus ``per_bank`` metrics; channel points
+    (``num_ranks > 1`` or a dedicated channel attack) add the
+    ``per_rank`` level on top. Tracker-side counters always sum across
+    every tracker instance of the scenario.
     """
     point = ExperimentPoint.from_payload(task["point"])
     scenario = point.scenario(task["base_seed"])
     session = Session(scenario)
     rank_result = session.run()
-    if scenario.is_rank:
+    if scenario.is_channel:
+        metrics = summarise_channel_result(rank_result)
+    elif scenario.is_rank:
         metrics = summarise_rank_result(rank_result)
     else:
         metrics = summarise_sim_result(rank_result.per_bank[0])

@@ -46,11 +46,17 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Callable, Mapping, TYPE_CHECKING
 
 from .attacks.base import AttackParams
-from .attacks.registry import is_rank_attack, make_attack, make_rank_attack
+from .attacks.registry import (
+    is_channel_attack,
+    is_rank_attack,
+    make_attack,
+    make_channel_attack,
+    make_rank_attack,
+)
 from .dram.timing import DDR5Timing, DEFAULT_TIMING
-from .sim.engine import EngineConfig, RankSimulator
+from .sim.engine import ChannelSimulator, EngineConfig, RankSimulator
 from .sim.montecarlo import MonteCarloResult, scaled_timing
-from .sim.results import RankSimResult
+from .sim.results import ChannelSimResult, RankSimResult
 from .sim.seeding import stable_hash, stable_seed
 from .trackers.base import Tracker
 from .trackers.registry import make_tracker
@@ -157,7 +163,12 @@ class Scenario:
     runs the scenario on the rank engine: the attack resolves through
     :func:`repro.attacks.registry.make_rank_attack` (row-only attacks
     are auto-interleaved) and each bank gets its own tracker instance
-    with an independent derived seed.
+    with an independent derived seed. ``num_ranks > 1`` — or a
+    dedicated channel attack — lifts once more, onto the
+    :class:`~repro.sim.engine.ChannelSimulator`: the attack resolves
+    through :func:`repro.attacks.registry.make_channel_attack`
+    (rank-scoped attacks replicate across the ranks) and every
+    ``(rank, bank)`` tracker draws an independent derived stream.
     """
 
     tracker: TrackerSpec
@@ -173,6 +184,7 @@ class Scenario:
     refi_per_refw: int = 8192
     scaled_timing: bool = False
     num_banks: int = 1
+    num_ranks: int = 1
     concurrent_banks: int | None = None
     vectorized: bool | None = None
     timing: DDR5Timing | None = None
@@ -185,6 +197,8 @@ class Scenario:
             object.__setattr__(self, "attack", AttackSpec.of(self.attack))
         if self.num_banks < 1:
             raise ValueError("num_banks must be >= 1")
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
         if self.intervals < 0:
             raise ValueError("intervals must be >= 0")
         if self.max_act < 1:
@@ -212,6 +226,7 @@ class Scenario:
             "refi_per_refw": self.refi_per_refw,
             "scaled_timing": self.scaled_timing,
             "num_banks": self.num_banks,
+            "num_ranks": self.num_ranks,
             "concurrent_banks": self.concurrent_banks,
             "vectorized": self.vectorized,
             "timing": None if self.timing is None else {
@@ -267,9 +282,18 @@ class Scenario:
         must share every random stream and every fingerprint (scalar
         and vectorized runs of one scenario are the same result, and a
         store serves either from the other's cache entry).
+
+        ``num_ranks`` is semantic (it *is* hashed when above 1), but
+        the default of 1 — the pre-channel geometry — is elided, so
+        every scenario written before the knob existed keeps its
+        fingerprint, its task seed, and therefore all of its random
+        streams and cached results bit-for-bit. Lifting to more ranks
+        re-keys everything, as any knob change must.
         """
         payload = self.to_payload()
         del payload["vectorized"]
+        if payload["num_ranks"] == 1:
+            del payload["num_ranks"]
         return payload
 
     def fingerprint(self) -> str:
@@ -302,9 +326,24 @@ class Scenario:
             object.__setattr__(self, "_task_seed", cached)
         return cached
 
-    def tracker_seed(self, bank: int = 0) -> int:
-        """Seed of bank ``bank``'s tracker RNG stream."""
-        return stable_seed(self.task_seed(), "tracker", bank)
+    def tracker_seed(self, bank: int = 0, rank: int = 0) -> int:
+        """Seed of ``(rank, bank)``'s tracker RNG stream.
+
+        Rank 0 keeps the pre-channel derivation, so a 1-rank channel
+        scenario draws exactly the streams the rank engine always drew;
+        sibling ranks branch through a ``"channel-rank"`` label so each
+        rank's streams are independent and reproducible. (This is the
+        scenario-side analogue of — but a different derivation from —
+        :func:`repro.trackers.registry.channel_tracker_factory`; to
+        reproduce one rank of a Session channel run standalone, build
+        trackers with ``scenario.build_tracker(bank, rank=rank)``, not
+        with that factory.)
+        """
+        if rank == 0:
+            return stable_seed(self.task_seed(), "tracker", bank)
+        return stable_seed(
+            self.task_seed(), "channel-rank", rank, "tracker", bank
+        )
 
     def trace_seed(self) -> int:
         """Seed of the attack-trace RNG stream."""
@@ -318,9 +357,19 @@ class Scenario:
         return self.num_banks > 1 or is_rank_attack(self.attack.name)
 
     @property
+    def is_channel(self) -> bool:
+        """True when the scenario runs on the channel path (multi-rank
+        or a dedicated channel attack factory): ``Session.run`` builds
+        a :class:`~repro.sim.engine.ChannelSimulator` and reports a
+        :class:`~repro.sim.results.ChannelSimResult`."""
+        return self.num_ranks > 1 or is_channel_attack(self.attack.name)
+
+    @property
     def label(self) -> str:
         base = f"{self.tracker.label} vs {self.attack.name}"
-        if self.num_banks > 1:
+        if self.num_ranks > 1:
+            base = f"{base}@{self.num_ranks}r{self.num_banks}b"
+        elif self.num_banks > 1:
             base = f"{base}@{self.num_banks}b"
         return base
 
@@ -345,6 +394,7 @@ class Scenario:
             max_postponed=self.max_postponed,
             refi_per_refw=self.refi_per_refw,
             num_banks=self.num_banks,
+            num_ranks=self.num_ranks,
             concurrent_banks=self.concurrent_banks,
             vectorized=self.vectorized,
         )
@@ -358,9 +408,12 @@ class Scenario:
 
     # -- builders ------------------------------------------------------
     def build_tracker(
-        self, bank: int = 0, rng: random.Random | None = None
+        self,
+        bank: int = 0,
+        rng: random.Random | None = None,
+        rank: int = 0,
     ) -> Tracker:
-        """A fresh tracker instance for ``bank``.
+        """A fresh tracker instance for ``(rank, bank)``.
 
         ``rng`` overrides the derived per-bank stream (the Monte-Carlo
         window loop threads one shared window RNG through tracker and
@@ -368,7 +421,7 @@ class Scenario:
         ``estimate_failure_probability`` contract).
         """
         if rng is None:
-            rng = random.Random(self.tracker_seed(bank))
+            rng = random.Random(self.tracker_seed(bank, rank))
         return make_tracker(
             self.tracker.name,
             rng=rng,
@@ -384,10 +437,32 @@ class Scenario:
         bank index)."""
         return self.build_tracker
 
+    def channel_tracker_factory(self) -> Callable[[int, int], Tracker]:
+        """A per-(rank, bank) factory for
+        :class:`~repro.sim.engine.ChannelSimulator` (rank 0 draws the
+        classic per-bank streams; sibling ranks branch independently —
+        see :meth:`tracker_seed`)."""
+
+        def factory(rank: int, bank: int) -> Tracker:
+            return self.build_tracker(bank, rank=rank)
+
+        return factory
+
     def build_trace(self, rng: random.Random | None = None):
-        """The attack trace (bank-addressed on the rank path)."""
+        """The attack schedule: a :class:`~repro.sim.trace.ChannelTrace`
+        on the channel path, bank-addressed on the rank path, row-only
+        otherwise."""
         if rng is None:
             rng = random.Random(self.trace_seed())
+        if self.is_channel:
+            return make_channel_attack(
+                self.attack.name,
+                self.attack_params(),
+                rng=rng,
+                num_ranks=self.num_ranks,
+                num_banks=self.num_banks,
+                **dict(self.attack.params),
+            )
         if self.is_rank:
             return make_rank_attack(
                 self.attack.name,
@@ -482,7 +557,8 @@ class Scenario:
             f"  trh              {self.trh:g}",
             f"  intervals        {self.intervals}",
             f"  max_act          {self.max_act}",
-            f"  geometry         {self.num_banks} bank(s) x "
+            f"  geometry         {self.num_ranks} rank(s) x "
+            f"{self.num_banks} bank(s) x "
             f"{self.num_rows} rows (blast radius {self.blast_radius})",
             f"  timing           "
             + ("scaled" if self.scaled_timing
@@ -518,30 +594,46 @@ class Session:
             )
         self.scenario = scenario
         #: The simulator of the most recent :meth:`run` (None before).
-        self.last_simulator: RankSimulator | None = None
+        self.last_simulator: RankSimulator | ChannelSimulator | None = None
 
     # ------------------------------------------------------------------
-    def run(self) -> RankSimResult:
+    def run(self) -> RankSimResult | ChannelSimResult:
         """Execute the scenario's trace once, to completion.
 
-        Always reports a rank-level result; single-bank scenarios carry
-        their classic :class:`~repro.sim.results.SimResult` as
+        Channel scenarios (``num_ranks > 1`` or a dedicated channel
+        attack) run on the :class:`~repro.sim.engine.ChannelSimulator`
+        and report a :class:`~repro.sim.results.ChannelSimResult`;
+        everything else reports a rank-level result as always —
+        single-bank scenarios carry their classic
+        :class:`~repro.sim.results.SimResult` as
         ``result.per_bank[0]``, bit-identical to the legacy
         :func:`~repro.sim.engine.run_attack` shim.
         """
         scenario = self.scenario
-        simulator = RankSimulator(
-            scenario.tracker_factory(), scenario.engine_config()
-        )
+        if scenario.is_channel:
+            simulator = ChannelSimulator(
+                scenario.channel_tracker_factory(), scenario.engine_config()
+            )
+        else:
+            simulator = RankSimulator(
+                scenario.tracker_factory(), scenario.engine_config()
+            )
         result = simulator.run(scenario.build_trace())
         self.last_simulator = simulator
         return result
 
     @property
     def trackers(self) -> list[Tracker]:
-        """The tracker instances of the most recent :meth:`run`."""
+        """The tracker instances of the most recent :meth:`run`, as one
+        flat list (rank-major on the channel path)."""
         if self.last_simulator is None:
             raise RuntimeError("no run yet: call Session.run() first")
+        if isinstance(self.last_simulator, ChannelSimulator):
+            return [
+                tracker
+                for rank in self.last_simulator.ranks
+                for tracker in rank.trackers
+            ]
         return self.last_simulator.trackers
 
     def run_many(self, windows: int, n_workers: int = 1) -> MonteCarloResult:
@@ -583,7 +675,9 @@ class Session:
         )
 
 
-def run_scenario(scenario: Scenario | Mapping[str, Any]) -> RankSimResult:
+def run_scenario(
+    scenario: Scenario | Mapping[str, Any],
+) -> RankSimResult | ChannelSimResult:
     """One-call convenience: execute a scenario (or its payload)."""
     if not isinstance(scenario, Scenario):
         scenario = Scenario.from_payload(scenario)

@@ -2,9 +2,11 @@
 
 from .engine import (
     BankSimulator,
+    ChannelSimulator,
     EngineConfig,
     RankSimulator,
     run_attack,
+    run_channel_attack,
     run_rank_attack,
     with_dmq,
 )
@@ -15,6 +17,7 @@ from .montecarlo import (
     scaled_timing,
 )
 from .results import (
+    ChannelSimResult,
     RankSimResult,
     SimResult,
     result_csv_rows,
@@ -26,10 +29,16 @@ from .results import (
 RankResult = RankSimResult
 from .seeding import canonical_json, derive_rng, stable_hash, stable_seed
 from .trace import (
+    ChannelTrace,
+    CycleStream,
+    GeneratorStream,
     Interval,
+    MaterializedStream,
     RankInterval,
     RankTrace,
     Trace,
+    TraceStream,
+    as_trace_stream,
     lift_trace,
     repeat_interval,
     repeat_rank_interval,
@@ -37,8 +46,14 @@ from .trace import (
 
 __all__ = [
     "BankSimulator",
+    "ChannelSimResult",
+    "ChannelSimulator",
+    "ChannelTrace",
+    "CycleStream",
     "EngineConfig",
+    "GeneratorStream",
     "Interval",
+    "MaterializedStream",
     "MonteCarloResult",
     "RankInterval",
     "RankResult",
@@ -47,6 +62,8 @@ __all__ = [
     "RankTrace",
     "SimResult",
     "Trace",
+    "TraceStream",
+    "as_trace_stream",
     "canonical_json",
     "derive_rng",
     "estimate_failure_probability",
@@ -55,6 +72,7 @@ __all__ = [
     "repeat_rank_interval",
     "result_csv_rows",
     "run_attack",
+    "run_channel_attack",
     "run_rank_attack",
     "scaled_timing",
     "scenario_failure_probability",

@@ -1,8 +1,18 @@
-"""Event-level security simulator: rank-scoped trace → trackers → oracle.
+"""Event-level security simulator: channel → ranks → trackers → oracle.
 
-The engine drives a DDR5 *rank* — ``num_banks`` independent banks
-behind one refresh schedule — through an attack trace interval by
-interval. Each bank owns its own tracker instance (in-DRAM trackers are
+Two engine tiers share one streaming core. :class:`RankSimulator`
+drives a DDR5 *rank* — ``num_banks`` independent banks behind one
+refresh schedule — through an attack schedule chunk by chunk: the
+schedule may be a materialized trace or a lazy
+:class:`~repro.sim.trace.TraceStream`, and either way the per-interval
+work is identical (streamed runs are bit-identical to materialized
+ones, at bounded memory). :class:`ChannelSimulator` stacks
+``num_ranks`` rank simulators under one shared tREFI clock — the DDR5
+*channel*, where a memory controller interleaves activations across
+ranks sharing a command bus — and reports a
+:class:`~repro.sim.results.ChannelSimResult` of per-rank results.
+
+The rank engine processes each interval as follows. Each bank owns its own tracker instance (in-DRAM trackers are
 per-bank structures; the paper's storage numbers scale ×32 per rank)
 and its own row-disturbance oracle. Per interval, the demand ACT batch
 is split by bank and fed through the vectorized activation kernel: the
@@ -56,8 +66,16 @@ from ..dram.refresh import RefreshScheduler
 from ..dram.timing import DDR5Timing, DEFAULT_TIMING
 from ..trackers.base import MitigationRequest, Tracker
 from ..trackers.protrr import VictimRefreshRequest
-from .results import RankSimResult, SimResult
-from .trace import RankTrace, Trace
+from .results import ChannelSimResult, RankSimResult, SimResult
+from .trace import (
+    ChannelTrace,
+    MaterializedStream,
+    RankTrace,
+    Trace,
+    TraceStream,
+    as_trace_stream,
+    validate_rank_intervals,
+)
 
 
 @dataclass
@@ -78,6 +96,10 @@ class EngineConfig:
     #: tFAW ceiling on banks sustaining full-rate ACTs concurrently;
     #: ``None`` means min(CONCURRENT_BANKS, num_banks).
     concurrent_banks: int | None = None
+    #: Ranks in the simulated channel. ``num_banks`` is *per rank*; a
+    #: value above 1 selects :class:`ChannelSimulator` (a
+    #: :class:`RankSimulator` rejects multi-rank configs).
+    num_ranks: int = 1
     #: Activation-kernel selection. ``None`` (auto) uses the vectorized
     #: kernel — array-backed interval views, one shared per-unique-row
     #: aggregation feeding batched oracle and tracker updates — whenever
@@ -168,6 +190,11 @@ class RankSimulator:
             c = replace(c, **overrides)
         if c.num_banks < 1:
             raise ValueError("num_banks must be >= 1")
+        if c.num_ranks != 1:
+            raise ValueError(
+                "RankSimulator drives exactly one rank; a config with "
+                f"num_ranks={c.num_ranks} belongs to ChannelSimulator"
+            )
         self.config = c
         self.num_banks = c.num_banks
         self.concurrent_banks = min(
@@ -215,14 +242,23 @@ class RankSimulator:
 
     # ------------------------------------------------------------------
     def run(
-        self, trace: Trace | RankTrace | Sequence[Trace]
+        self, trace: Trace | RankTrace | TraceStream | Sequence[Trace]
     ) -> RankSimResult:
         """Execute ``trace`` to completion and report the outcome.
 
         ``trace`` may be bank-addressed (:class:`RankTrace`), row-only
-        (:class:`Trace`, lifted onto bank 0), or a legacy sequence of
-        per-bank row traces (trace ``i`` drives bank ``i``; the tFAW
-        ceiling rejects more concurrent traces than the rank sustains).
+        (:class:`Trace`, lifted onto bank 0), a lazily produced
+        :class:`~repro.sim.trace.TraceStream` (consumed chunk by chunk,
+        never materialized — memory stays bounded no matter the
+        horizon), or a legacy sequence of per-bank row traces (trace
+        ``i`` drives bank ``i``; the tFAW ceiling rejects more
+        concurrent traces than the rank sustains). Materialized traces
+        are budget-validated upfront as always; a stream declares its
+        act budget for the same fail-fast check and is then validated
+        chunk by chunk under identical rules, and the per-interval work
+        is the same either way, so streamed and materialized runs of
+        one schedule are bit-identical (pinned by the
+        stream-equivalence tests).
 
         The interval loop is the simulator's hot path: a full-grid
         experiment pushes hundreds of millions of ACTs through it. The
@@ -236,6 +272,21 @@ class RankSimulator:
         c = self.config
         if isinstance(trace, (list, tuple)):
             trace = self._merge_bank_traces(trace)
+        if isinstance(trace, TraceStream):
+            budget = trace.act_budget
+            if (
+                c.validate_budget
+                and budget is not None
+                and budget > c.timing.max_act
+            ):
+                raise ValueError(
+                    f"stream {trace.name!r} declares up to {budget} ACTs "
+                    f"on one bank per tREFI, but at most "
+                    f"{c.timing.max_act} fit"
+                )
+            self.intervals = 0
+            self.consume(trace)
+            return self.collect(trace.name)
         if c.validate_budget:
             if isinstance(trace, RankTrace):
                 trace.validate(
@@ -245,15 +296,52 @@ class RankSimulator:
                 )
             else:
                 trace.validate(c.timing.max_act)
+        self.intervals = 0
+        self._feed(trace.intervals)
+        return self.collect(trace.name)
+
+    def consume(self, stream: TraceStream) -> None:
+        """Drive one stream through the engine, chunk by chunk.
+
+        Each chunk is budget-validated (same rules and messages as the
+        materialized path, with the running interval offset) and fed to
+        the hot loop, then dropped — peak memory is one chunk plus the
+        bounded per-interval caches, independent of the horizon. Used
+        by :meth:`run` and, per rank, by :class:`ChannelSimulator`.
+        """
+        for chunk in stream.chunks():
+            self.feed(chunk)
+
+    def feed(self, intervals: Sequence["RankInterval"]) -> None:
+        """Advance the rank through ``intervals`` (one stream chunk).
+
+        Incremental: the interval clock continues from where the last
+        chunk left off, and budget validation (when configured) reports
+        stream-global interval indices. :meth:`collect` reports the
+        state accumulated so far.
+        """
+        if self.config.validate_budget:
+            validate_rank_intervals(
+                intervals,
+                self.config.timing.max_act,
+                num_banks=self.num_banks,
+                concurrent_banks=self.concurrent_banks,
+                start=self.intervals,
+            )
+        self._feed(intervals)
+
+    def _feed(self, intervals) -> None:
+        """The hot loop: absorb a run of intervals, tick the scheduler."""
+        c = self.config
         vectorized = self.vectorized
         absorb_acts = self._absorb_acts_vec if vectorized else self._absorb_acts
         scheduler_tick = self.scheduler.tick
         t_refi_ns = c.timing.t_refi_ns
         allow_postponement = c.allow_postponement
-        intervals = 0
-        for interval in trace:
-            intervals += 1
-            time_ns = intervals * t_refi_ns
+        count = self.intervals
+        for interval in intervals:
+            count += 1
+            time_ns = count * t_refi_ns
             split = interval.per_bank_arrays if vectorized else interval.per_bank
             for bank, acts in split:
                 absorb_acts(bank, acts, time_ns)
@@ -262,8 +350,7 @@ class RankSimulator:
             if event is not None:
                 for _ in range(event.count):
                     self._refresh(time_ns)
-        self.intervals = intervals
-        return self._collect(trace.name)
+        self.intervals = count
 
     def _merge_bank_traces(self, traces: Sequence[Trace]) -> RankTrace:
         """Legacy input format: one row-only trace per bank."""
@@ -276,7 +363,10 @@ class RankSimulator:
         name = names[0] if len(names) == 1 else "rank(" + ",".join(names) + ")"
         return RankTrace.from_bank_traces(name, list(traces))
 
-    def _collect(self, trace_name: str) -> RankSimResult:
+    def collect(self, trace_name: str) -> RankSimResult:
+        """Report the state accumulated so far as a
+        :class:`~repro.sim.results.RankSimResult` (what :meth:`run`
+        returns; also called per rank by :class:`ChannelSimulator`)."""
         per_bank = []
         refreshes = self.scheduler.total_refreshes
         for bank in range(self.num_banks):
@@ -411,6 +501,164 @@ class RankSimulator:
         return self.device.any_flip
 
 
+class ChannelSimulator:
+    """Runs per-rank schedules against a DDR5 channel of N ranks.
+
+    The channel is the top of the simulation stack: ``num_ranks``
+    :class:`RankSimulator`\\ s — each a full rank of per-bank trackers
+    behind its own refresh schedule — marched through one shared tREFI
+    clock, the way a memory controller interleaves activations across
+    the ranks sharing a command bus. Rank simulations are independent
+    by construction (DDR5 REF, and hence postponement, is per rank), so
+    a channel run decomposes exactly: rank ``r``'s
+    :class:`~repro.sim.results.RankSimResult` is bit-identical to
+    running ``r``'s schedule alone on a :class:`RankSimulator` built
+    from the same per-rank tracker factory — the channel-equivalence
+    property the tests pin, and what makes the paper's per-tracker
+    security claims composable into channel-level MTTF accounting.
+
+    Parameters
+    ----------
+    tracker_factory:
+        Called with ``(rank, bank)`` for every bank of every rank; each
+        call must return an independent tracker instance.
+        :func:`repro.trackers.registry.channel_tracker_factory` builds a
+        suitable factory from a registry name plus a base seed (ranks
+        derive independent seed streams).
+    config:
+        Per-rank engine knobs; ``num_ranks`` selects the channel width
+        (the keyword overrides the config field when given).
+    """
+
+    def __init__(
+        self,
+        tracker_factory: Callable[[int, int], Tracker],
+        config: EngineConfig | None = None,
+        *,
+        num_ranks: int | None = None,
+        num_banks: int | None = None,
+    ) -> None:
+        c = config or EngineConfig()
+        overrides = {
+            key: value
+            for key, value in (
+                ("num_ranks", num_ranks),
+                ("num_banks", num_banks),
+            )
+            if value is not None
+        }
+        if overrides:
+            c = replace(c, **overrides)
+        if c.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.config = c
+        self.num_ranks = c.num_ranks
+        self.num_banks = c.num_banks
+        rank_config = replace(c, num_ranks=1)
+        self.ranks = [
+            RankSimulator(
+                (lambda bank, _rank=rank: tracker_factory(_rank, bank)),
+                rank_config,
+            )
+            for rank in range(c.num_ranks)
+        ]
+
+    def run(
+        self, trace: "ChannelTrace | Trace | RankTrace | TraceStream"
+    ) -> ChannelSimResult:
+        """Execute a channel schedule to completion.
+
+        ``trace`` is normally a :class:`~repro.sim.trace.ChannelTrace`
+        (one schedule per rank, materialized or streaming); a rank- or
+        row-scoped input is accepted as rank 0's schedule with the
+        sibling ranks idle, so a 1-rank channel run of any existing
+        trace is bit-identical to today's :class:`RankSimulator` run
+        (pinned by the channel-equivalence tests).
+
+        The march is chunk-granular lockstep: each round advances every
+        still-active rank by one chunk of its stream, so all ranks stay
+        within one chunk of the shared clock and peak memory is one
+        chunk per rank. Because REF scheduling — the only cross-bank
+        coupling inside a rank — is per rank, the interleaving order
+        cannot affect any rank's bits.
+        """
+        channel = self._coerce(trace)
+        if channel.num_ranks > self.num_ranks:
+            raise ValueError(
+                f"trace {channel.name!r} addresses rank "
+                f"{channel.num_ranks - 1}, but the channel has "
+                f"{self.num_ranks} ranks"
+            )
+        streams = {
+            rank: channel.rank_stream(rank) for rank in range(self.num_ranks)
+        }
+        c = self.config
+        if c.validate_budget:
+            for rank, stream in streams.items():
+                budget = stream.act_budget
+                if budget is not None and budget > c.timing.max_act:
+                    raise ValueError(
+                        f"rank {rank} stream {stream.name!r} declares up "
+                        f"to {budget} ACTs on one bank per tREFI, but at "
+                        f"most {c.timing.max_act} fit"
+                    )
+                # Materialized schedules keep the rank engine's
+                # validate-before-execute contract: the whole trace is
+                # checked here, before any rank absorbs an interval (a
+                # lazy stream can only be checked chunk by chunk as it
+                # is produced).
+                if isinstance(stream, MaterializedStream):
+                    rank_sim = self.ranks[rank]
+                    stream.trace.validate(
+                        c.timing.max_act,
+                        num_banks=rank_sim.num_banks,
+                        concurrent_banks=rank_sim.concurrent_banks,
+                    )
+        active = {rank: stream.chunks() for rank, stream in streams.items()}
+        while active:
+            for rank in sorted(active):
+                chunk = next(active[rank], None)
+                if chunk is None:
+                    del active[rank]
+                    continue
+                self.ranks[rank].feed(chunk)
+        per_rank = [
+            self.ranks[rank].collect(streams[rank].name)
+            for rank in range(self.num_ranks)
+        ]
+        return ChannelSimResult(
+            trace=channel.name,
+            intervals=max(
+                (sim.intervals for sim in self.ranks), default=0
+            ),
+            per_rank=per_rank,
+        )
+
+    def _coerce(self, trace) -> ChannelTrace:
+        if isinstance(trace, ChannelTrace):
+            return trace
+        if isinstance(trace, (Trace, RankTrace, TraceStream)):
+            stream = as_trace_stream(trace)
+            return ChannelTrace(name=stream.name, per_rank={0: stream})
+        raise TypeError(
+            f"cannot run {type(trace).__name__} on a channel; expected "
+            f"ChannelTrace, Trace, RankTrace, or TraceStream"
+        )
+
+    def rank(self, index: int) -> RankSimulator:
+        """The rank-``index`` simulator (trackers, per-bank counters)."""
+        return self.ranks[index]
+
+    @property
+    def trackers(self) -> list[list[Tracker]]:
+        """Tracker instances as ``trackers[rank][bank]``."""
+        return [sim.trackers for sim in self.ranks]
+
+    @property
+    def any_flip(self) -> bool:
+        return any(sim.any_flip for sim in self.ranks)
+
+
 class BankSimulator(RankSimulator):
     """Runs traces against one tracker on one bank.
 
@@ -507,6 +755,37 @@ def run_rank_attack(
         num_banks=num_banks,
     )
     return RankSimulator(tracker_factory, config).run(trace)
+
+
+def run_channel_attack(
+    tracker_factory: Callable[[int, int], Tracker],
+    trace: "ChannelTrace | Trace | RankTrace | TraceStream",
+    trh: float,
+    num_ranks: int,
+    num_banks: int = 1,
+    timing: DDR5Timing = DEFAULT_TIMING,
+    num_rows: int = 128 * 1024,
+    blast_radius: int = 1,
+    allow_postponement: bool = False,
+    refi_per_refw: int = 8192,
+) -> ChannelSimResult:
+    """One-call convenience wrapper around :class:`ChannelSimulator`.
+
+    ``tracker_factory`` takes ``(rank, bank)``; see
+    :func:`run_rank_attack` for the declarative alternative
+    (``Session(Scenario(..., num_ranks=N)).run()``).
+    """
+    config = EngineConfig(
+        timing=timing,
+        trh=trh,
+        num_rows=num_rows,
+        blast_radius=blast_radius,
+        allow_postponement=allow_postponement,
+        refi_per_refw=refi_per_refw,
+        num_banks=num_banks,
+        num_ranks=num_ranks,
+    )
+    return ChannelSimulator(tracker_factory, config).run(trace)
 
 
 def with_dmq(tracker: Tracker, timing: DDR5Timing = DEFAULT_TIMING) -> Tracker:

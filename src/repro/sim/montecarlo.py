@@ -25,7 +25,7 @@ from typing import Callable, TYPE_CHECKING
 from ..dram.timing import DDR5Timing
 from ..parallel import fork_map
 from ..trackers.base import Tracker
-from .engine import BankSimulator, EngineConfig, RankSimulator
+from .engine import BankSimulator, ChannelSimulator, EngineConfig, RankSimulator
 from .seeding import stable_seed
 from .trace import Trace
 
@@ -110,11 +110,38 @@ def scenario_failure_probability(
     count or scheduling.
 
     On a multi-bank scenario a window fails when *any* bank flips, and
-    mitigations sum across the rank's banks.
+    mitigations sum across the rank's banks; a channel scenario lifts
+    the same rule across its ranks (any rank's flip fails the window,
+    mitigations sum channel-wide). The window RNG threads through
+    tracker construction rank-major first, then trace construction —
+    the per-rank generalisation of the legacy contract, and exactly it
+    at ``num_ranks=1``.
     """
     config = scenario.engine_config()
     task_seed = scenario.task_seed()
     num_banks = scenario.num_banks
+
+    if scenario.is_channel:
+        num_ranks = scenario.num_ranks
+
+        def run_window(index: int) -> tuple[bool, int]:
+            window_rng = random.Random(
+                stable_seed(task_seed, "mc-window", index)
+            )
+            trackers = {
+                (rank, bank): scenario.build_tracker(
+                    bank, rng=window_rng, rank=rank
+                )
+                for rank in range(num_ranks)
+                for bank in range(num_banks)
+            }
+            trace = scenario.build_trace(rng=window_rng)
+            result = ChannelSimulator(
+                lambda rank, bank: trackers[(rank, bank)], config
+            ).run(trace)
+            return result.failed, result.mitigations
+
+        return _collect_windows(run_window, windows, n_workers)
 
     def run_window(index: int) -> tuple[bool, int]:
         window_rng = random.Random(stable_seed(task_seed, "mc-window", index))

@@ -1,6 +1,8 @@
 """Result records produced by the security simulation engine.
 
-Both record types carry their own canonical JSON serialisation
+The records nest like the hardware: :class:`SimResult` (one bank),
+:class:`RankSimResult` (one rank of banks), :class:`ChannelSimResult`
+(one channel of ranks). All carry their own canonical JSON serialisation
 (:meth:`SimResult.to_payload`, :meth:`RankSimResult.to_payload`) — the
 single source the experiment store, the CLI's ``--format json`` export,
 and the determinism tests all read from — plus a shared flat CSV
@@ -212,22 +214,177 @@ class RankSimResult:
         }
 
 
+@dataclass
+class ChannelSimResult:
+    """Outcome of running a channel schedule against N ranks of trackers.
+
+    Carries one :class:`RankSimResult` per rank plus channel-level
+    aggregates. ``intervals`` is the shared channel clock (the longest
+    rank's interval count); per-rank counters live on the nested
+    results, and every aggregate here is a plain sum/merge over them —
+    the channel introduces no coupling of its own (ranks refresh
+    independently), which is what lets per-rank results compose into
+    channel-level MTTF accounting.
+    """
+
+    trace: str = ""
+    intervals: int = 0
+    per_rank: list[RankSimResult] = field(default_factory=list)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def num_banks(self) -> int:
+        """Banks per rank (ranks are homogeneous)."""
+        return max((r.num_banks for r in self.per_rank), default=0)
+
+    @property
+    def tracker(self) -> str:
+        """The tracker family (per-rank instances share the name)."""
+        names = list(dict.fromkeys(r.tracker for r in self.per_rank))
+        return names[0] if len(names) == 1 else ",".join(names)
+
+    @property
+    def demand_acts(self) -> int:
+        return sum(r.demand_acts for r in self.per_rank)
+
+    @property
+    def refreshes(self) -> int:
+        return sum(r.refreshes for r in self.per_rank)
+
+    @property
+    def mitigations(self) -> int:
+        return sum(r.mitigations for r in self.per_rank)
+
+    @property
+    def transitive_mitigations(self) -> int:
+        return sum(r.transitive_mitigations for r in self.per_rank)
+
+    @property
+    def pseudo_mitigations(self) -> int:
+        return sum(r.pseudo_mitigations for r in self.per_rank)
+
+    @property
+    def flips(self) -> list[FlipEvent]:
+        return [flip for r in self.per_rank for flip in r.flips]
+
+    @property
+    def failed_ranks(self) -> list[int]:
+        return [rank for rank, r in enumerate(self.per_rank) if r.failed]
+
+    @property
+    def failed_banks(self) -> list[tuple[int, int]]:
+        """Failed ``(rank, bank)`` coordinates across the channel."""
+        return [
+            (rank, bank)
+            for rank, r in enumerate(self.per_rank)
+            for bank in r.failed_banks
+        ]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failed_ranks)
+
+    @property
+    def any_flip(self) -> bool:
+        return self.failed
+
+    @property
+    def max_disturbance(self) -> float:
+        return max((r.max_disturbance for r in self.per_rank), default=0.0)
+
+    def rank(self, index: int) -> RankSimResult:
+        return self.per_rank[index]
+
+    def bank(self, rank: int, bank: int) -> SimResult:
+        return self.per_rank[rank].per_bank[bank]
+
+    def summary(self) -> str:
+        status = "FLIP" if self.failed else "ok"
+        lines = [
+            f"[{status}] {self.tracker} vs {self.trace} "
+            f"({self.num_ranks} ranks x {self.num_banks} banks): "
+            f"{self.demand_acts} ACTs / {self.intervals} tREFI, "
+            f"{self.mitigations} mitigations, "
+            f"failed ranks {self.failed_ranks or 'none'}"
+        ]
+        for rank, result in enumerate(self.per_rank):
+            rank_status = "FLIP" if result.failed else "ok"
+            lines.append(
+                f"  rank {rank}: [{rank_status}] "
+                f"{result.demand_acts} ACTs, "
+                f"{result.mitigations} mitigations, "
+                f"failed banks {result.failed_banks or 'none'}"
+            )
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """Flatten into JSON-safe metrics.
+
+        Channel-level aggregates at the top level (so consumers of
+        ``demand_acts``/``mitigations``/``failed`` keep working
+        unchanged on channel results), per-rank
+        :meth:`RankSimResult.to_payload` dicts under ``per_rank``, and
+        the rank-attributed flip events plus a row-wise maximum of the
+        unmitigated-run counters, mirroring the rank payload shape one
+        level up.
+        """
+        merged: dict[int, float] = {}
+        for rank_result in self.per_rank:
+            for bank_result in rank_result.per_bank:
+                for row, value in bank_result.max_unmitigated.items():
+                    if value > merged.get(row, 0):
+                        merged[row] = value
+        return {
+            "tracker": self.tracker,
+            "trace": self.trace,
+            "intervals": self.intervals,
+            "num_ranks": self.num_ranks,
+            "num_banks": self.num_banks,
+            "demand_acts": self.demand_acts,
+            "refreshes": self.refreshes,
+            "mitigations": self.mitigations,
+            "transitive_mitigations": self.transitive_mitigations,
+            "pseudo_mitigations": self.pseudo_mitigations,
+            "failed": self.failed,
+            "failed_ranks": self.failed_ranks,
+            "failed_banks": [list(pair) for pair in self.failed_banks],
+            "flips": [
+                {"rank": rank, "bank": bank, "row": flip.row,
+                 "disturbance": flip.disturbance, "time_ns": flip.time_ns}
+                for rank, rank_result in enumerate(self.per_rank)
+                for bank, bank_result in enumerate(rank_result.per_bank)
+                for flip in bank_result.flips
+            ],
+            "max_disturbance": self.max_disturbance,
+            "max_unmitigated": {
+                str(row): value for row, value in sorted(merged.items())
+            },
+            "per_rank": [r.to_payload() for r in self.per_rank],
+        }
+
+
 #: Column order of the flat CSV export (shared by ``repro run`` and
 #: ``repro exp run``).
 RESULT_CSV_COLUMNS = (
-    "scope", "bank", "tracker", "trace", "intervals", "num_banks",
-    "demand_acts", "refreshes", "mitigations", "transitive_mitigations",
-    "pseudo_mitigations", "failed", "flips", "max_disturbance",
+    "scope", "rank", "bank", "tracker", "trace", "intervals", "num_ranks",
+    "num_banks", "demand_acts", "refreshes", "mitigations",
+    "transitive_mitigations", "pseudo_mitigations", "failed", "flips",
+    "max_disturbance",
 )
 
 
-def _csv_row(payload: Mapping[str, Any], scope: str, bank) -> dict:
+def _csv_row(payload: Mapping[str, Any], scope: str, bank, rank="") -> dict:
     return {
         "scope": scope,
+        "rank": rank,
         "bank": bank,
         "tracker": payload.get("tracker", ""),
         "trace": payload.get("trace", ""),
         "intervals": payload.get("intervals", 0),
+        "num_ranks": payload.get("num_ranks", 1),
         "num_banks": payload.get("num_banks", 1),
         "demand_acts": payload.get("demand_acts", 0),
         "refreshes": payload.get("refreshes", 0),
@@ -243,11 +400,25 @@ def _csv_row(payload: Mapping[str, Any], scope: str, bank) -> dict:
 def result_csv_rows(payload: Mapping[str, Any]) -> list[dict]:
     """Flat CSV rows for one result payload.
 
-    Accepts either a :meth:`SimResult.to_payload` dict (one ``bank``
-    row) or a :meth:`RankSimResult.to_payload` dict (one aggregate
-    ``rank`` row followed by one row per bank). Implemented once here
-    so every exporter renders identical columns.
+    Accepts a :meth:`SimResult.to_payload` dict (one ``bank`` row), a
+    :meth:`RankSimResult.to_payload` dict (one aggregate ``rank`` row
+    followed by one row per bank), or a
+    :meth:`ChannelSimResult.to_payload` dict (one ``channel`` row, then
+    each rank's rows with the ``rank`` column filled in). Implemented
+    once here so every exporter renders identical columns.
     """
+    if "per_rank" in payload:
+        rows = [_csv_row(payload, scope="channel", bank="")]
+        for rank, rank_payload in enumerate(payload["per_rank"]):
+            rows.append(_csv_row(rank_payload, scope="rank", bank="",
+                                 rank=rank))
+            rows.extend(
+                _csv_row(bank_payload, scope="bank", bank=bank, rank=rank)
+                for bank, bank_payload in enumerate(
+                    rank_payload.get("per_bank", [])
+                )
+            )
+        return rows
     if "per_bank" in payload:
         rows = [_csv_row(payload, scope="rank", bank="")]
         rows.extend(

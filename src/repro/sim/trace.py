@@ -20,6 +20,13 @@ The REF-postponement flag is rank-scoped in both formats: refresh
 scheduling is a rank-level memory-controller decision, so merging
 per-bank traces ORs their flags.
 
+Above the materialized formats sits the *streaming* layer:
+:class:`TraceStream` yields intervals in bounded chunks so attacks can
+emit unbounded schedules lazily (a materialized :class:`RankTrace` is
+the special case wrapped by :class:`MaterializedStream`), and
+:class:`ChannelTrace` groups per-rank streams for the channel-level
+engine. See the "Streaming traces" section below.
+
 Both interval types additionally expose a structured-array view,
 ``per_bank_arrays`` — the same per-bank split with each bank's rows as
 a NumPy ``intp`` array instead of a tuple. The vectorized engine
@@ -36,7 +43,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 try:
     import numpy as np
@@ -229,28 +236,12 @@ class RankTrace:
         enforces the tFAW ceiling on how many banks can sustain demand
         activations within one interval (22 of 64 in the paper's rank).
         """
-        for index, interval in enumerate(self.intervals):
-            split = interval.per_bank
-            if concurrent_banks is not None and len(split) > concurrent_banks:
-                raise ValueError(
-                    f"interval {index} activates {len(split)} banks, but "
-                    f"tFAW sustains at most {concurrent_banks} concurrently"
-                )
-            for bank, rows in split:
-                if bank < 0:
-                    raise ValueError(
-                        f"interval {index} addresses negative bank {bank}"
-                    )
-                if num_banks is not None and bank >= num_banks:
-                    raise ValueError(
-                        f"interval {index} addresses bank {bank}, but the "
-                        f"rank has {num_banks} banks"
-                    )
-                if len(rows) > max_act:
-                    raise ValueError(
-                        f"interval {index} has {len(rows)} ACTs on bank "
-                        f"{bank}, but at most {max_act} fit in one tREFI"
-                    )
+        validate_rank_intervals(
+            self.intervals,
+            max_act,
+            num_banks=num_banks,
+            concurrent_banks=concurrent_banks,
+        )
 
     # ------------------------------------------------------------------
     # Conversions to/from the row-only single-bank format
@@ -353,3 +344,291 @@ def repeat_rank_interval(
     so the engine's per-interval bank split is computed once)."""
     interval = RankInterval.of(acts, postpone)
     return [interval] * count
+
+
+# ---------------------------------------------------------------------
+# Streaming traces
+# ---------------------------------------------------------------------
+
+def validate_rank_intervals(
+    intervals: Sequence[RankInterval],
+    max_act: int,
+    num_banks: int | None = None,
+    concurrent_banks: int | None = None,
+    start: int = 0,
+) -> None:
+    """Check a run of bank-addressed intervals against the budgets.
+
+    The single source of the per-interval budget rules: the materialized
+    :meth:`RankTrace.validate` checks its whole interval list through
+    here, and the engine's streaming path checks each chunk as it
+    arrives with ``start`` carrying the running interval offset — so a
+    streamed trace is rejected under exactly the rules (and with exactly
+    the messages) a materialized one would be, just lazily.
+    """
+    for index, interval in enumerate(intervals, start=start):
+        split = interval.per_bank
+        if concurrent_banks is not None and len(split) > concurrent_banks:
+            raise ValueError(
+                f"interval {index} activates {len(split)} banks, but "
+                f"tFAW sustains at most {concurrent_banks} concurrently"
+            )
+        for bank, rows in split:
+            if bank < 0:
+                raise ValueError(
+                    f"interval {index} addresses negative bank {bank}"
+                )
+            if num_banks is not None and bank >= num_banks:
+                raise ValueError(
+                    f"interval {index} addresses bank {bank}, but the "
+                    f"rank has {num_banks} banks"
+                )
+            if len(rows) > max_act:
+                raise ValueError(
+                    f"interval {index} has {len(rows)} ACTs on bank "
+                    f"{bank}, but at most {max_act} fit in one tREFI"
+                )
+
+
+#: Intervals per chunk handed to the engine by the stream classes. Big
+#: enough that the per-chunk loop-restart cost vanishes, small enough
+#: that a chunk of distinct intervals stays cache-friendly.
+DEFAULT_CHUNK_INTERVALS = 4096
+
+
+class TraceStream:
+    """A lazily produced, bank-addressed activation schedule.
+
+    The streaming counterpart of :class:`RankTrace`: instead of holding
+    every interval in memory, a stream *yields* them in bounded chunks,
+    so an attack can drive the engine across an arbitrarily long
+    horizon — multi-refresh-window Monte-Carlo campaigns, adaptive
+    attacks that never materialize their schedule — at O(chunk) memory.
+    The engine consumes chunks in order and validates each against the
+    same budget rules as a materialized trace
+    (:func:`validate_rank_intervals`), and its per-interval work is
+    identical either way, so a streamed schedule produces a
+    :class:`~repro.sim.results.RankSimResult` bit-identical to running
+    the materialized equivalent (pinned by the stream-equivalence
+    tests).
+
+    Subclasses implement :meth:`chunks`. ``horizon`` declares the total
+    interval count when known (``None`` = unknown until exhausted);
+    ``act_budget`` declares the maximum per-bank ACTs any interval
+    carries, letting the engine reject an over-budget schedule before
+    simulating a single interval. A stream must be re-iterable:
+    every :meth:`chunks` call starts a fresh pass.
+    """
+
+    name: str = "stream"
+    #: Declared total interval count (None = unknown/unbounded).
+    horizon: int | None = None
+    #: Declared max per-bank ACTs in any one interval (None = undeclared).
+    act_budget: int | None = None
+
+    def chunks(self) -> Iterator[Sequence[RankInterval]]:
+        """Yield the schedule as successive runs of intervals."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[RankInterval]:
+        for chunk in self.chunks():
+            yield from chunk
+
+    def materialize(self) -> RankTrace:
+        """Collect the whole stream into a :class:`RankTrace`.
+
+        The inverse of :func:`as_trace_stream` — useful for tests and
+        short horizons; defeats the purpose for unbounded ones.
+        """
+        return RankTrace(name=self.name, intervals=list(self))
+
+
+class MaterializedStream(TraceStream):
+    """A :class:`RankTrace` viewed through the stream protocol.
+
+    What :func:`as_trace_stream` wraps an already-built trace in: one
+    pass yields the interval list in :data:`DEFAULT_CHUNK_INTERVALS`
+    slices (slices of a list of shared interval objects are cheap), and
+    the horizon is exact.
+    """
+
+    def __init__(self, trace: RankTrace,
+                 chunk_intervals: int = DEFAULT_CHUNK_INTERVALS) -> None:
+        if chunk_intervals < 1:
+            raise ValueError("chunk_intervals must be >= 1")
+        self.trace = trace
+        self.name = trace.name
+        self.horizon = len(trace)
+        self.chunk_intervals = chunk_intervals
+
+    def chunks(self) -> Iterator[Sequence[RankInterval]]:
+        intervals = self.trace.intervals
+        for lo in range(0, len(intervals), self.chunk_intervals):
+            yield intervals[lo:lo + self.chunk_intervals]
+
+
+class CycleStream(TraceStream):
+    """A periodic schedule repeated out to a (possibly huge) horizon.
+
+    The streaming form of the ``repeat_interval`` idiom: virtually every
+    long-horizon attack is a short super-window played over and over
+    (hammer intervals, a decoy-then-hammer cycle, a rotation pattern).
+    A materialized ``[interval] * count`` list costs 8 bytes of pointer
+    per tREFI — a billion-activation campaign would not fit in RAM —
+    while this stream holds only the pattern and yields pointer blocks
+    of at most ``chunk_intervals``, so memory is flat in the horizon.
+
+    The same few interval *objects* recur throughout, which is exactly
+    what the engine's per-distinct-interval caches want.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pattern: Sequence[RankInterval],
+        count: int,
+        chunk_intervals: int = DEFAULT_CHUNK_INTERVALS,
+    ) -> None:
+        if not pattern:
+            raise ValueError("pattern must carry at least one interval")
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if chunk_intervals < len(pattern):
+            chunk_intervals = len(pattern)
+        self.name = name
+        self.pattern = list(pattern)
+        self.count = count
+        self.horizon = count
+        self.act_budget = max(
+            (len(rows) for interval in self.pattern
+             for _bank, rows in interval.per_bank),
+            default=0,
+        )
+        # Whole pattern repetitions per chunk, so every chunk is a
+        # phase-aligned prefix of the cycle.
+        self._reps = max(1, chunk_intervals // len(self.pattern))
+
+    def chunks(self) -> Iterator[Sequence[RankInterval]]:
+        period = len(self.pattern)
+        block = self.pattern * self._reps
+        emitted = 0
+        while emitted + len(block) <= self.count:
+            yield block
+            emitted += len(block)
+        remainder = self.count - emitted
+        if remainder:
+            full, partial = divmod(remainder, period)
+            yield self.pattern * full + self.pattern[:partial]
+
+
+class GeneratorStream(TraceStream):
+    """A stream over an arbitrary interval generator.
+
+    ``intervals`` is a zero-argument callable returning an iterator of
+    :class:`RankInterval` — a generator function, so every
+    :meth:`chunks` call restarts the schedule from a clean slate (the
+    stream contract). Use this for schedules that are computed on the
+    fly (adaptive attacks, randomized placements) rather than periodic;
+    give randomized generators their own seeded RNG inside the callable
+    so replays are identical.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        intervals: Callable[[], Iterator[RankInterval]],
+        horizon: int | None = None,
+        act_budget: int | None = None,
+        chunk_intervals: int = DEFAULT_CHUNK_INTERVALS,
+    ) -> None:
+        if not callable(intervals):
+            raise TypeError(
+                "intervals must be a zero-argument callable returning an "
+                "iterator (a generator function), so the stream can be "
+                "re-iterated"
+            )
+        if chunk_intervals < 1:
+            raise ValueError("chunk_intervals must be >= 1")
+        self.name = name
+        self._intervals = intervals
+        self.horizon = horizon
+        self.act_budget = act_budget
+        self.chunk_intervals = chunk_intervals
+
+    def chunks(self) -> Iterator[Sequence[RankInterval]]:
+        chunk: list[RankInterval] = []
+        for interval in self._intervals():
+            chunk.append(interval)
+            if len(chunk) >= self.chunk_intervals:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+
+def as_trace_stream(
+    trace: "Trace | RankTrace | TraceStream", bank: int = 0
+) -> TraceStream:
+    """Coerce any trace shape into a :class:`TraceStream`.
+
+    Streams pass through; a :class:`RankTrace` wraps in a
+    :class:`MaterializedStream`; a row-only :class:`Trace` lifts onto
+    ``bank`` first (the classic lifting seam, interning preserved).
+    """
+    if isinstance(trace, TraceStream):
+        return trace
+    if isinstance(trace, RankTrace):
+        return MaterializedStream(trace)
+    if isinstance(trace, Trace):
+        return MaterializedStream(lift_trace(trace, bank))
+    raise TypeError(
+        f"cannot stream {type(trace).__name__}; expected Trace, "
+        f"RankTrace, or TraceStream"
+    )
+
+
+@dataclass
+class ChannelTrace:
+    """Per-rank activation schedules under one channel clock.
+
+    The channel-level input format: rank ``r``'s schedule is
+    ``per_rank[r]`` — a :class:`RankTrace` or a :class:`TraceStream` —
+    and the :class:`~repro.sim.engine.ChannelSimulator` marches every
+    rank through the shared tREFI clock. Ranks absent from the mapping
+    sit idle. REF postponement stays a per-rank flag (each rank has its
+    own refresh schedule in DDR5), which is what keeps a channel run
+    decomposable into independent rank runs — the property the
+    channel-equivalence tests pin.
+    """
+
+    name: str
+    per_rank: dict[int, "RankTrace | TraceStream"] = field(
+        default_factory=dict
+    )
+
+    @property
+    def num_ranks(self) -> int:
+        """Ranks the trace addresses (1 + highest rank index)."""
+        return max(self.per_rank, default=-1) + 1
+
+    def ranks_touched(self) -> set[int]:
+        return set(self.per_rank)
+
+    def rank_stream(self, rank: int) -> TraceStream:
+        """Rank ``rank``'s schedule as a stream (empty if unaddressed)."""
+        trace = self.per_rank.get(rank)
+        if trace is None:
+            return MaterializedStream(RankTrace(name=f"{self.name}[idle]"))
+        return as_trace_stream(trace)
+
+    @property
+    def horizon(self) -> int | None:
+        """Channel horizon: the longest rank's declared horizon
+        (``None`` if any rank's is unknown)."""
+        horizons = [
+            as_trace_stream(trace).horizon
+            for trace in self.per_rank.values()
+        ]
+        if any(h is None for h in horizons):
+            return None
+        return max(horizons, default=0)

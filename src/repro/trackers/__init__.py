@@ -12,6 +12,7 @@ from .protrr import ProTrrTracker, VictimRefreshRequest
 from .registry import (
     available_trackers,
     bank_tracker_factory,
+    channel_tracker_factory,
     make_tracker,
     register,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "VictimRefreshRequest",
     "available_trackers",
     "bank_tracker_factory",
+    "channel_tracker_factory",
     "make_tracker",
     "prac_throughput_cost",
     "prac_timing",

@@ -104,6 +104,42 @@ def bank_tracker_factory(
     return factory
 
 
+def channel_tracker_factory(
+    name: str,
+    base_seed: int | None = None,
+    dmq: bool = False,
+    max_act: int = 73,
+    dmq_depth: int = 4,
+    **kwargs,
+) -> Callable[[int, int], Tracker]:
+    """A per-(rank, bank) tracker factory for
+    :class:`~repro.sim.engine.ChannelSimulator`.
+
+    Returns a callable mapping ``(rank, bank)`` to a fresh tracker.
+    Rank ``r``'s bank streams derive exactly as
+    :func:`bank_tracker_factory` would with base seed
+    ``stable_seed(base_seed, "channel-rank", r)`` — so a channel run is
+    bit-for-bit N independent rank runs under those derived seeds (the
+    channel-equivalence property the tests pin).
+    """
+
+    def rank_seed(rank: int) -> int | None:
+        if base_seed is None:
+            return None
+        from ..sim.seeding import stable_seed
+
+        return stable_seed(base_seed, "channel-rank", rank)
+
+    def factory(rank: int, bank: int) -> Tracker:
+        return bank_tracker_factory(
+            name, base_seed=rank_seed(rank), dmq=dmq, max_act=max_act,
+            dmq_depth=dmq_depth, **kwargs,
+        )(bank)
+
+    factory.rank_seed = rank_seed  # type: ignore[attr-defined]
+    return factory
+
+
 # ---------------------------------------------------------------------
 # Built-in factories. Each accepts (rng, max_act, **extra) even when it
 # ignores one of them, so make_tracker can treat them uniformly.

@@ -1,0 +1,127 @@
+"""Shape and budget pins for the channel-level attack generators."""
+
+import pytest
+
+from repro.attacks import AttackParams, make_channel_attack
+from repro.attacks.channel import (
+    channel_stripe_decoy,
+    rank_rotation,
+    rank_synchronized,
+    replicate_across_ranks,
+)
+from repro.attacks.classic import double_sided
+from repro.attacks.rank import rank_stripe
+from repro.attacks.registry import (
+    available_channel_attacks,
+    is_channel_attack,
+)
+from repro.sim.trace import ChannelTrace, CycleStream
+
+PARAMS = AttackParams(max_act=8, intervals=120, base_row=64)
+
+
+class TestRankRotation:
+    def test_each_interval_lands_on_exactly_one_rank(self):
+        base = double_sided(PARAMS)
+        trace = rank_rotation(base, 3)
+        assert trace.num_ranks == 3
+        materialized = {
+            rank: trace.rank_stream(rank).materialize() for rank in range(3)
+        }
+        for i in range(len(base)):
+            active = [
+                rank
+                for rank, rank_trace in materialized.items()
+                if rank_trace.intervals[i].acts
+            ]
+            assert active == [i % 3]
+
+    def test_single_rank_rotation_is_the_lifted_base(self):
+        base = double_sided(PARAMS)
+        trace = rank_rotation(base, 1)
+        lifted = trace.rank_stream(0).materialize()
+        assert lifted.total_acts == base.total_acts
+        assert len(lifted) == len(base)
+
+
+class TestRankSynchronized:
+    def test_every_rank_gets_the_same_schedule(self):
+        trace = rank_synchronized(6, 3, PARAMS, num_banks=2)
+        streams = [trace.rank_stream(rank) for rank in range(3)]
+        assert all(isinstance(s, CycleStream) for s in streams)
+        assert all(s.horizon == PARAMS.intervals for s in streams)
+        acts = [s.materialize().total_acts for s in streams]
+        assert len(set(acts)) == 1 and acts[0] > 0
+
+    def test_respects_per_bank_budget(self):
+        trace = rank_synchronized(6, 2, PARAMS, num_banks=2)
+        for rank in range(2):
+            trace.rank_stream(rank).materialize().validate(
+                PARAMS.max_act, num_banks=2
+            )
+
+
+class TestChannelStripeDecoy:
+    def test_target_rank_plays_decoy_siblings_stripe(self):
+        trace = channel_stripe_decoy(
+            500, 3, PARAMS, num_banks=2, target_rank=1
+        )
+        target = trace.rank_stream(1).materialize()
+        assert any(interval.postpone for interval in target.intervals)
+        for rank in (0, 2):
+            sibling = trace.rank_stream(rank).materialize()
+            assert not any(i.postpone for i in sibling.intervals)
+            assert sibling.total_acts > 0
+            # Striped decoys touch every bank of the sibling rank.
+            assert sibling.banks_touched() == {0, 1}
+
+    def test_horizons_align_across_ranks(self):
+        trace = channel_stripe_decoy(500, 2, PARAMS, num_banks=2)
+        horizons = {
+            trace.rank_stream(rank).horizon for rank in range(2)
+        }
+        assert len(horizons) == 1
+
+    def test_rejects_bad_target_rank(self):
+        with pytest.raises(ValueError, match="target_rank"):
+            channel_stripe_decoy(500, 2, PARAMS, target_rank=5)
+
+
+class TestChannelRegistry:
+    def test_builtins_registered(self):
+        names = available_channel_attacks()
+        assert {"rank-rotation", "rank-synchronized",
+                "channel-stripe-decoy"} <= set(names)
+        assert all(is_channel_attack(name) for name in names)
+        assert not is_channel_attack("double-sided")
+
+    @pytest.mark.parametrize("name", [
+        "rank-rotation", "rank-synchronized", "channel-stripe-decoy",
+    ])
+    def test_factories_build_channel_traces(self, name):
+        trace = make_channel_attack(name, PARAMS, num_ranks=2, num_banks=2)
+        assert isinstance(trace, ChannelTrace)
+        assert trace.num_ranks == 2
+
+    def test_fallback_replicates_rank_attacks(self):
+        trace = make_channel_attack(
+            "rank-stripe", PARAMS, num_ranks=2, num_banks=2, sides=4
+        )
+        assert isinstance(trace, ChannelTrace)
+        # Replication shares one underlying trace object across ranks.
+        assert trace.per_rank[0] is trace.per_rank[1]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown channel attack"):
+            make_channel_attack("no-such-attack", PARAMS)
+
+
+class TestReplicate:
+    def test_replicate_preserves_totals_per_rank(self):
+        base = rank_stripe(4, 2, PARAMS)
+        trace = replicate_across_ranks(base, 3)
+        for rank in range(3):
+            assert (
+                trace.rank_stream(rank).materialize().total_acts
+                == base.total_acts
+            )

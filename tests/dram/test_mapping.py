@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.dram.mapping import RankAddressMap, RowMapping, ScrambledRowMapping
+from repro.dram.mapping import (
+    ChannelAddressMap,
+    RankAddressMap,
+    RowMapping,
+    ScrambledRowMapping,
+)
 
 
 class TestIdentityMapping:
@@ -93,3 +98,47 @@ class TestRankAddressMap:
             RankAddressMap(2, 0)
         with pytest.raises(ValueError):
             RankAddressMap(2, 8, policy="diagonal")
+
+
+class TestChannelAddressMap:
+    def test_interleaved_alternates_ranks(self):
+        mapping = ChannelAddressMap(2, 4, 16)
+        assert mapping.decode(0)[0] == 0
+        assert mapping.decode(1)[0] == 1
+        assert mapping.decode(2)[0] == 0
+        # the per-rank remainder decodes through the inner rank map
+        rank, bank, row = mapping.decode(2)
+        assert (bank, row) == mapping.rank_map.decode(1)
+
+    def test_rank_major_gives_each_rank_a_contiguous_span(self):
+        mapping = ChannelAddressMap(2, 4, 16, policy="rank-major")
+        span = mapping.rank_map.num_addresses
+        assert mapping.decode(0)[0] == 0
+        assert mapping.decode(span - 1)[0] == 0
+        assert mapping.decode(span)[0] == 1
+
+    @pytest.mark.parametrize("policy", ChannelAddressMap.POLICIES)
+    @pytest.mark.parametrize("bank_policy", RankAddressMap.POLICIES)
+    def test_round_trip_bijection(self, policy, bank_policy):
+        mapping = ChannelAddressMap(
+            3, 2, 8, policy=policy, bank_policy=bank_policy
+        )
+        decoded = {mapping.decode(a) for a in range(mapping.num_addresses)}
+        assert len(decoded) == mapping.num_addresses == 48
+        for address in range(mapping.num_addresses):
+            assert mapping.encode(*mapping.decode(address)) == address
+
+    def test_out_of_range_rejected(self):
+        mapping = ChannelAddressMap(2, 2, 8)
+        with pytest.raises(ValueError):
+            mapping.decode(mapping.num_addresses)
+        with pytest.raises(ValueError):
+            mapping.encode(2, 0, 0)
+        with pytest.raises(ValueError):
+            mapping.encode(0, 2, 0)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelAddressMap(0, 2, 8)
+        with pytest.raises(ValueError):
+            ChannelAddressMap(2, 2, 8, policy="diagonal")

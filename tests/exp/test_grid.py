@@ -147,3 +147,55 @@ class TestSeeding:
     def test_canonical_json_rejects_exotic_types(self):
         with pytest.raises(TypeError):
             canonical_json(object())
+
+
+class TestSchemaV4:
+    """The channel bump: num_ranks knob, tolerant v3 loader shim."""
+
+    #: Verbatim v3-era config payload: the thirteen pre-channel knobs,
+    #: no ``num_ranks`` key.
+    V3_CONFIG = {
+        "trh": 300.0,
+        "intervals": 120,
+        "max_act": 73,
+        "base_row": 1000,
+        "num_rows": 131072,
+        "blast_radius": 1,
+        "allow_postponement": False,
+        "max_postponed": 4,
+        "refi_per_refw": 8192,
+        "scaled_timing": False,
+        "num_banks": 2,
+        "concurrent_banks": None,
+        "vectorized": None,
+    }
+
+    def test_schema_version_bumped(self):
+        from repro.exp import SCHEMA_VERSION
+
+        assert SCHEMA_VERSION == 4
+
+    def test_v3_config_payload_loads_with_default_ranks(self):
+        config = PointConfig.from_payload(self.V3_CONFIG)
+        assert config.num_ranks == 1
+        assert config.num_banks == 2
+        # and round-trips forward with the new knob materialized
+        assert config.to_payload()["num_ranks"] == 1
+
+    def test_unknown_future_keys_are_ignored(self):
+        payload = {**self.V3_CONFIG, "num_channels": 2}
+        config = PointConfig.from_payload(payload)
+        assert not hasattr(config, "num_channels")
+
+    def test_num_ranks_is_a_grid_knob(self):
+        point = ExperimentPoint(
+            TrackerSpec.of("mint"),
+            AttackSpec.of("rank-synchronized"),
+            PointConfig(trh=100, intervals=20, num_ranks=2),
+        )
+        scenario = point.scenario(base_seed=3)
+        assert scenario.num_ranks == 2
+        assert point.fingerprint(3) != ExperimentPoint(
+            point.tracker, point.attack,
+            PointConfig(trh=100, intervals=20, num_ranks=1),
+        ).fingerprint(3)

@@ -108,6 +108,7 @@ def scenarios(draw):
         refi_per_refw=draw(st.integers(16, 8192)),
         scaled_timing=(timing is None and draw(st.booleans())),
         num_banks=draw(st.integers(1, 8)),
+        num_ranks=draw(st.integers(1, 4)),
         concurrent_banks=draw(st.one_of(st.none(), st.integers(1, 8))),
         vectorized=draw(st.sampled_from([None, True, False])),
         timing=timing,
@@ -179,6 +180,7 @@ class TestFingerprint:
             replace(base, trh=61.0),
             replace(base, seed=8),
             replace(base, num_banks=2),
+            replace(base, num_ranks=2),
             replace(base, tracker=TrackerSpec.of("para")),
             replace(base, concurrent_banks=2),
         ]
@@ -341,6 +343,123 @@ class TestSession:
     def test_perf_unknown_workload(self):
         with pytest.raises(KeyError):
             Session(fast_scenario()).perf(workload="not-a-workload")
+
+
+class TestChannelScenario:
+    """num_ranks threading: identity rules, Session lift, exp metrics."""
+
+    def test_pre_channel_payloads_keep_their_identity(self):
+        """A payload written before the knob existed (no num_ranks key)
+        must fingerprint — and seed — exactly like num_ranks=1, so old
+        stores, caches, and random streams survive the lift."""
+        scenario = fast_scenario()
+        assert scenario.num_ranks == 1
+        payload = scenario.to_payload()
+        del payload["num_ranks"]
+        old = Scenario.from_payload(payload)
+        assert old == scenario
+        assert old.fingerprint() == scenario.fingerprint()
+        assert old.task_seed() == scenario.task_seed()
+        assert "num_ranks" not in scenario.identity_payload()
+        assert replace(scenario, num_ranks=2).identity_payload()[
+            "num_ranks"
+        ] == 2
+
+    def test_session_lifts_to_channel_result(self):
+        from repro.sim.results import ChannelSimResult
+
+        scenario = fast_scenario(
+            attack=AttackSpec.of("rank-synchronized", sides=4),
+            num_banks=2,
+            num_ranks=2,
+        )
+        assert scenario.is_channel
+        result = Session(scenario).run()
+        assert isinstance(result, ChannelSimResult)
+        assert result.num_ranks == 2
+        assert len(result.per_rank) == 2
+        # repeat runs are bit-identical (pure function of the scenario)
+        assert asdict(result) == asdict(Session(scenario).run())
+
+    def test_channel_attack_name_lifts_even_at_one_rank(self):
+        from repro.sim.results import ChannelSimResult
+
+        scenario = fast_scenario(
+            attack=AttackSpec.of("rank-rotation"), num_ranks=1
+        )
+        assert scenario.is_channel
+        assert isinstance(Session(scenario).run(), ChannelSimResult)
+
+    def test_rank_zero_tracker_seeds_are_the_pre_channel_streams(self):
+        scenario = fast_scenario(num_ranks=2)
+        single = replace(scenario, num_ranks=2)
+        for bank in range(3):
+            assert single.tracker_seed(bank) == single.tracker_seed(
+                bank, rank=0
+            )
+        assert scenario.tracker_seed(0, rank=1) != scenario.tracker_seed(
+            0, rank=0
+        )
+
+    def test_session_trackers_flatten_rank_major(self):
+        scenario = fast_scenario(
+            attack=AttackSpec.of("rank-synchronized", sides=4),
+            num_banks=2,
+            num_ranks=2,
+        )
+        session = Session(scenario)
+        session.run()
+        assert len(session.trackers) == 4
+
+    def test_run_many_channel_bit_identical_across_worker_counts(self):
+        scenario = fast_scenario(
+            attack=AttackSpec.of("rank-synchronized", sides=4),
+            num_banks=2,
+            num_ranks=2,
+            trh=30.0,
+        )
+        serial = Session(scenario).run_many(windows=8, n_workers=1)
+        pooled = Session(scenario).run_many(windows=8, n_workers=4)
+        assert serial == pooled
+
+    def test_channel_payload_and_csv_round(self):
+        scenario = fast_scenario(
+            tracker="none",
+            attack=AttackSpec.of("rank-synchronized", sides=4),
+            num_banks=2,
+            num_ranks=2,
+            trh=40.0,
+        )
+        payload = Session(scenario).run().to_payload()
+        assert payload["num_ranks"] == 2
+        per_rank_flips = sum(
+            len(r["flips"]) for r in payload["per_rank"]
+        )
+        assert len(payload["flips"]) == per_rank_flips > 0
+        assert {f["rank"] for f in payload["flips"]} <= {0, 1}
+
+        from repro.sim.results import result_csv_rows
+
+        rows = result_csv_rows(payload)
+        assert rows[0]["scope"] == "channel"
+        assert rows[0]["flips"] == per_rank_flips
+        scopes = [row["scope"] for row in rows]
+        assert scopes.count("rank") == 2
+        assert scopes.count("bank") == 4
+
+    def test_channel_runner_result_matches_session(self):
+        from repro.exp.grid import ExperimentPoint
+        from repro.exp.runner import run_point
+
+        scenario = fast_scenario(
+            attack=AttackSpec.of("rank-synchronized", sides=4),
+            num_banks=2,
+            num_ranks=2,
+        )
+        point = ExperimentPoint.from_scenario(scenario)
+        executed = run_point(point, base_seed=scenario.seed)
+        facade = Session(point.scenario(scenario.seed)).run()
+        assert executed.metrics == facade.to_payload()
 
 
 class TestSweep:

@@ -1,0 +1,196 @@
+"""TraceStream pins: streamed == materialized, bit for bit, bounded.
+
+The streaming pipeline's contract is *exact* equivalence with the
+materialized path — same :class:`~repro.sim.results.RankSimResult`
+JSON, for every registry tracker, whatever the chunking — plus budget
+validation under identical rules and bounded memory regardless of
+horizon.
+"""
+
+import json
+import tracemalloc
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks.base import AttackParams
+from repro.attacks.rank import (
+    cross_bank_decoy,
+    cross_bank_decoy_stream,
+    rank_stripe,
+)
+from repro.sim.engine import EngineConfig, RankSimulator
+from repro.sim.trace import (
+    CycleStream,
+    GeneratorStream,
+    MaterializedStream,
+    RankInterval,
+    RankTrace,
+    as_trace_stream,
+    lift_trace,
+    Trace,
+    Interval,
+)
+from repro.trackers.registry import available_trackers, bank_tracker_factory
+from tests.property.settings import STANDARD_SETTINGS
+
+CONFIG_KWARGS = dict(trh=200.0, num_rows=4096, refi_per_refw=64)
+
+
+def _canonical(result) -> str:
+    return json.dumps(asdict(result), sort_keys=True)
+
+
+def _run(tracker, trace, num_banks=2, seed=11, **overrides):
+    kwargs = {**CONFIG_KWARGS, **overrides}
+    sim = RankSimulator(
+        bank_tracker_factory(tracker, base_seed=seed, max_act=8),
+        EngineConfig(num_banks=num_banks, **kwargs),
+    )
+    return sim.run(trace)
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("tracker", available_trackers())
+    def test_streamed_reproduces_materialized_for_every_tracker(
+        self, tracker
+    ):
+        """The headline satellite pin: a streamed trace reproduces the
+        materialized RankSimResult exactly for every registry tracker."""
+        params = AttackParams(max_act=8, intervals=240, base_row=64)
+        trace = rank_stripe(6, 2, params)
+        materialized = _run(tracker, trace)
+        streamed = _run(tracker, MaterializedStream(trace, chunk_intervals=17))
+        assert _canonical(materialized) == _canonical(streamed)
+
+    @pytest.mark.parametrize("tracker", available_trackers())
+    def test_cycle_stream_decoy_matches_materialized(self, tracker):
+        params = AttackParams(max_act=8, intervals=150, base_row=64)
+        materialized = cross_bank_decoy(500, 2, params)
+        stream = cross_bank_decoy_stream(500, 2, params)
+        assert stream.horizon == len(materialized)
+        a = _run(tracker, materialized, allow_postponement=True)
+        b = _run(tracker, stream, allow_postponement=True)
+        assert _canonical(a) == _canonical(b)
+
+    @given(
+        chunk=st.integers(1, 64),
+        intervals=st.integers(0, 200),
+        pattern_len=st.integers(1, 5),
+    )
+    @STANDARD_SETTINGS
+    def test_cycle_stream_chunking_never_changes_bits(
+        self, chunk, intervals, pattern_len
+    ):
+        """Any chunk size yields the same result as the one-chunk list."""
+        pattern = [
+            RankInterval.of([(0, 8 + 2 * i), (1, 40 + i)])
+            for i in range(pattern_len)
+        ]
+        full, partial = divmod(intervals, pattern_len)
+        expected_intervals = pattern * full + pattern[:partial]
+        materialized = RankTrace("cyc", expected_intervals)
+        stream = CycleStream("cyc", pattern, intervals, chunk_intervals=chunk)
+        assert list(stream) == expected_intervals
+        a = _run("mint", materialized)
+        b = _run("mint", stream)
+        assert _canonical(a) == _canonical(b)
+
+    def test_generator_stream_matches_materialized(self):
+        def gen():
+            for i in range(300):
+                yield RankInterval.of([(i % 2, 16 + (i % 5))])
+
+        stream = GeneratorStream("gen", gen, horizon=300)
+        materialized = RankTrace("gen", list(gen()))
+        assert _canonical(_run("mint", stream)) == _canonical(
+            _run("mint", materialized)
+        )
+
+    def test_engine_results_row_only_vs_stream_lift(self):
+        """as_trace_stream lifts a row trace exactly like the engine."""
+        trace = Trace("row", [Interval.of([5, 7, 5])] * 40)
+        direct = _run("mint", trace, num_banks=1)
+        streamed = _run("mint", as_trace_stream(trace), num_banks=1)
+        assert _canonical(direct) == _canonical(streamed)
+
+
+class TestStreamValidation:
+    def test_declared_act_budget_fails_fast(self):
+        interval = RankInterval.of([(0, r) for r in range(200)])
+        stream = CycleStream("fat", [interval], 10_000_000)
+        assert stream.act_budget == 200
+        sim = RankSimulator(
+            bank_tracker_factory("mint", base_seed=1, max_act=8),
+            EngineConfig(num_banks=1, **CONFIG_KWARGS),
+        )
+        assert sim.config.timing.max_act < 200
+        with pytest.raises(ValueError, match="declares up to 200 ACTs"):
+            sim.run(stream)
+        assert sim.intervals == 0  # rejected before simulating anything
+
+    def test_chunk_validation_reports_global_interval_index(self):
+        ok = RankInterval.of([(0, 1)])
+        bad = RankInterval.of([(9, 1)])  # bank out of range
+
+        def gen():
+            yield from [ok] * 130
+            yield bad
+
+        stream = GeneratorStream("late-bad", gen, chunk_intervals=100)
+        sim = RankSimulator(
+            bank_tracker_factory("mint", base_seed=1, max_act=8),
+            EngineConfig(num_banks=2, **CONFIG_KWARGS),
+        )
+        with pytest.raises(ValueError, match="interval 130 addresses bank 9"):
+            sim.run(stream)
+
+    def test_stream_error_messages_match_materialized(self):
+        bad = RankTrace("bad", [RankInterval.of([(3, 1)])])
+        sim_kwargs = dict(num_banks=2, **CONFIG_KWARGS)
+        with pytest.raises(ValueError) as materialized_error:
+            RankSimulator(
+                bank_tracker_factory("mint", base_seed=1, max_act=8),
+                EngineConfig(**sim_kwargs),
+            ).run(bad)
+        with pytest.raises(ValueError) as streamed_error:
+            RankSimulator(
+                bank_tracker_factory("mint", base_seed=1, max_act=8),
+                EngineConfig(**sim_kwargs),
+            ).run(MaterializedStream(bad))
+        assert str(materialized_error.value) == str(streamed_error.value)
+
+
+class TestBoundedMemory:
+    @pytest.mark.slow
+    def test_stream_peak_memory_is_flat_in_horizon(self):
+        """A 64x longer streamed run must not cost 64x the memory.
+
+        The engine holds one chunk plus bounded caches; a materialized
+        trace would hold 8 bytes of pointer per tREFI. The factor-2
+        ceiling leaves room for allocator noise while catching any
+        accidental materialization (which would blow past 10x).
+        """
+        interval = RankInterval.of([(0, 5), (0, 7)])
+
+        def peak(horizon: int) -> int:
+            stream = CycleStream("mem", [interval], horizon,
+                                 chunk_intervals=1024)
+            sim = RankSimulator(
+                bank_tracker_factory("mint", base_seed=1, max_act=8),
+                EngineConfig(num_banks=1, **CONFIG_KWARGS),
+            )
+            tracemalloc.start()
+            sim.run(stream)
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak_bytes
+
+        # Warm-up run absorbs one-time allocations (caches, numpy state).
+        peak(1_000)
+        short = peak(4_000)
+        long = peak(256_000)
+        assert long <= 2 * short + 64 * 1024, (
+            f"streamed peak grew with horizon: {short} -> {long} bytes"
+        )

@@ -19,6 +19,9 @@ REPRO_SURFACE = frozenset({
     "BANKS_PER_RANK",
     "BankSimulator",
     "CONCURRENT_BANKS",
+    "ChannelSimResult",
+    "ChannelSimulator",
+    "ChannelTrace",
     "DDR5Timing",
     "DEFAULT_BLAST_RADIUS",
     "DEFAULT_TARGET_TTF_YEARS",
@@ -46,14 +49,17 @@ REPRO_SURFACE = frozenset({
     "Session",
     "SimResult",
     "Trace",
+    "TraceStream",
     "Tracker",
     "TrackerSpec",
     "__version__",
     "available_trackers",
     "bank_tracker_factory",
+    "channel_tracker_factory",
     "equivalent_activations",
     "make_tracker",
     "run_attack",
+    "run_channel_attack",
     "run_rank_attack",
     "run_scenario",
     "system_mttf_years",
@@ -62,8 +68,14 @@ REPRO_SURFACE = frozenset({
 #: repro.sim — the simulation stack.
 SIM_SURFACE = frozenset({
     "BankSimulator",
+    "ChannelSimResult",
+    "ChannelSimulator",
+    "ChannelTrace",
+    "CycleStream",
     "EngineConfig",
+    "GeneratorStream",
     "Interval",
+    "MaterializedStream",
     "MonteCarloResult",
     "RankInterval",
     "RankResult",
@@ -72,6 +84,8 @@ SIM_SURFACE = frozenset({
     "RankTrace",
     "SimResult",
     "Trace",
+    "TraceStream",
+    "as_trace_stream",
     "canonical_json",
     "derive_rng",
     "estimate_failure_probability",
@@ -80,6 +94,7 @@ SIM_SURFACE = frozenset({
     "repeat_rank_interval",
     "result_csv_rows",
     "run_attack",
+    "run_channel_attack",
     "run_rank_attack",
     "scaled_timing",
     "scenario_failure_probability",
@@ -110,12 +125,14 @@ EXP_SURFACE = frozenset({
     "RunReport",
     "SCHEMA_VERSION",
     "TrackerSpec",
+    "channel_shootout_grid",
     "postponement_grid",
     "preset_grid",
     "rank_shootout_grid",
     "run_grid",
     "run_point",
     "shootout_grid",
+    "summarise_channel_result",
     "summarise_rank_result",
     "summarise_sim_result",
 })
