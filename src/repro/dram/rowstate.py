@@ -40,6 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Union
 
+from ..cache import BoundedCache
+
 try:  # NumPy is a declared dependency, but the sparse backend works
     import numpy as np  # without it so stripped-down installs degrade
 except ImportError:  # pragma: no cover - exercised only without numpy
@@ -362,7 +364,8 @@ class DenseRowDisturbanceModel(RowDisturbanceModel):
 
     backend = "dense"
 
-    #: Memo ceiling; traces with unbounded distinct intervals flush it.
+    #: Memo ceiling; LRU-style eviction keeps the hot shared-interval
+    #: entries when a trace streams unboundedly many distinct batches.
     _BATCH_CACHE_LIMIT = 4096
 
     def _init_storage(self) -> None:
@@ -370,7 +373,42 @@ class DenseRowDisturbanceModel(RowDisturbanceModel):
         self._peak_arr = np.zeros(self.num_rows, dtype=np.float64)
         self._flipped_mask = np.zeros(self.num_rows, dtype=bool)
         # id(batch) -> (batch_ref, plan) — see _batch_plan.
-        self._batch_cache: dict[int, tuple[object, tuple]] = {}
+        self._batch_cache: BoundedCache = BoundedCache(self._BATCH_CACHE_LIMIT)
+
+    def adopt_storage(
+        self,
+        dist: "np.ndarray",
+        peak: "np.ndarray",
+        flipped: "np.ndarray",
+    ) -> None:
+        """Re-point the model's state at caller-owned array views.
+
+        The fused channel kernel owns one packed ``(rank·bank, row)``
+        array family and hands each bank's model a row view into it, so
+        packed whole-channel scatters and the per-bank operations
+        (mitigate, refresh_range, queries, the exact replay fallback)
+        read and write the *same* memory — bit-identity between the
+        fused and per-bank paths holds by construction rather than by
+        mirroring state.
+
+        The views must be float64/float64/bool 1-D arrays of
+        ``num_rows`` entries. Existing state is copied into the views,
+        so adoption is legal at any point, not just on a fresh model.
+        """
+        for view, current in (
+            (dist, self._dist),
+            (peak, self._peak_arr),
+            (flipped, self._flipped_mask),
+        ):
+            if view.shape != (self.num_rows,):
+                raise ValueError(
+                    f"adopted view has shape {view.shape}; "
+                    f"expected ({self.num_rows},)"
+                )
+            view[:] = current
+        self._dist = dist
+        self._peak_arr = peak
+        self._flipped_mask = flipped
 
     # ------------------------------------------------------------------
     # Disturbance events
@@ -453,11 +491,9 @@ class DenseRowDisturbanceModel(RowDisturbanceModel):
                 delta = np.zeros(0, dtype=np.float64)
         plan = (reset_rows, conflict, victims_unique, delta)
         if key is not None:
-            if len(self._batch_cache) >= self._BATCH_CACHE_LIMIT:
-                self._batch_cache.clear()
-            # Hold references to the keyed objects so their ids cannot
-            # be recycled while the memo entry lives.
-            self._batch_cache[key] = (agg if agg is not None else rows, plan)
+            # The entry holds a reference to the keyed objects so their
+            # ids cannot be recycled while the memo entry lives.
+            self._batch_cache.put(key, (agg if agg is not None else rows, plan))
         return plan
 
     def activate_many(

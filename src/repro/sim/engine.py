@@ -59,6 +59,7 @@ try:
 except ImportError:  # pragma: no cover - exercised only without numpy
     np = None  # type: ignore[assignment]
 
+from ..cache import BoundedCache
 from ..constants import CONCURRENT_BANKS
 from ..core.dmq import DelayedMitigationQueue
 from ..dram.device import DeviceConfig, DramDevice
@@ -69,6 +70,7 @@ from ..trackers.protrr import VictimRefreshRequest
 from .results import ChannelSimResult, RankSimResult, SimResult
 from .trace import (
     ChannelTrace,
+    CycleStream,
     MaterializedStream,
     RankTrace,
     Trace,
@@ -108,6 +110,24 @@ class EngineConfig:
     #: produce bit-identical :class:`~repro.sim.results.RankSimResult`s;
     #: the benchmark suite asserts it.
     vectorized: bool | None = None
+    #: Channel-kernel selection (read by :class:`ChannelSimulator`;
+    #: rank-level simulators ignore it). ``None`` (auto) runs the fused
+    #: multi-rank kernel — one packed ``(rank·bank, row)`` array family,
+    #: one whole-channel scatter per tREFI — whenever it applies (NumPy
+    #: present, ``vectorized`` not disabled, ``blast_radius == 1``, and
+    #: an ``oracle_backend`` compatible with dense storage); ``True``
+    #: requires it (raises when it cannot apply); ``False`` forces the
+    #: chunk-lockstep march of per-rank kernels. All three produce
+    #: bit-identical :class:`~repro.sim.results.ChannelSimResult`\ s
+    #: (pinned by the fused-equivalence property suite).
+    fused: bool | None = None
+    #: Per-bank disturbance-oracle storage override: ``"auto"``,
+    #: ``"sparse"`` or ``"dense"`` (see :mod:`repro.dram.rowstate`).
+    #: ``None`` keeps the kernel-derived default — sparse for the scalar
+    #: engine, auto-by-size for the vectorized one; the fused channel
+    #: kernel forces dense so bank oracles can adopt views into its
+    #: packed arrays.
+    oracle_backend: str | None = None
 
 
 class _BankView:
@@ -217,8 +237,14 @@ class RankSimulator:
                 refi_per_refw=c.refi_per_refw,
                 # The scalar engine is pinned to the sparse dict oracle
                 # (the pre-vectorization hot path); the vectorized
-                # engine lets the oracle pick per bank size.
-                backend="sparse" if not self.vectorized else "auto",
+                # engine lets the oracle pick per bank size. An explicit
+                # ``oracle_backend`` (e.g. the fused channel kernel's
+                # dense requirement) overrides both.
+                backend=(
+                    c.oracle_backend
+                    if c.oracle_backend is not None
+                    else ("sparse" if not self.vectorized else "auto")
+                ),
             )
         )
         self.trackers = [tracker_factory(bank) for bank in range(c.num_banks)]
@@ -232,13 +258,16 @@ class RankSimulator:
         # batch-array identity: attack traces reuse one interval object
         # (and hence one per-bank array) for thousands of tREFIs, so the
         # unique/count/first-occurrence work is paid once per distinct
-        # interval. Entries hold the array ref, keeping ids stable.
-        self._agg_cache: dict[int, tuple] = {}
+        # interval. Entries hold the array ref, keeping ids stable;
+        # LRU-style eviction keeps the hot shared-interval entries when
+        # a trace streams unboundedly many distinct batches.
+        self._agg_cache: BoundedCache = BoundedCache(self._AGG_CACHE_LIMIT)
         self.bank_mitigations = [0] * c.num_banks
         self.bank_transitive_mitigations = [0] * c.num_banks
         self.bank_demand_acts = [0] * c.num_banks
         self.simulators = [_BankView(self, bank) for bank in range(c.num_banks)]
         self.intervals = 0
+        self._consumed = False
 
     # ------------------------------------------------------------------
     def run(
@@ -268,7 +297,14 @@ class RankSimulator:
         shares it between the batched tracker update and the oracle's
         neighbour scatter; the scalar kernel is the per-ACT dispatch it
         replaced, kept as the equivalence baseline.
+
+        A simulator instance runs exactly one schedule: trackers, the
+        oracle, and every counter accumulate monotonically, so a second
+        ``run()`` on the same instance would silently mix windows.
+        Reuse raises ``RuntimeError``; build a fresh simulator (or
+        ``Session``) per run.
         """
+        self._guard_reuse()
         c = self.config
         if isinstance(trace, (list, tuple)):
             trace = self._merge_bank_traces(trace)
@@ -284,8 +320,37 @@ class RankSimulator:
                     f"on one bank per tREFI, but at most "
                     f"{c.timing.max_act} fit"
                 )
+            # A materialized schedule keeps the validate-before-execute
+            # contract — the whole trace is checked here, once, and the
+            # chunk loop skips the per-chunk re-validation (a lazy
+            # stream can only be checked chunk by chunk as produced).
+            prevalidated = False
+            if c.validate_budget and isinstance(trace, MaterializedStream):
+                trace.trace.validate(
+                    c.timing.max_act,
+                    num_banks=self.num_banks,
+                    concurrent_banks=self.concurrent_banks,
+                )
+                prevalidated = True
+            elif c.validate_budget and isinstance(trace, CycleStream):
+                # A cycle produces only its pattern's interval objects:
+                # validating the (truncated) pattern once is equivalent
+                # to checking every produced interval, and the first
+                # offence sits at its pattern index, so the message
+                # matches the chunk-wise check too.
+                validate_rank_intervals(
+                    trace.pattern[: trace.count],
+                    c.timing.max_act,
+                    num_banks=self.num_banks,
+                    concurrent_banks=self.concurrent_banks,
+                )
+                prevalidated = True
             self.intervals = 0
-            self.consume(trace)
+            for chunk in trace.chunks():
+                if prevalidated:
+                    self._feed(chunk)
+                else:
+                    self.feed(chunk)
             return self.collect(trace.name)
         if c.validate_budget:
             if isinstance(trace, RankTrace):
@@ -299,6 +364,16 @@ class RankSimulator:
         self.intervals = 0
         self._feed(trace.intervals)
         return self.collect(trace.name)
+
+    def _guard_reuse(self) -> None:
+        if self._consumed:
+            raise RuntimeError(
+                "this simulator has already consumed a schedule; "
+                "trackers, oracle state, and counters accumulate across "
+                "runs, so reusing it would silently mix windows — build "
+                "a fresh simulator (or Session) per run"
+            )
+        self._consumed = True
 
     def consume(self, stream: TraceStream) -> None:
         """Drive one stream through the engine, chunk by chunk.
@@ -332,6 +407,7 @@ class RankSimulator:
 
     def _feed(self, intervals) -> None:
         """The hot loop: absorb a run of intervals, tick the scheduler."""
+        self._consumed = True
         c = self.config
         vectorized = self.vectorized
         absorb_acts = self._absorb_acts_vec if vectorized else self._absorb_acts
@@ -422,7 +498,8 @@ class RankSimulator:
             if total > peak.get(row, 0):
                 peak[row] = total
 
-    #: Memo ceiling; traces with unbounded distinct intervals flush it.
+    #: Memo ceiling; LRU-style eviction keeps the hot shared-interval
+    #: entries when a trace streams unboundedly many distinct batches.
     _AGG_CACHE_LIMIT = 4096
 
     def _absorb_acts_vec(
@@ -450,10 +527,8 @@ class RankSimulator:
             order = np.argsort(first, kind="stable")
             tracker_agg = (uniq[order], counts[order])
             items = list(zip(tracker_agg[0].tolist(), tracker_agg[1].tolist()))
-            if len(self._agg_cache) >= self._AGG_CACHE_LIMIT:
-                self._agg_cache.clear()
             cached = (acts, (uniq, counts), tracker_agg, items)
-            self._agg_cache[key] = cached
+            self._agg_cache.put(key, cached)
         _, oracle_agg, tracker_agg, items = cached
         self.trackers[bank].on_activate_batch(acts, tracker_agg)
         self.device.activate_many(bank, acts, time_ns, agg=oracle_agg)
@@ -501,6 +576,682 @@ class RankSimulator:
         return self.device.any_flip
 
 
+class _FusedChannelKernel:
+    """One flat multi-rank activation kernel — the fused channel tier.
+
+    The lockstep march pays one Python call per (rank, bank) per tREFI;
+    on an 8-bank/4-rank channel that is 32 tracker/oracle/counter
+    dispatches per interval, and per-rank throughput stays flat as
+    ranks are added. This kernel owns a single packed ``(unit, row)``
+    array family — ``unit = rank * num_banks + bank`` — and marches
+    every rank interval-by-interval under the shared tREFI clock:
+
+    * Each bank's :class:`~repro.dram.rowstate.DenseRowDisturbanceModel`
+      *adopts* a row view into the packed arrays (``adopt_storage``), so
+      packed whole-channel stores and every per-bank operation
+      (mitigate, exact replay, queries, ``collect``) read and write the
+      same memory — bit-identity holds by construction, not by
+      mirroring.
+    * Per step, the per-unique-row aggregation is computed once across
+      the whole channel (one ``np.unique`` over a packed
+      rank×bank×row key) and dispatched three ways: per-unit tracker
+      batch updates, the unmitigated-run counters, and ONE packed
+      disturbance scatter (reset + bincount + fancy-index store) with a
+      packed flip pre-check.
+    * REF rounds fuse the rolling auto-refresh into one 2-D slice store
+      across every refreshing rank, and the common mitigation shape
+      (a single distance-1 request per bank) into one packed
+      victims-reset + neighbour-bump scatter.
+
+    Anything order-sensitive *within* a bank falls back to the per-bank
+    code paths operating on the very same adopted arrays: intervals
+    with aggressor/victim adjacency or new flips replay through
+    ``activate_many`` (which replays exactly), and victim-centric /
+    transitive / multi-request REFs go through ``RankSimulator._apply``
+    unchanged. Reordering *across* units is unobservable — ranks and
+    banks are independent by construction, and every fused sum is
+    integer-valued float64 far below 2**53, so addition order cannot
+    change a bit.
+
+    Per-step plans (aggregations, packed keys, tracker dispatch tuples)
+    are memoized per distinct step in a bounded LRU cache keyed by the
+    step's interval-object identities — attack traces replay a few
+    shared interval objects for thousands of tREFIs, so the Python plan
+    cost is paid once per distinct step.
+    """
+
+    #: Plan-memo ceiling (same LRU-eviction policy as the rank caches).
+    _PLAN_CACHE_LIMIT = 4096
+
+    def __init__(self, channel: "ChannelSimulator") -> None:
+        c = channel.config
+        self.channel = channel
+        self.num_banks = c.num_banks
+        self.num_ranks = channel.num_ranks
+        self.num_rows = c.num_rows
+        self.units = self.num_ranks * self.num_banks
+        self.trh = float(c.trh)
+        self.t_refi_ns = c.timing.t_refi_ns
+        self.allow_postponement = c.allow_postponement
+        self.dist = np.zeros((self.units, self.num_rows), dtype=np.float64)
+        self.peak = np.zeros((self.units, self.num_rows), dtype=np.float64)
+        self.flipped = np.zeros((self.units, self.num_rows), dtype=bool)
+        self.dist_flat = self.dist.reshape(-1)
+        self.peak_flat = self.peak.reshape(-1)
+        self.flipped_flat = self.flipped.reshape(-1)
+        # Packed twins of the per-bank unmitigated-run counters
+        # (``_bank_since``/``_bank_peak``): in-range rows live here and
+        # update as one scatter per step; the rare out-of-range
+        # activated rows stay in the rank dicts, and ``materialize``
+        # merges both back into the dicts before ``collect``.
+        self.since = np.zeros((self.units, self.num_rows), dtype=np.int64)
+        self.speak = np.zeros((self.units, self.num_rows), dtype=np.int64)
+        self.since_flat = self.since.reshape(-1)
+        self.speak_flat = self.speak.reshape(-1)
+        for rank, sim in enumerate(channel.ranks):
+            for bank in range(self.num_banks):
+                unit = rank * self.num_banks + bank
+                sim.device.banks[bank].adopt_storage(
+                    self.dist[unit], self.peak[unit], self.flipped[unit]
+                )
+        self._plan_cache = BoundedCache(self._PLAN_CACHE_LIMIT)
+        # Per-size [1, 2, 1]-pattern bump vectors for the fused
+        # mitigation scatter (each aggressor's two victim refreshes bump
+        # a-2 once, a twice, a+2 once).
+        self._bump_patterns: dict[int, "np.ndarray"] = {}
+        self._all_units = np.arange(self.units, dtype=np.intp)
+        self._unit_bases = self._all_units * self.num_rows
+        # Offsets of every row a distance-1 mitigation touches, relative
+        # to the aggressor: victims {a±1} then bump targets {a-2, a, a+2}.
+        # One broadcast add against the packed aggressor keys yields all
+        # five blocks at once; the blocks are then sliced as views.
+        self._mit_offsets = np.array(
+            [[-1], [1], [-2], [0], [2]], dtype=np.intp
+        )
+        # Packed per-unit mitigation tally. When no tracker observes
+        # mitigation activations and every fused aggressor is interior,
+        # the per-request bookkeeping sweep collapses to one increment
+        # here; ``materialize`` folds it back into the per-rank
+        # ``bank_mitigations`` lists (addition commutes with the direct
+        # bumps from the slow paths).
+        self.mitig = np.zeros(self.units, dtype=np.int64)
+        self._any_observing = any(
+            sim.trackers[bank].observes_mitigations
+            for sim in channel.ranks
+            for bank in range(self.num_banks)
+        )
+        # Packed per-unit demand tally (same fold-at-materialize deal as
+        # ``mitig``): one fancy increment per step replaces the per-unit
+        # Python sweep over ``bank_demand_acts``.
+        self.demand_acc = np.zeros(self.units, dtype=np.int64)
+        # Pre-bound REF dispatch rows: (sim, bank, unit, on_refresh) per
+        # unit, grouped by rank, so each REF round walks a prebuilt list
+        # instead of re-binding tracker methods.
+        self._ref_handlers = [
+            [
+                (
+                    sim,
+                    bank,
+                    rank * self.num_banks + bank,
+                    sim.trackers[bank].on_refresh,
+                )
+                for bank in range(self.num_banks)
+            ]
+            for rank, sim in enumerate(channel.ranks)
+        ]
+        # Rolling auto-refresh bookkeeping, kept kernel-side: the slice
+        # math is inlined per round and the device counters (untouched
+        # during a fused run) are synced back in ``materialize``.
+        dev = channel.ranks[0].device
+        self._refw = dev.config.refi_per_refw
+        self._slice_rows = dev._rows_per_slice
+        self._ref_counts = [
+            sim.device._ref_counter[0] for sim in channel.ranks
+        ]
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def march(self, iterators: dict[int, "Iterator"]) -> None:
+        """Drain per-rank interval iterators in interval lockstep.
+
+        Every still-active rank advances by exactly one interval per
+        step, so the shared tREFI clock is common to all active ranks;
+        a rank drops out when its schedule ends (ranks may have
+        different horizons).
+        """
+        active = dict(iterators)
+        sentinel = object()
+        while active:
+            step = []
+            for rank in sorted(active):
+                interval = next(active[rank], sentinel)
+                if interval is sentinel:
+                    del active[rank]
+                else:
+                    step.append((rank, interval))
+            if step:
+                self._step(step)
+
+    def _step(self, step: list) -> None:
+        """One shared tREFI: absorb every rank's interval, tick REFs."""
+        self.steps += 1
+        time_ns = self.steps * self.t_refi_ns
+        key = tuple((rank, id(interval)) for rank, interval in step)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._build_plan(step)
+            self._plan_cache.put(key, plan)
+        (
+            absorb,
+            exact_units,
+            scatter_units,
+            reset_keys,
+            victims,
+            delta,
+            since_keys,
+            since_counts,
+            overflow,
+            demand_keys,
+            demand_counts,
+        ) = plan[:11]
+        # Trackers, one pre-bound dispatch per active unit (no
+        # mitigation lands mid-interval, so batch order across units is
+        # unobservable).
+        for batch, acts, tracker_agg in absorb:
+            batch(acts, tracker_agg)
+        if demand_keys.size:
+            self.demand_acc[demand_keys] += demand_counts
+        # Unmitigated-run counters: one packed scatter for every
+        # in-range activated row channel-wide (keys are unique per unit
+        # and cannot collide across units), dict fallback for the rare
+        # out-of-range rows.
+        if since_keys.size:
+            since_flat = self.since_flat
+            totals = since_flat[since_keys] + since_counts
+            since_flat[since_keys] = totals
+            speak_flat = self.speak_flat
+            speak_flat[since_keys] = np.maximum(speak_flat[since_keys], totals)
+        for since, peak, items in overflow:
+            for row, count in items:
+                total = since.get(row, 0) + count
+                since[row] = total
+                if total > peak.get(row, 0):
+                    peak[row] = total
+        # Units whose activated rows fall within each other's blast
+        # radius replay through their bank's exact path (same adopted
+        # arrays, per-bank flip/order semantics preserved).
+        for model, acts, agg in exact_units:
+            model.activate_many(acts, time_ns, agg=agg)
+        # The fused scatter: one whole-channel read + flip pre-check +
+        # reset + write + peak max over packed unit*num_rows+row keys.
+        if victims.size:
+            dist_flat = self.dist_flat
+            old = dist_flat[victims]
+            new = old + delta
+            if new.max() >= self.trh and bool(
+                ((new >= self.trh) & ~self.flipped_flat[victims]).any()
+            ):
+                # Rare: some unit crosses TRH this interval. Replay each
+                # scatter-eligible unit through its own bank path, which
+                # records per-crossing flip events in act order.
+                for model, acts, agg in scatter_units:
+                    model.activate_many(acts, time_ns, agg=agg)
+            else:
+                dist_flat[reset_keys] = 0.0
+                dist_flat[victims] = new
+                peak_flat = self.peak_flat
+                peak_flat[victims] = np.maximum(peak_flat[victims], new)
+        elif reset_keys.size:
+            self.dist_flat[reset_keys] = 0.0
+        # Shared tREFI boundary: every active rank's scheduler ticks.
+        ranks = self.channel.ranks
+        allow = self.allow_postponement
+        ref_ranks = []
+        counts = []
+        mx = 0
+        for rank, interval in step:
+            sim = ranks[rank]
+            sim.intervals += 1
+            event = sim.scheduler.tick(
+                want_postpone=interval.postpone and allow
+            )
+            if event is not None:
+                ref_ranks.append(rank)
+                c = event.count
+                counts.append(c)
+                if c > mx:
+                    mx = c
+        if mx == 1:
+            # Common shape: one REF on every refreshing rank.
+            self._fused_refresh(ref_ranks, time_ns)
+        elif mx:
+            for i in range(mx):
+                self._fused_refresh(
+                    [
+                        rank
+                        for rank, count in zip(ref_ranks, counts)
+                        if count > i
+                    ],
+                    time_ns,
+                )
+
+    def _build_plan(self, step: list) -> tuple:
+        """Aggregate one channel step into packed dispatch plans.
+
+        Returns ``(absorb, exact_units, scatter_units, reset_keys,
+        victims_unique, delta, since_keys, since_counts, overflow,
+        demand_keys, demand_counts, step)``; the trailing ``step``
+        reference pins the keyed interval objects so their ids cannot
+        be recycled while the memo entry lives.
+        """
+        B = self.num_banks
+        rows_n = self.num_rows
+        ranks = self.channel.ranks
+        unit_cols = []
+        row_cols = []
+        acts_by_unit: dict[int, "np.ndarray"] = {}
+        for rank, interval in step:
+            base = rank * B
+            for bank, acts in interval.per_bank_arrays:
+                acts_by_unit[base + bank] = acts
+            banks_col, rows_col = interval.column_arrays
+            if banks_col.size:
+                unit_cols.append(banks_col + base)
+                row_cols.append(rows_col)
+        # One aggregation for the whole channel: np.unique over a packed
+        # unit×row key (rows biased to non-negative). Unique pairs come
+        # out sorted by (unit, row), so per-unit segments are contiguous
+        # runs and each segment is that bank's sorted unique-row
+        # aggregation — exactly what the per-bank kernel would compute.
+        segments = []  # (unit, uniq_rows, counts, first_occurrence)
+        if unit_cols:
+            units_col = np.concatenate(unit_cols)
+            rows_all = np.concatenate(row_cols)
+            rmin = int(rows_all.min())
+            span = int(rows_all.max()) - rmin + 1
+            if span <= (2 ** 61) // max(self.units, 1):
+                keys = units_col * span + (rows_all - rmin)
+                uniq_keys, first, counts = np.unique(
+                    keys, return_index=True, return_counts=True
+                )
+                uniq_units = uniq_keys // span
+                uniq_rows = uniq_keys - uniq_units * span + rmin
+                seg_units, seg_starts = np.unique(
+                    uniq_units, return_index=True
+                )
+                bounds = seg_starts.tolist() + [uniq_keys.size]
+                for i, unit in enumerate(seg_units.tolist()):
+                    s, e = bounds[i], bounds[i + 1]
+                    segments.append(
+                        (unit, uniq_rows[s:e], counts[s:e], first[s:e])
+                    )
+            else:  # pragma: no cover - astronomical row indices only
+                # The packed key would overflow int64; aggregate each
+                # unit separately (same downstream plan).
+                for unit in sorted(acts_by_unit):
+                    uniq, first, counts = np.unique(
+                        acts_by_unit[unit],
+                        return_index=True,
+                        return_counts=True,
+                    )
+                    segments.append((unit, uniq, counts, first))
+        absorb = []
+        demand_units: list[int] = []
+        demand_ns: list[int] = []
+        exact_units = []
+        scatter_units = []
+        reset_parts = []
+        vkey_parts = []
+        vweight_parts = []
+        since_parts = []
+        since_count_parts = []
+        overflow = []
+        for unit, uniq, counts, first in segments:
+            # Within a unit all acts come from one contiguous slice of
+            # the packed columns in issue order, so sorting the global
+            # first-occurrence indices reproduces the per-bank
+            # first-occurrence order the tracker contract requires.
+            order = np.argsort(first, kind="stable")
+            tracker_agg = (uniq[order], counts[order])
+            rank, bank = divmod(unit, B)
+            sim = ranks[rank]
+            acts = acts_by_unit[unit]
+            absorb.append(
+                (sim.trackers[bank].on_activate_batch, acts, tracker_agg)
+            )
+            demand_units.append(unit)
+            demand_ns.append(len(acts))
+            # Activated rows outside the bank are legal no-ops on the
+            # oracle; in-range rows update the packed unmitigated-run
+            # counters, out-of-range ones stay in the rank dicts.
+            in_range = (uniq >= 0) & (uniq < rows_n)
+            since_parts.append(unit * rows_n + uniq[in_range])
+            since_count_parts.append(counts[in_range].astype(np.int64))
+            if not bool(in_range.all()):
+                oob = ~in_range
+                overflow.append(
+                    (
+                        sim._bank_since[bank],
+                        sim._bank_peak[bank],
+                        list(
+                            zip(uniq[oob].tolist(), counts[oob].tolist())
+                        ),
+                    )
+                )
+            agg = (uniq, counts)
+            model = sim.device.banks[bank]
+            if uniq.size > 1 and bool(np.any(np.diff(uniq) == 1)):
+                # Aggressor/victim interleaving within the bank: the
+                # in-batch order of self-refreshes is observable.
+                exact_units.append((model, acts, agg))
+                continue
+            scatter_units.append((model, acts, agg))
+            # Only in-range rows get their self-reset, but even
+            # out-of-range aggressors can have in-range victims.
+            reset_parts.append(unit * rows_n + uniq[in_range])
+            victims = np.concatenate((uniq - 1, uniq + 1))
+            weights = np.concatenate((counts, counts)).astype(np.float64)
+            valid = (victims >= 0) & (victims < rows_n)
+            vkey_parts.append(unit * rows_n + victims[valid])
+            vweight_parts.append(weights[valid])
+        if since_parts:
+            since_keys = np.concatenate(since_parts)
+            since_counts = np.concatenate(since_count_parts)
+        else:
+            since_keys = np.empty(0, dtype=np.intp)
+            since_counts = np.empty(0, dtype=np.int64)
+        if reset_parts:
+            reset_keys = np.concatenate(reset_parts)
+        else:
+            reset_keys = np.empty(0, dtype=np.intp)
+        if vkey_parts:
+            vkeys = np.concatenate(vkey_parts)
+            vweights = np.concatenate(vweight_parts)
+            victims_unique = np.unique(vkeys)
+            idx = np.searchsorted(victims_unique, vkeys)
+            delta = np.bincount(
+                idx, weights=vweights, minlength=victims_unique.size
+            )
+        else:
+            victims_unique = np.empty(0, dtype=np.intp)
+            delta = np.empty(0, dtype=np.float64)
+        if demand_units:
+            demand_keys = np.array(demand_units, dtype=np.intp)
+            demand_counts = np.array(demand_ns, dtype=np.int64)
+        else:
+            demand_keys = np.empty(0, dtype=np.intp)
+            demand_counts = np.empty(0, dtype=np.int64)
+        return (
+            absorb,
+            exact_units,
+            scatter_units,
+            reset_keys,
+            victims_unique,
+            delta,
+            since_keys,
+            since_counts,
+            overflow,
+            demand_keys,
+            demand_counts,
+            step,
+        )
+
+    def _fused_refresh(self, round_ranks: list[int], time_ns: float) -> None:
+        """One REF round across every rank whose REF executes now.
+
+        Equivalent to calling ``RankSimulator._refresh`` on each rank:
+        banks (and ranks) are independent, so fusing the per-bank
+        auto-refresh sweeps and the common mitigation shape across
+        units is an unobservable reordering.
+        """
+        B = self.num_banks
+        rows_n = self.num_rows
+        # Rolling auto-refresh, slice math inlined from
+        # ``DramDevice.auto_refresh_slice`` against kernel-side per-rank
+        # counters (the idle device counters sync back in
+        # ``materialize``). The overwhelmingly common round — every rank
+        # refreshing the same slice — is one basic 2-D slice store;
+        # slices differ across ranks only under uneven postponement.
+        refw = self._refw
+        slice_rows = self._slice_rows
+        ref_counts = self._ref_counts
+        slices = []
+        for rank in round_ranks:
+            i = ref_counts[rank] % refw
+            ref_counts[rank] += 1
+            lo = i * slice_rows
+            if i == refw - 1:
+                hi = rows_n
+            else:
+                hi = min(lo + slice_rows, rows_n)
+            slices.append((lo, hi))
+        lo, hi = slices[0]
+        if (
+            len(round_ranks) == self.num_ranks
+            and slices.count(slices[0]) == len(slices)
+        ):
+            if hi > lo:
+                self.dist[:, lo:hi] = 0.0
+        else:
+            slice_units: dict[tuple[int, int], list[int]] = {}
+            for rank, span in zip(round_ranks, slices):
+                slice_units.setdefault(span, []).extend(
+                    range(rank * B, (rank + 1) * B)
+                )
+            for (lo, hi), units in slice_units.items():
+                if hi > lo:
+                    self.dist[units, lo:hi] = 0.0
+        # Collect this round's mitigation requests. The common shape —
+        # one plain distance-1 request for the bank — fuses; anything
+        # else (victim-centric, transitive, multi-request) goes through
+        # the per-bank applier unchanged. Units are independent, so the
+        # split cannot reorder anything observable.
+        fused = []
+        reqs = []
+        rows_list: list[int] = []
+        handlers = self._ref_handlers
+        for rank in round_ranks:
+            for entry in handlers[rank]:
+                requests = entry[3]()
+                if not requests:
+                    continue
+                if (
+                    len(requests) == 1
+                    and type(requests[0]) is MitigationRequest
+                    and requests[0].distance == 1
+                ):
+                    request = requests[0]
+                    fused.append(entry)
+                    reqs.append(request)
+                    rows_list.append(request.row)
+                else:
+                    sim, bank, unit, _ = entry
+                    for request in requests:
+                        self._apply_slow(sim, bank, unit, request, time_ns)
+        m = len(fused)
+        if m == 0:
+            return
+        if m == 1:
+            sim, bank, unit, _ = fused[0]
+            self._apply_slow(sim, bank, unit, reqs[0], time_ns)
+            return
+        # round_ranks ascends and banks are swept in order, so when
+        # every unit fused exactly one request this round the packed
+        # unit bases are the cached arange * num_rows verbatim.
+        units_arr = None
+        if m != self.units:
+            units_arr = np.fromiter(
+                (entry[2] for entry in fused), dtype=np.intp, count=m
+            )
+        # Refreshed victims (aggressor±1, clipped) and the neighbour
+        # bumps their refresh-activations cause (victim±1, clipped).
+        # Within a unit the two sets are disjoint ({a±1} vs {a-2,a,a+2})
+        # and across units the packed keys cannot collide, so reset
+        # order versus bump order is unobservable.
+        akeys = None
+        interior = min(rows_list) >= 2 and max(rows_list) <= rows_n - 3
+        rows_arr = np.array(rows_list, dtype=np.intp)
+        if interior:
+            # Interior fast shape: no clipping anywhere, so victims are
+            # exactly {a±1} and bumps land on {a-2, a, a+2} with the
+            # fixed [1, 2, 1] pattern (at most one fused request per
+            # unit, so no key can repeat). One broadcast add produces
+            # all five key blocks; the slices below are views into it.
+            if units_arr is None:
+                base_keys = self._unit_bases + rows_arr
+            else:
+                base_keys = units_arr * rows_n + rows_arr
+            all_keys = (self._mit_offsets + base_keys).reshape(-1)
+            vkeys = all_keys[:2 * m]
+            nunique = all_keys[2 * m:]
+            akeys = all_keys[3 * m:4 * m]
+            bump = self._bump_patterns.get(m)
+            if bump is None:
+                bump = np.empty(3 * m, dtype=np.float64)
+                bump[:m] = 1.0
+                bump[m:2 * m] = 2.0
+                bump[2 * m:] = 1.0
+                self._bump_patterns[m] = bump
+            new = self.dist_flat[nunique] + bump
+        else:
+            if units_arr is None:
+                units_arr = self._all_units
+            vrows = np.concatenate((rows_arr - 1, rows_arr + 1))
+            vunits = np.concatenate((units_arr, units_arr))
+            valid = (vrows >= 0) & (vrows < rows_n)
+            vrows = vrows[valid]
+            vunits = vunits[valid]
+            vkeys = vunits * rows_n + vrows
+            nrows = np.concatenate((vrows - 1, vrows + 1))
+            nunits = np.concatenate((vunits, vunits))
+            nvalid = (nrows >= 0) & (nrows < rows_n)
+            nkeys = nunits[nvalid] * rows_n + nrows[nvalid]
+            new = None
+            if nkeys.size:
+                nunique = np.unique(nkeys)
+                bump = np.bincount(
+                    np.searchsorted(nunique, nkeys), minlength=nunique.size
+                ).astype(np.float64)
+                new = self.dist_flat[nunique] + bump
+        if new is not None and new.max() >= self.trh and bool(
+            ((new >= self.trh) & ~self.flipped_flat[nunique]).any()
+        ):
+            # Rare: a mitigation bump crosses TRH — replay through the
+            # per-bank appliers (exact per-crossing flips).
+            for (sim, bank, unit, _), request in zip(fused, reqs):
+                self._apply_slow(sim, bank, unit, request, time_ns)
+            return
+        self.dist_flat[vkeys] = 0.0
+        self.since_flat[vkeys] = 0
+        if akeys is None:
+            a_in = (rows_arr >= 0) & (rows_arr < rows_n)
+            if bool(a_in.any()):
+                akeys = units_arr[a_in] * rows_n + rows_arr[a_in]
+        if akeys is not None:
+            self.since_flat[akeys] = 0
+        if new is not None:
+            self.dist_flat[nunique] = new
+            self.peak_flat[nunique] = np.maximum(
+                self.peak_flat[nunique], new
+            )
+        # Engine bookkeeping, per request (bumps are monotone, so the
+        # single packed peak max equals the sequential per-bump maxes).
+        if interior and not self._any_observing:
+            # Interior rows are always in range and no tracker wants
+            # the mitigation-activate callbacks, so the sweep is one
+            # packed tally increment.
+            if units_arr is None:
+                self.mitig += 1
+            else:
+                self.mitig[units_arr] += 1
+            return
+        for (sim, bank, _, _), request in zip(fused, reqs):
+            sim.bank_mitigations[bank] += 1
+            row = request.row
+            if not 0 <= row < rows_n:
+                # Out-of-range aggressor: its reset lives in the dict
+                # overflow, like its activations.
+                sim._bank_since[bank][row] = 0
+            tracker = sim.trackers[bank]
+            if tracker.observes_mitigations:
+                for victim in (row - 1, row + 1):
+                    if 0 <= victim < rows_n:
+                        tracker.on_mitigation_activate(victim)
+
+    def _apply_slow(
+        self,
+        sim: "RankSimulator",
+        bank: int,
+        unit: int,
+        request: MitigationRequest,
+        time_ns: float,
+    ) -> None:
+        """Per-bank mitigation applier for fused runs.
+
+        Mirrors :meth:`RankSimulator._apply` exactly, except the
+        unmitigated-run resets land in the kernel's packed counters
+        (dict overflow for out-of-range rows) so both representations
+        stay consistent during a fused run.
+        """
+        sim.bank_mitigations[bank] += 1
+        if request.distance > 1:
+            sim.bank_transitive_mitigations[bank] += 1
+        rows_n = self.num_rows
+        base = unit * rows_n
+        since_flat = self.since_flat
+        if isinstance(request, VictimRefreshRequest):
+            refreshed = sim.device.victim_refresh(bank, request.row, time_ns)
+        else:
+            refreshed = sim.device.mitigate(
+                bank, request.row, request.distance, time_ns
+            )
+            row = request.row
+            if 0 <= row < rows_n:
+                since_flat[base + row] = 0
+            else:
+                sim._bank_since[bank][row] = 0
+        tracker = sim.trackers[bank]
+        observes = tracker.observes_mitigations
+        for victim in refreshed:
+            if 0 <= victim < rows_n:
+                since_flat[base + victim] = 0
+            else:
+                sim._bank_since[bank][victim] = 0
+            if observes:
+                tracker.on_mitigation_activate(victim)
+
+    def materialize(self) -> None:
+        """Merge the packed unmitigated-run peaks back into the rank
+        dicts that :meth:`RankSimulator.collect` reads.
+
+        The packed array holds every in-range row's peak; the dicts
+        hold only the out-of-range overflow, so the merge is a disjoint
+        union. Values come back as Python ints, matching what the
+        scalar path accumulates (dict ordering may differ, which
+        neither equality nor the canonical sorted-JSON form observes).
+        """
+        for rank, sim in enumerate(self.channel.ranks):
+            for bank in range(self.num_banks):
+                unit = rank * self.num_banks + bank
+                speak = self.speak[unit]
+                rows = np.nonzero(speak)[0]
+                merged = dict(zip(rows.tolist(), speak[rows].tolist()))
+                merged.update(sim._bank_peak[bank])
+                sim._bank_peak[bank] = merged
+                tally = int(self.mitig[unit])
+                if tally:
+                    sim.bank_mitigations[bank] += tally
+                demand = int(self.demand_acc[unit])
+                if demand:
+                    sim.bank_demand_acts[bank] += demand
+            # REFs ran against the kernel-side counters; bring the idle
+            # device counters up to date (idempotent assignment).
+            sim.device._ref_counter = [self._ref_counts[rank]] * self.num_banks
+        # Zeroed after folding so a second materialize is a no-op.
+        self.mitig[:] = 0
+        self.demand_acc[:] = 0
+
+
 class ChannelSimulator:
     """Runs per-rank schedules against a DDR5 channel of N ranks.
 
@@ -516,6 +1267,15 @@ class ChannelSimulator:
     from the same per-rank tracker factory — the channel-equivalence
     property the tests pin, and what makes the paper's per-tracker
     security claims composable into channel-level MTTF accounting.
+
+    Two marches implement that contract. The default is the *fused*
+    kernel (:class:`_FusedChannelKernel`): one packed
+    ``(rank·bank, row)`` array family, one whole-channel scatter per
+    tREFI, adopted by every bank oracle as views — selected per
+    :attr:`EngineConfig.fused` whenever it applies. The fallback is the
+    chunk-granular lockstep march of independent per-rank kernels.
+    Both produce bit-identical results (pinned by the fused-equivalence
+    property suite).
 
     Parameters
     ----------
@@ -554,7 +1314,32 @@ class ChannelSimulator:
         self.config = c
         self.num_ranks = c.num_ranks
         self.num_banks = c.num_banks
-        rank_config = replace(c, num_ranks=1)
+        # Resolve the channel kernel. The fused kernel needs NumPy (it
+        # is a vectorized tier), radius-1 disturbance (its packed
+        # scatter math), and dense per-bank oracles (it hands each bank
+        # a view into its packed arrays).
+        fused_possible = (
+            np is not None
+            and c.vectorized is not False
+            and c.blast_radius == 1
+            and c.oracle_backend in (None, "dense")
+        )
+        if c.fused and not fused_possible:
+            raise RuntimeError(
+                "EngineConfig.fused=True requires numpy, a vectorized "
+                "kernel (vectorized must not be False), blast_radius == 1, "
+                "and oracle_backend None or 'dense'"
+            )
+        #: Resolved channel-kernel choice (see :attr:`EngineConfig.fused`).
+        self.fused = fused_possible if c.fused is None else bool(c.fused)
+        rank_config = replace(c, num_ranks=1, fused=False)
+        if self.fused:
+            # Dense everywhere (sparse == dense is pinned by the oracle
+            # backend tests) so every bank can adopt packed views, and
+            # the vectorized per-rank kernels as the fallback paths.
+            rank_config = replace(
+                rank_config, vectorized=True, oracle_backend="dense"
+            )
         self.ranks = [
             RankSimulator(
                 (lambda bank, _rank=rank: tracker_factory(_rank, bank)),
@@ -562,6 +1347,8 @@ class ChannelSimulator:
             )
             for rank in range(c.num_ranks)
         ]
+        self._kernel = _FusedChannelKernel(self) if self.fused else None
+        self._consumed = False
 
     def run(
         self, trace: "ChannelTrace | Trace | RankTrace | TraceStream"
@@ -575,13 +1362,29 @@ class ChannelSimulator:
         trace is bit-identical to today's :class:`RankSimulator` run
         (pinned by the channel-equivalence tests).
 
-        The march is chunk-granular lockstep: each round advances every
-        still-active rank by one chunk of its stream, so all ranks stay
-        within one chunk of the shared clock and peak memory is one
-        chunk per rank. Because REF scheduling — the only cross-bank
-        coupling inside a rank — is per rank, the interleaving order
-        cannot affect any rank's bits.
+        Materialized per-rank schedules are fully validated before any
+        rank absorbs an interval — once; the march does not re-validate
+        them chunk by chunk. Lazy streams are validated chunk by chunk
+        as produced, under identical rules and messages.
+
+        The fused kernel marches all ranks interval-by-interval through
+        one packed array family; the lockstep fallback advances every
+        still-active rank by one chunk per round. Either way peak
+        memory is one chunk per rank, and because REF scheduling — the
+        only cross-bank coupling inside a rank — is per rank, the
+        interleaving order cannot affect any rank's bits.
+
+        Like :meth:`RankSimulator.run`, a channel instance runs exactly
+        one schedule; reuse raises ``RuntimeError``.
         """
+        if self._consumed:
+            raise RuntimeError(
+                "this ChannelSimulator has already run a schedule; "
+                "trackers, oracle state, and counters accumulate across "
+                "runs, so reusing it would silently mix windows — build "
+                "a fresh simulator (or Session) per run"
+            )
+        self._consumed = True
         channel = self._coerce(trace)
         if channel.num_ranks > self.num_ranks:
             raise ValueError(
@@ -593,6 +1396,7 @@ class ChannelSimulator:
             rank: channel.rank_stream(rank) for rank in range(self.num_ranks)
         }
         c = self.config
+        prevalidated: set[int] = set()
         if c.validate_budget:
             for rank, stream in streams.items():
                 budget = stream.act_budget
@@ -604,9 +1408,10 @@ class ChannelSimulator:
                     )
                 # Materialized schedules keep the rank engine's
                 # validate-before-execute contract: the whole trace is
-                # checked here, before any rank absorbs an interval (a
-                # lazy stream can only be checked chunk by chunk as it
-                # is produced).
+                # checked here, once, before any rank absorbs an
+                # interval, and the march skips the per-chunk
+                # re-validation (a lazy stream can only be checked
+                # chunk by chunk as it is produced).
                 if isinstance(stream, MaterializedStream):
                     rank_sim = self.ranks[rank]
                     stream.trace.validate(
@@ -614,14 +1419,47 @@ class ChannelSimulator:
                         num_banks=rank_sim.num_banks,
                         concurrent_banks=rank_sim.concurrent_banks,
                     )
-        active = {rank: stream.chunks() for rank, stream in streams.items()}
-        while active:
-            for rank in sorted(active):
-                chunk = next(active[rank], None)
-                if chunk is None:
-                    del active[rank]
-                    continue
-                self.ranks[rank].feed(chunk)
+                    prevalidated.add(rank)
+                elif isinstance(stream, CycleStream):
+                    # A cycle produces only its pattern's interval
+                    # objects, so validating the (truncated) pattern once
+                    # is exactly equivalent to checking every produced
+                    # interval — and the first offending occurrence sits
+                    # at its pattern index, so the message matches too.
+                    rank_sim = self.ranks[rank]
+                    validate_rank_intervals(
+                        stream.pattern[: stream.count],
+                        c.timing.max_act,
+                        num_banks=rank_sim.num_banks,
+                        concurrent_banks=rank_sim.concurrent_banks,
+                    )
+                    prevalidated.add(rank)
+        for sim in self.ranks:
+            sim._consumed = True
+        if self._kernel is not None:
+            self._kernel.march(
+                {
+                    rank: self._validated_intervals(
+                        rank, stream, rank in prevalidated
+                    )
+                    for rank, stream in streams.items()
+                }
+            )
+            self._kernel.materialize()
+        else:
+            active = {
+                rank: stream.chunks() for rank, stream in streams.items()
+            }
+            while active:
+                for rank in sorted(active):
+                    chunk = next(active[rank], None)
+                    if chunk is None:
+                        del active[rank]
+                        continue
+                    if rank in prevalidated or not c.validate_budget:
+                        self.ranks[rank]._feed(chunk)
+                    else:
+                        self.ranks[rank].feed(chunk)
         per_rank = [
             self.ranks[rank].collect(streams[rank].name)
             for rank in range(self.num_ranks)
@@ -633,6 +1471,28 @@ class ChannelSimulator:
             ),
             per_rank=per_rank,
         )
+
+    def _validated_intervals(
+        self, rank: int, stream: TraceStream, prevalidated: bool
+    ):
+        """Flatten one rank's stream into intervals for the fused march,
+        budget-validating each chunk as produced unless the whole
+        schedule was already validated upfront."""
+        sim = self.ranks[rank]
+        c = self.config
+        validate = c.validate_budget and not prevalidated
+        offset = 0
+        for chunk in stream.chunks():
+            if validate:
+                validate_rank_intervals(
+                    chunk,
+                    c.timing.max_act,
+                    num_banks=sim.num_banks,
+                    concurrent_banks=sim.concurrent_banks,
+                    start=offset,
+                )
+            offset += len(chunk)
+            yield from chunk
 
     def _coerce(self, trace) -> ChannelTrace:
         if isinstance(trace, ChannelTrace):

@@ -48,12 +48,27 @@ class MonteCarloResult:
         return self.failures / self.windows
 
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
-        """Normal-approximation CI for the failure probability."""
-        p = self.failure_probability
-        if self.windows == 0:
+        """Wilson score interval for the failure probability.
+
+        The Wald normal approximation previously used here degenerates
+        to ``(0.0, 0.0)`` whenever zero failures are observed — a claim
+        of certainty exactly in the rare-event regime this module
+        targets (and symmetrically ``(1.0, 1.0)`` at all failures). The
+        Wilson score interval stays informative at the boundaries: with
+        ``n`` windows and no failures the upper bound is
+        ``z²/(n+z²)`` ≈ 3.84/n, the usual rule-of-three-style bound.
+        """
+        n = self.windows
+        if n == 0:
             return (0.0, 1.0)
-        half = z * (p * (1.0 - p) / self.windows) ** 0.5
-        return (max(0.0, p - half), min(1.0, p + half))
+        p = self.failure_probability
+        z2 = z * z
+        denom = 1.0 + z2 / n
+        centre = (p + z2 / (2.0 * n)) / denom
+        half = (z / denom) * (
+            (p * (1.0 - p) / n + z2 / (4.0 * n * n)) ** 0.5
+        )
+        return (max(0.0, centre - half), min(1.0, centre + half))
 
     def to_payload(self) -> dict:
         """JSON-safe form (the ``repro run --windows`` export format)."""

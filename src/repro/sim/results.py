@@ -376,7 +376,19 @@ RESULT_CSV_COLUMNS = (
 )
 
 
-def _csv_row(payload: Mapping[str, Any], scope: str, bank, rank="") -> dict:
+def _csv_row(
+    payload: Mapping[str, Any],
+    scope: str,
+    bank,
+    rank="",
+    num_ranks: int | None = None,
+    num_banks: int | None = None,
+) -> dict:
+    # ``num_ranks``/``num_banks`` carry the *enclosing* geometry for
+    # payload scopes that do not record it themselves (a bank payload
+    # knows neither; a rank payload knows only its bank count), so a
+    # multi-rank export renders consistent geometry columns on every
+    # row instead of bank rows falling back to 1/1.
     return {
         "scope": scope,
         "rank": rank,
@@ -384,8 +396,8 @@ def _csv_row(payload: Mapping[str, Any], scope: str, bank, rank="") -> dict:
         "tracker": payload.get("tracker", ""),
         "trace": payload.get("trace", ""),
         "intervals": payload.get("intervals", 0),
-        "num_ranks": payload.get("num_ranks", 1),
-        "num_banks": payload.get("num_banks", 1),
+        "num_ranks": payload.get("num_ranks", 1 if num_ranks is None else num_ranks),
+        "num_banks": payload.get("num_banks", 1 if num_banks is None else num_banks),
         "demand_acts": payload.get("demand_acts", 0),
         "refreshes": payload.get("refreshes", 0),
         "mitigations": payload.get("mitigations", 0),
@@ -409,11 +421,16 @@ def result_csv_rows(payload: Mapping[str, Any]) -> list[dict]:
     """
     if "per_rank" in payload:
         rows = [_csv_row(payload, scope="channel", bank="")]
+        channel_ranks = payload.get("num_ranks", len(payload["per_rank"]))
         for rank, rank_payload in enumerate(payload["per_rank"]):
+            rank_banks = rank_payload.get(
+                "num_banks", len(rank_payload.get("per_bank", []))
+            )
             rows.append(_csv_row(rank_payload, scope="rank", bank="",
-                                 rank=rank))
+                                 rank=rank, num_ranks=channel_ranks))
             rows.extend(
-                _csv_row(bank_payload, scope="bank", bank=bank, rank=rank)
+                _csv_row(bank_payload, scope="bank", bank=bank, rank=rank,
+                         num_ranks=channel_ranks, num_banks=rank_banks)
                 for bank, bank_payload in enumerate(
                     rank_payload.get("per_bank", [])
                 )
@@ -421,8 +438,11 @@ def result_csv_rows(payload: Mapping[str, Any]) -> list[dict]:
         return rows
     if "per_bank" in payload:
         rows = [_csv_row(payload, scope="rank", bank="")]
+        rank_ranks = payload.get("num_ranks", 1)
+        rank_banks = payload.get("num_banks", len(payload["per_bank"]))
         rows.extend(
-            _csv_row(bank_payload, scope="bank", bank=bank)
+            _csv_row(bank_payload, scope="bank", bank=bank,
+                     num_ranks=rank_ranks, num_banks=rank_banks)
             for bank, bank_payload in enumerate(payload["per_bank"])
         )
         return rows

@@ -35,8 +35,10 @@ built from :func:`repeat_interval`/:func:`repeat_rank_interval` (one
 shared interval object across thousands of tREFIs) pay the conversion
 once. Attack generators can skip the tuple round-trip entirely with
 :meth:`RankInterval.from_arrays`, which seeds the cache directly from
-``bank``/``row`` column arrays. Arrays handed out by these views are
-owned by the interval and must not be mutated.
+``bank``/``row`` column arrays — and also seeds
+:attr:`RankInterval.column_arrays`, the packed flat view the fused
+channel kernel folds into its ``rank × bank × row`` keys. Arrays handed
+out by these views are owned by the interval and must not be mutated.
 """
 
 from __future__ import annotations
@@ -129,14 +131,32 @@ class RankInterval:
         pairs = np.asarray(self.acts, dtype=np.intp)
         return _split_by_bank(pairs[:, 0], pairs[:, 1])
 
+    @cached_property
+    def column_arrays(self):
+        """The interval's ACT stream as ``(banks, rows)`` column arrays.
+
+        The packed flat view next to :attr:`per_bank_arrays`: both
+        columns are NumPy ``intp`` arrays in issue order, so channel-
+        level kernels can fold a whole interval into a packed
+        ``rank × bank × row`` key without touching the per-bank split.
+        Cached and owned by the interval like the other views; callers
+        must not mutate the arrays. Requires NumPy.
+        """
+        if not self.acts:
+            empty = np.empty(0, dtype=np.intp)
+            return (empty, empty)
+        pairs = np.asarray(self.acts, dtype=np.intp)
+        return (pairs[:, 0], pairs[:, 1])
+
     @classmethod
     def from_arrays(cls, banks, rows, postpone: bool = False) -> "RankInterval":
         """Build an interval straight from ``bank``/``row`` column arrays.
 
         Attack generators that already produce arrays avoid the
         tuple-of-pairs round-trip: the per-bank array split is computed
-        here and seeded into the :attr:`per_bank_arrays` cache (the
-        ``acts`` tuple is still materialized for the scalar API).
+        here and seeded into the :attr:`per_bank_arrays` cache — and
+        the columns themselves seed :attr:`column_arrays` (the ``acts``
+        tuple is still materialized for the scalar API).
         """
         banks = np.asarray(banks, dtype=np.intp)
         rows = np.asarray(rows, dtype=np.intp)
@@ -148,6 +168,7 @@ class RankInterval:
         interval.__dict__["per_bank_arrays"] = (
             _split_by_bank(banks, rows) if banks.size else ()
         )
+        interval.__dict__["column_arrays"] = (banks, rows)
         return interval
 
     def acts_for_bank(self, bank: int) -> tuple[int, ...]:

@@ -1,0 +1,69 @@
+"""Unit pins for :class:`repro.cache.BoundedCache`.
+
+The engine's aggregation/plan memos used to clear wholesale at the
+ceiling, throwing away the hot shared-interval entries exactly when a
+long streaming run needs them; the bounded cache must instead evict
+only the stalest fraction and keep recently touched entries resident.
+"""
+
+import pytest
+
+from repro.cache import BoundedCache
+
+
+class TestBoundedCache:
+    def test_get_put_roundtrip(self):
+        cache = BoundedCache(8)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_eviction_keeps_hot_entries(self):
+        cache = BoundedCache(8)
+        for i in range(8):
+            cache.put(i, i)
+        # Touch a subset so they are the most recently used.
+        for i in (4, 5, 6, 7):
+            assert cache.get(i) == i
+        cache.put("overflow", 99)  # triggers eviction of stalest quarter
+        assert len(cache) < 9
+        assert cache.get("overflow") == 99
+        for i in (4, 5, 6, 7):
+            assert cache.get(i) == i, "recently touched entry was evicted"
+
+    def test_eviction_drops_stalest(self):
+        cache = BoundedCache(8)
+        for i in range(8):
+            cache.put(i, i)
+        # Refresh everything except 0 and 1.
+        for i in range(2, 8):
+            cache.get(i)
+        cache.put("new", "x")
+        assert cache.get(0) is None
+        assert cache.get(1) is None
+
+    def test_never_exceeds_capacity(self):
+        cache = BoundedCache(8)
+        for i in range(1000):
+            cache.put(i, i)
+            assert len(cache) <= 8
+
+    def test_clear(self):
+        cache = BoundedCache(8)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_overwrite_same_key(self):
+        cache = BoundedCache(8)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedCache(2)

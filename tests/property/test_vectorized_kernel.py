@@ -309,3 +309,101 @@ class TestEngineKernelEquivalence:
         assert json.dumps(asdict(scalar_result), sort_keys=True) == json.dumps(
             asdict(vector_result), sort_keys=True
         )
+
+
+class TestFusedChannelEquivalence:
+    """fused kernel == lockstep march == scalar engine, bit for bit.
+
+    The fused channel tier reorders freely across (rank, bank) units
+    and falls back to the per-bank paths for anything order-sensitive
+    within a unit, so its contract is exact equivalence with both the
+    per-rank lockstep march and the fully scalar engine — across every
+    registry tracker, rank count, streamed and materialized input,
+    empty intervals, and flip-heavy thresholds.
+    """
+
+    @given(
+        tracker=st.sampled_from(
+            ["mint", "para", "graphene", "prac", "mithril", "protrr", "none"]
+        ),
+        num_ranks=st.integers(1, 3),
+        num_banks=st.integers(1, 3),
+        trh=st.sampled_from([5, 40, 10**9]),
+        seed=st.integers(0, 2**20),
+        streamed=st.booleans(),
+        allow_postponement=st.booleans(),
+        rank_specs=st.lists(  # one list of interval specs per rank
+            st.lists(
+                st.tuples(
+                    st.lists(
+                        st.tuples(
+                            st.integers(0, 2), st.integers(-2, NUM_ROWS + 2)
+                        ),
+                        min_size=0,
+                        max_size=30,
+                    ),
+                    st.booleans(),
+                ),
+                min_size=0,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    @SLOW_SETTINGS
+    def test_channel_results_bit_identical(
+        self,
+        tracker,
+        num_ranks,
+        num_banks,
+        trh,
+        seed,
+        streamed,
+        allow_postponement,
+        rank_specs,
+    ):
+        from dataclasses import replace
+
+        from repro.sim.engine import ChannelSimulator
+        from repro.sim.trace import ChannelTrace, MaterializedStream
+        from repro.trackers.registry import channel_tracker_factory
+
+        per_rank = {}
+        for rank, specs in enumerate(rank_specs[:num_ranks]):
+            trace = RankTrace(
+                name=f"r{rank}",
+                intervals=[
+                    RankInterval(
+                        tuple((bank % num_banks, row) for bank, row in acts),
+                        postpone,
+                    )
+                    for acts, postpone in specs
+                ],
+            )
+            per_rank[rank] = (
+                MaterializedStream(trace) if streamed else trace
+            )
+        channel = ChannelTrace(name="prop", per_rank=per_rank)
+        base = EngineConfig(
+            num_banks=num_banks,
+            num_ranks=num_ranks,
+            trh=trh,
+            num_rows=NUM_ROWS,
+            allow_postponement=allow_postponement,
+            validate_budget=False,
+            refi_per_refw=8,
+        )
+        outputs = []
+        for overrides in (
+            dict(fused=True, vectorized=True),
+            dict(fused=False, vectorized=True),
+            dict(fused=False, vectorized=False),
+        ):
+            simulator = ChannelSimulator(
+                channel_tracker_factory(tracker, seed=seed),
+                replace(base, **overrides),
+            )
+            result = simulator.run(channel)
+            outputs.append(json.dumps(asdict(result), sort_keys=True))
+        assert outputs[0] == outputs[1] == outputs[2]

@@ -168,6 +168,132 @@ class TestChannelSimulatorContract:
             rank.bank_demand_acts == [0, 0] for rank in sim.ranks
         )
 
+    def test_rejects_reuse_across_runs(self):
+        """Tracker, oracle, and counter state accumulate across runs;
+        a second ``run`` must raise instead of silently mixing windows."""
+        trace = _channel_trace(2)
+        sim = ChannelSimulator(
+            channel_tracker_factory("mint", base_seed=1, max_act=8),
+            EngineConfig(num_banks=2, **CONFIG_KWARGS),
+            num_ranks=2,
+        )
+        first = sim.run(trace)
+        assert first.intervals > 0
+        with pytest.raises(RuntimeError, match="already run"):
+            sim.run(trace)
+        # The rejected run left every rank untouched.
+        assert all(r.intervals > 0 for r in sim.ranks)
+
+    def test_materialized_schedules_validate_exactly_once(self, monkeypatch):
+        """The upfront whole-trace validation must not be repeated
+        chunk-by-chunk during the march (the old double-validation)."""
+        import repro.sim.engine as engine_mod
+        import repro.sim.trace as trace_mod
+
+        calls = {"upfront": 0, "chunk": 0}
+        real = trace_mod.validate_rank_intervals
+
+        def counting_upfront(*args, **kwargs):
+            calls["upfront"] += 1
+            return real(*args, **kwargs)
+
+        def counting_chunk(*args, **kwargs):
+            calls["chunk"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            trace_mod, "validate_rank_intervals", counting_upfront
+        )
+        monkeypatch.setattr(
+            engine_mod, "validate_rank_intervals", counting_chunk
+        )
+        num_ranks = 2
+        sim = ChannelSimulator(
+            channel_tracker_factory("mint", base_seed=1, max_act=8),
+            EngineConfig(num_banks=2, **CONFIG_KWARGS),
+            num_ranks=num_ranks,
+        )
+        sim.run(_channel_trace(num_ranks))
+        # One whole-trace pass per addressed rank, zero re-validation
+        # during execution.
+        assert calls["upfront"] == num_ranks
+        assert calls["chunk"] == 0
+
+    def test_cycle_streams_validate_pattern_not_horizon(self, monkeypatch):
+        """A CycleStream produces only its pattern's interval objects,
+        so validation runs once per rank over the pattern — not over
+        every interval of a (possibly huge) horizon."""
+        import repro.sim.engine as engine_mod
+
+        calls = []
+        real = engine_mod.validate_rank_intervals
+
+        def counting(intervals, *args, **kwargs):
+            calls.append(len(intervals))
+            return real(intervals, *args, **kwargs)
+
+        monkeypatch.setattr(
+            engine_mod, "validate_rank_intervals", counting
+        )
+        from repro.sim.trace import CycleStream
+
+        num_ranks = 2
+        interval = RankInterval.of([(0, 9), (1, 11)])
+        trace = ChannelTrace(
+            name="cycled",
+            per_rank={
+                rank: CycleStream(f"r{rank}", (interval,), 5000)
+                for rank in range(num_ranks)
+            },
+        )
+        sim = ChannelSimulator(
+            channel_tracker_factory("mint", base_seed=1, max_act=8),
+            EngineConfig(num_banks=2, **CONFIG_KWARGS),
+            num_ranks=num_ranks,
+        )
+        sim.run(trace)
+        # One pattern-sized pass per rank; never the 5000-interval
+        # horizon.
+        assert calls == [1] * num_ranks
+
+    def test_cycle_stream_over_budget_rejected_upfront(self):
+        """The pattern-once validation preserves fail-fast with the
+        chunk-wise error message."""
+        from repro.sim.trace import CycleStream
+
+        bad = RankInterval.of([(9, 1)])  # bank out of range
+        sim = ChannelSimulator(
+            channel_tracker_factory("mint", base_seed=1, max_act=8),
+            EngineConfig(num_banks=2, **CONFIG_KWARGS),
+            num_ranks=1,
+        )
+        trace = ChannelTrace(
+            name="bad-bank",
+            per_rank={0: CycleStream("bad-bank", (bad,), 1000)},
+        )
+        with pytest.raises(ValueError, match="interval 0 addresses bank 9"):
+            sim.run(trace)
+        assert all(rank.intervals == 0 for rank in sim.ranks)
+
+    def test_over_budget_trace_rejected_before_any_interval(self):
+        """Fail-fast is preserved with single validation: an over-budget
+        interval anywhere in a materialized schedule raises before any
+        rank executes anything."""
+        bad = RankTrace(
+            "bad",
+            [RankInterval.of([(0, 9)])] * 10
+            + [RankInterval.of([(0, r) for r in range(500)])],
+        )
+        sim = ChannelSimulator(
+            channel_tracker_factory("mint", base_seed=1, max_act=8),
+            EngineConfig(num_banks=2, **CONFIG_KWARGS),
+            num_ranks=1,
+        )
+        with pytest.raises(ValueError, match="interval 10"):
+            sim.run(ChannelTrace(name="bad", per_rank={0: bad}))
+        assert all(rank.intervals == 0 for rank in sim.ranks)
+        assert all(rank.bank_demand_acts == [0, 0] for rank in sim.ranks)
+
     def test_rank_simulator_rejects_multi_rank_config(self):
         with pytest.raises(ValueError, match="ChannelSimulator"):
             RankSimulator(

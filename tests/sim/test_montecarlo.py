@@ -127,6 +127,59 @@ class TestCrossValidation:
         assert 0.0 <= lo and hi <= 1.0
 
 
+class TestWilsonInterval:
+    """The CI must stay informative at the boundaries — the Wald form
+    previously returned the degenerate ``(0.0, 0.0)`` at zero observed
+    failures, a claim of certainty exactly in the rare-event regime
+    this module exists to probe."""
+
+    def _result(self, windows, failures):
+        from repro.sim.montecarlo import MonteCarloResult
+
+        return MonteCarloResult(
+            windows=windows, failures=failures, total_mitigations=0
+        )
+
+    def test_zero_failures_upper_bound_is_positive(self):
+        result = self._result(windows=1000, failures=0)
+        lo, hi = result.confidence_interval()
+        assert lo == 0.0
+        assert hi > 0.0
+        # Wilson at p=0: upper bound is z^2 / (n + z^2).
+        z = 1.96
+        assert hi == pytest.approx(z * z / (1000 + z * z))
+
+    def test_all_failures_lower_bound_below_one(self):
+        result = self._result(windows=1000, failures=1000)
+        lo, hi = result.confidence_interval()
+        assert hi == 1.0
+        assert lo < 1.0
+        z = 1.96
+        assert lo == pytest.approx(1000 / (1000 + z * z))
+
+    def test_zero_windows_is_vacuous(self):
+        assert self._result(0, 0).confidence_interval() == (0.0, 1.0)
+
+    def test_interval_brackets_point_estimate(self):
+        result = self._result(windows=500, failures=37)
+        lo, hi = result.confidence_interval()
+        assert 0.0 <= lo < result.failure_probability < hi <= 1.0
+
+    def test_wider_z_widens_interval(self):
+        result = self._result(windows=500, failures=37)
+        lo95, hi95 = result.confidence_interval(z=1.96)
+        lo99, hi99 = result.confidence_interval(z=3.0)
+        assert lo99 < lo95 and hi95 < hi99
+
+    def test_payload_carries_wilson_bounds(self):
+        result = self._result(windows=1000, failures=0)
+        payload = result.to_payload()
+        lo, hi = result.confidence_interval()
+        assert payload["ci95_low"] == lo
+        assert payload["ci95_high"] == hi
+        assert payload["ci95_high"] > 0.0
+
+
 class TestParallelFanOut:
     def _estimate(self, n_workers):
         return estimate_failure_probability(

@@ -125,6 +125,33 @@ class TestRankEquivalence:
 
 
 class TestRankSimulator:
+    def test_rejects_reuse_across_runs(self):
+        """A simulator accumulates tracker/oracle/counter state, so a
+        second ``run`` would silently mix windows; it must raise."""
+        trace = RankTrace("w", [RankInterval.of([(0, 5)])] * 4)
+        sim = RankSimulator(
+            lambda bank: NullTracker(),
+            EngineConfig(num_banks=1, **CONFIG_KWARGS),
+        )
+        first = sim.run(trace)
+        assert first.intervals == 4
+        with pytest.raises(RuntimeError, match="already consumed"):
+            sim.run(trace)
+        # The rejected run must not have touched any state.
+        assert sim.intervals == 4
+
+    def test_run_rejected_after_incremental_feeding(self):
+        """``feed`` is the incremental entry point (many calls build one
+        window), but a later ``run`` on the same simulator would graft a
+        whole second schedule onto that window — reject it too."""
+        sim = RankSimulator(
+            lambda bank: NullTracker(),
+            EngineConfig(num_banks=1, **CONFIG_KWARGS),
+        )
+        sim.feed([RankInterval.of([(0, 5)])])
+        with pytest.raises(RuntimeError, match="already consumed"):
+            sim.run(RankTrace("w", [RankInterval.of([(0, 5)])] * 2))
+
     def test_banks_are_isolated(self):
         """Hammering bank 0 must not disturb bank 1's rows."""
         trace = RankTrace(

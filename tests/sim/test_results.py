@@ -48,3 +48,72 @@ class TestSimResult:
 
     def test_transitive_count_in_summary(self):
         assert "2 transitive" in make_result().summary()
+
+
+class TestResultCsvGeometry:
+    """Every CSV row of a multi-rank export must carry the channel's
+    real geometry — bank-scope rows used to fall back to 1/1 because a
+    bank payload records neither ``num_ranks`` nor ``num_banks``."""
+
+    def _channel_result(self, num_ranks=2, num_banks=3):
+        from repro.sim.results import ChannelSimResult, RankSimResult
+
+        per_rank = [
+            RankSimResult(
+                trace="t",
+                intervals=10,
+                refreshes=10,
+                per_bank=[
+                    make_result(trace="t", intervals=10)
+                    for _ in range(num_banks)
+                ],
+            )
+            for _ in range(num_ranks)
+        ]
+        return ChannelSimResult(trace="t", intervals=10, per_rank=per_rank)
+
+    def test_bank_rows_carry_channel_geometry(self):
+        from repro.sim.results import result_csv_rows
+
+        rows = result_csv_rows(self._channel_result().to_payload())
+        assert len(rows) == 1 + 2 * (1 + 3)
+        for row in rows:
+            assert row["num_ranks"] == 2, row["scope"]
+            assert row["num_banks"] == 3, row["scope"]
+
+    def test_multi_rank_csv_round_trip(self, tmp_path):
+        """Geometry survives a real CSV write/read cycle."""
+        import csv
+
+        from repro.sim.results import RESULT_CSV_COLUMNS, result_csv_rows
+
+        rows = result_csv_rows(self._channel_result().to_payload())
+        path = tmp_path / "out.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=RESULT_CSV_COLUMNS)
+            writer.writeheader()
+            writer.writerows(rows)
+        with path.open(newline="") as handle:
+            read_back = list(csv.DictReader(handle))
+        assert len(read_back) == len(rows)
+        scopes = [row["scope"] for row in read_back]
+        assert scopes[0] == "channel"
+        assert scopes.count("rank") == 2
+        assert scopes.count("bank") == 6
+        for row in read_back:
+            assert row["num_ranks"] == "2"
+            assert row["num_banks"] == "3"
+
+    def test_standalone_rank_payload_defaults_to_one_rank(self):
+        from repro.sim.results import RankSimResult, result_csv_rows
+
+        rank = RankSimResult(
+            trace="t",
+            intervals=5,
+            refreshes=5,
+            per_bank=[make_result(trace="t", intervals=5) for _ in range(2)],
+        )
+        rows = result_csv_rows(rank.to_payload())
+        for row in rows:
+            assert row["num_ranks"] == 1
+            assert row["num_banks"] == 2
