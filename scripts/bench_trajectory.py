@@ -281,7 +281,11 @@ def bench_fused_channel(
         }
         specs = (
             ("lockstep", dict(fused=False, vectorized=True)),
-            ("fused", dict(fused=True, vectorized=True)),
+            # backend pinned: this point tracks the pure-NumPy fused
+            # kernel tier; the compiled tier has its own points
+            # (``compiled_channel_points``) and must not leak in via
+            # backend="auto" resolution.
+            ("fused", dict(fused=True, vectorized=True, backend="numpy")),
             ("scalar", dict(fused=False, vectorized=False)),
         )
         results = {}
@@ -319,6 +323,112 @@ def bench_fused_channel(
         point["bit_identical"] = (
             canon["fused"] == canon["lockstep"] == canon["scalar"]
         )
+        points.append(point)
+    return points
+
+
+def bench_compiled_channel(
+    trackers: list[str],
+    intervals: int,
+    repeats: int,
+    num_ranks: int = 4,
+    num_banks: int = 8,
+) -> list[dict]:
+    """The compiled-tier acceptance point: the fused 8-bank/4-rank
+    striped workload through lockstep, fused, compiled, and scalar,
+    timed, with four-way bit-identity.
+
+    Same workload as :func:`bench_fused_channel` — the steady state the
+    compiled march exists for (every rank replaying one cached interval
+    for thousands of tREFIs). ``compiled`` is the fused kernel with
+    ``backend="compiled"`` (best available provider); the speedups
+    recorded are compiled over fused and compiled over lockstep. When
+    no compiled provider is available on the host the points record
+    ``provider: null`` and skip the compiled timing rather than fail.
+    """
+    from repro import kernels
+    from repro.sim.trace import ChannelTrace, CycleStream, RankInterval
+
+    provider = kernels.provider()
+    acts = []
+    for i in range(MAX_ACT):
+        bank = i % num_banks
+        pair = (i // num_banks) % 3
+        acts.append(
+            (bank, 1000 + 4000 * bank + 6 * pair + (2 if i % 2 else 0))
+        )
+    interval = RankInterval.of(acts)
+    points = []
+    for tracker in trackers:
+        trace = ChannelTrace(
+            name="compiled-stripe",
+            per_rank={
+                rank: CycleStream(
+                    f"compiled-stripe-r{rank}", (interval,), intervals
+                )
+                for rank in range(num_ranks)
+            },
+        )
+        total_acts = num_ranks * MAX_ACT * intervals
+        point: dict = {
+            "tracker": tracker,
+            "num_ranks": num_ranks,
+            "num_banks": num_banks,
+            "intervals": intervals,
+            "total_acts": total_acts,
+            "kernel": "compiled",
+            "provider": provider,
+        }
+        specs = [
+            ("lockstep", dict(fused=False, vectorized=True)),
+            ("fused", dict(fused=True, vectorized=True, backend="numpy")),
+            ("scalar", dict(fused=False, vectorized=False)),
+        ]
+        if provider is not None:
+            specs.insert(
+                2, ("compiled", dict(fused=True, vectorized=True,
+                                     backend="compiled"))
+            )
+        results = {}
+        best = {label: float("inf") for label, _ in specs}
+        for _ in range(repeats):
+            for label, overrides in specs:
+                simulator = ChannelSimulator(
+                    channel_tracker_factory(tracker, base_seed=7),
+                    EngineConfig(
+                        num_banks=num_banks,
+                        num_ranks=num_ranks,
+                        trh=1e9,
+                        **overrides,
+                    ),
+                )
+                started = time.perf_counter()
+                results[label] = simulator.run(trace)
+                best[label] = min(
+                    best[label], time.perf_counter() - started
+                )
+        for label, _ in specs:
+            point[f"{label}_acts_per_second"] = round(
+                total_acts / best[label], 1
+            )
+            point[f"{label}_seconds"] = round(best[label], 6)
+        canon = {label: _canonical(r) for label, r in results.items()}
+        point["bit_identical"] = all(
+            canon[label] == canon["scalar"] for label, _ in specs
+        )
+        if provider is not None:
+            point["speedup_vs_fused"] = round(
+                point["compiled_acts_per_second"]
+                / point["fused_acts_per_second"],
+                3,
+            )
+            point["speedup_vs_lockstep"] = round(
+                point["compiled_acts_per_second"]
+                / point["lockstep_acts_per_second"],
+                3,
+            )
+            stats = results["compiled"].kernel_stats
+            point["kernel_stats"] = stats
         points.append(point)
     return points
 
@@ -403,6 +513,95 @@ def bench_streaming(intervals: int, repeats: int) -> dict:
     }
 
 
+#: ``--compare`` gate: a bit-identical point may lose at most this
+#: fraction of its acts/sec before the diff exits non-zero.
+REGRESSION_TOLERANCE = 0.20
+
+#: The record keys holding lists of timed points (each point a dict of
+#: metadata plus ``*_acts_per_second`` metrics).
+_POINT_LIST_KEYS = (
+    "engine_points",
+    "channel_points",
+    "fused_channel_points",
+    "compiled_channel_points",
+)
+
+
+def _point_key(point: dict) -> tuple:
+    return (
+        point.get("tracker"),
+        point.get("num_ranks"),
+        point.get("num_banks"),
+        point.get("kernel"),
+    )
+
+
+def compare_records(old_path: Path, new_path: Path) -> int:
+    """Diff two ``BENCH_engine.json`` records point by point.
+
+    Prints a per-point speedup-delta table for every ``*_acts_per_second``
+    metric present in both records, and exits non-zero when any point
+    that is ``bit_identical`` in both records regressed by more than
+    ``REGRESSION_TOLERANCE``. Points or metrics present on only one
+    side are reported but never gate (the trajectory grows new tiers).
+    """
+    old = json.loads(Path(old_path).read_text())
+    new = json.loads(Path(new_path).read_text())
+    header = f"{'point':<42s} {'metric':<28s} {'old':>14s} {'new':>14s} {'delta':>8s}"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for list_key in _POINT_LIST_KEYS:
+        old_points = {
+            _point_key(p): p for p in old.get(list_key, [])
+        }
+        for point in new.get(list_key, []):
+            base = old_points.get(_point_key(point))
+            label = (
+                f"{list_key}:{point.get('tracker')}"
+                f"@{point.get('num_ranks', 1)}r"
+                f"{point.get('num_banks', 1)}b"
+            )
+            if base is None:
+                print(f"{label:<42s} {'(new point)':<28s}")
+                continue
+            gated = bool(
+                point.get("bit_identical")
+                and base.get("bit_identical")
+            )
+            metrics = sorted(
+                metric
+                for metric in point
+                if metric.endswith("acts_per_second")
+            )
+            for metric in metrics:
+                after = point[metric]
+                before = base.get(metric)
+                if not before:
+                    print(f"{label:<42s} {metric:<28s} "
+                          f"{'(new metric)':>14s} {after:>14,.0f}")
+                    continue
+                delta = after / before - 1.0
+                flag = ""
+                if gated and delta < -REGRESSION_TOLERANCE:
+                    regressions.append((label, metric, delta))
+                    flag = "  REGRESSION"
+                print(
+                    f"{label:<42s} {metric:<28s} {before:>14,.0f} "
+                    f"{after:>14,.0f} {delta:>+7.1%}{flag}"
+                )
+    if regressions:
+        print(
+            f"ERROR: {len(regressions)} bit-identical point(s) regressed "
+            f"more than {REGRESSION_TOLERANCE:.0%}:"
+        )
+        for label, metric, delta in regressions:
+            print(f"  {label} {metric} {delta:+.1%}")
+        return 1
+    print("compare: no gated regressions")
+    return 0
+
+
 def bench_exp_runner(points: int, windows: int) -> dict:
     """Time the experiment runner serially vs with a 4-worker pool."""
     from repro.exp import run_grid
@@ -464,12 +663,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="fused bit-identity gate only: small horizon, no timing "
-        "thresholds, no output file; exits non-zero on any mismatch",
+        help="fused + compiled bit-identity gate only: small horizon, "
+        "no timing thresholds, no output file; exits non-zero on any "
+        "mismatch",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        help="diff two BENCH_engine.json records: per-point acts/sec "
+        "delta table; exits non-zero when any bit-identical point "
+        f"regressed more than {REGRESSION_TOLERANCE:.0%}",
     )
     args = parser.parse_args(argv)
 
+    if args.compare:
+        return compare_records(Path(args.compare[0]), Path(args.compare[1]))
+
     if args.smoke:
+        from repro import kernels
+
         points = bench_fused_channel(
             ["mint", "graphene"], intervals=120, repeats=1
         )
@@ -481,10 +694,26 @@ def main(argv: list[str] | None = None) -> int:
                 f"{point['tracker']:>10s} ranks={point['num_ranks']} "
                 f"banks={point['num_banks']} fused identity [{status}]"
             )
+        if kernels.available():
+            for point in bench_compiled_channel(
+                ["mint", "none"], intervals=120, repeats=1
+            ):
+                status = "ok" if point["bit_identical"] else "MISMATCH"
+                mismatches += not point["bit_identical"]
+                print(
+                    f"{point['tracker']:>10s} ranks={point['num_ranks']} "
+                    f"banks={point['num_banks']} compiled identity "
+                    f"({point['provider']}) [{status}]"
+                )
+        else:
+            print(
+                "compiled identity: skipped "
+                f"({kernels.unavailable_reason()})"
+            )
         if mismatches:
-            print(f"ERROR: {mismatches} fused bit-identity check(s) failed")
+            print(f"ERROR: {mismatches} bit-identity check(s) failed")
             return 1
-        print("fused bit-identity smoke: all ok")
+        print("bit-identity smoke: all ok")
         return 0
 
     if args.quick:
@@ -553,6 +782,33 @@ def main(argv: list[str] | None = None) -> int:
             f"fused {point['fused_acts_per_second']:>12,.0f}/s  "
             f"x{point['speedup_vs_lockstep']:<5.2f} [{status}]"
         )
+    # The compiled-tier acceptance point: same long-horizon workload,
+    # plus the compiled march (when a provider exists on this host).
+    record["compiled_channel_points"] = bench_compiled_channel(
+        list(dict.fromkeys([trackers[0], "mint", "none"])),
+        max(args.intervals, 2000),
+        max(args.repeats, 5),
+    )
+    for point in record["compiled_channel_points"]:
+        status = "ok" if point["bit_identical"] else "MISMATCH"
+        failures += not point["bit_identical"]
+        if point["provider"] is not None:
+            print(
+                f"{point['tracker']:>10s} ranks={point['num_ranks']} "
+                f"banks={point['num_banks']} "
+                f"fused {point['fused_acts_per_second']:>12,.0f}/s  "
+                f"compiled {point['compiled_acts_per_second']:>12,.0f}/s "
+                f"({point['provider']})  "
+                f"x{point['speedup_vs_fused']:<5.2f} vs fused, "
+                f"x{point['speedup_vs_lockstep']:<5.2f} vs lockstep "
+                f"[{status}]"
+            )
+        else:
+            print(
+                f"{point['tracker']:>10s} ranks={point['num_ranks']} "
+                f"banks={point['num_banks']} compiled: no provider "
+                f"[{status}]"
+            )
     record["streaming"] = bench_streaming(
         intervals=2 * args.intervals, repeats=max(args.repeats, 3)
     )

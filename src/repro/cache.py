@@ -45,11 +45,18 @@ class BoundedCache:
         self._entries: dict[Hashable, list] = {}
         self._tick = 0
 
-    def get(self, key: Hashable) -> Any | None:
-        """The cached value for ``key`` (marked recently used), or None."""
+    def get(self, key: Hashable, default: Any = None) -> Any | None:
+        """The cached value for ``key`` (marked recently used).
+
+        Returns ``default`` on a miss. A legitimately cached ``None``
+        is a hit like any other value — callers that need to tell the
+        two apart pass a private sentinel as ``default`` instead of
+        testing ``is None`` (which would rebuild cached-``None``
+        entries on every access).
+        """
         entry = self._entries.get(key)
         if entry is None:
-            return None
+            return default
         self._tick += 1
         entry[1] = self._tick
         return entry[0]

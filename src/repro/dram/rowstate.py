@@ -320,6 +320,20 @@ class RowDisturbanceModel:
         best = max(self._disturbance.values())
         return min(r for r, v in self._disturbance.items() if v == best)
 
+    def disturbance_summary(self) -> tuple[float, int | None]:
+        """``(max_disturbance(), most_disturbed_row())`` in one call.
+
+        Exists so result collection pays one storage scan instead of
+        two on the dense backend; the sparse form just composes the two
+        queries, so the pair is identical to calling them separately.
+        """
+        if not self._disturbance:
+            return 0.0, None
+        best = max(self._disturbance.values())
+        return best, min(
+            r for r, v in self._disturbance.items() if v == best
+        )
+
     @property
     def any_flip(self) -> bool:
         return bool(self.flips)
@@ -630,6 +644,16 @@ class DenseRowDisturbanceModel(RowDisturbanceModel):
         if self._dist[row] <= 0.0:
             return None
         return row
+
+    def disturbance_summary(self) -> tuple[float, int | None]:
+        # One argmax scan serves both queries: dist[argmax] IS the max,
+        # and argmax already takes the lowest index among ties. (No
+        # touched-row windowing here: victim-refresh bumps chain — a
+        # refreshed victim's neighbour can itself be mitigated later —
+        # so disturbance travels arbitrarily far from activated rows.)
+        row = int(self._dist.argmax())
+        best = float(self._dist[row])
+        return best, (row if best > 0.0 else None)
 
     def peak_disturbance(self, row: int) -> float:
         if not 0 <= row < self.num_rows:

@@ -85,6 +85,7 @@ class PointConfig:
     num_ranks: int = 1
     concurrent_banks: int | None = None
     vectorized: bool | None = None
+    backend: str | None = None
 
     def to_payload(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,30 @@
+"""Optional-Numba shim for the compiled kernels.
+
+Numba is an optional extra (``pip install .[compiled]``); when it is
+absent the ``@njit`` decorator degrades to an identity decorator so the
+kernel module still imports and the very same function bodies run as
+the interpreted reference implementation (used by the equivalence
+tests and as the last-resort provider).
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _numba_njit
+
+    HAVE_NUMBA = True
+
+    def njit(*args, **kwargs):
+        return _numba_njit(*args, **kwargs)
+
+except ImportError:
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def decorate(func):
+            return func
+
+        return decorate

@@ -187,6 +187,7 @@ class Scenario:
     num_ranks: int = 1
     concurrent_banks: int | None = None
     vectorized: bool | None = None
+    backend: str | None = None
     timing: DDR5Timing | None = None
     seed: int = 0
 
@@ -207,6 +208,11 @@ class Scenario:
             raise ValueError(
                 "scaled_timing and an explicit timing override are "
                 "mutually exclusive"
+            )
+        if self.backend not in (None, "auto", "compiled", "numpy"):
+            raise ValueError(
+                f"backend must be 'auto', 'compiled', or 'numpy', "
+                f"got {self.backend!r}"
             )
 
     # -- identity ------------------------------------------------------
@@ -229,6 +235,7 @@ class Scenario:
             "num_ranks": self.num_ranks,
             "concurrent_banks": self.concurrent_banks,
             "vectorized": self.vectorized,
+            "backend": self.backend,
             "timing": None if self.timing is None else {
                 f.name: getattr(self.timing, f.name)
                 for f in fields(DDR5Timing)
@@ -276,12 +283,13 @@ class Scenario:
     def identity_payload(self) -> dict:
         """The payload slice that determines the scenario's *result*.
 
-        Exactly :meth:`to_payload` minus ``vectorized``: the kernel
-        choice is a pure implementation knob — the engine pins both
-        kernels bit-identical — so two scenarios differing only in it
-        must share every random stream and every fingerprint (scalar
-        and vectorized runs of one scenario are the same result, and a
-        store serves either from the other's cache entry).
+        Exactly :meth:`to_payload` minus ``vectorized`` and
+        ``backend``: the kernel and compiled-provider choices are pure
+        implementation knobs — the engine pins every combination
+        bit-identical — so two scenarios differing only in them must
+        share every random stream and every fingerprint (scalar,
+        vectorized, and compiled runs of one scenario are the same
+        result, and a store serves any from another's cache entry).
 
         ``num_ranks`` is semantic (it *is* hashed when above 1), but
         the default of 1 — the pre-channel geometry — is elided, so
@@ -292,6 +300,7 @@ class Scenario:
         """
         payload = self.to_payload()
         del payload["vectorized"]
+        del payload["backend"]
         if payload["num_ranks"] == 1:
             del payload["num_ranks"]
         return payload
@@ -397,6 +406,7 @@ class Scenario:
             num_ranks=self.num_ranks,
             concurrent_banks=self.concurrent_banks,
             vectorized=self.vectorized,
+            backend=self.backend or "auto",
         )
 
     def attack_params(self) -> AttackParams:
@@ -517,21 +527,23 @@ class Scenario:
         )
         base_config = PointConfig.from_scenario(self)
         knob_names = {f.name for f in fields(PointConfig)}
-        if "vectorized" in axes:
-            # Excluded from the identity hash (see identity_payload):
-            # both values would fingerprint — and cache — as one point.
-            raise ValueError(
-                "'vectorized' cannot be a sweep axis: the kernel choice "
-                "is excluded from scenario identity (both kernels are "
-                "bit-identical), so its points would collide in the "
-                "result store; set it on the base scenario instead"
-            )
+        for knob in ("vectorized", "backend"):
+            if knob in axes:
+                # Excluded from the identity hash (see identity_payload):
+                # all values would fingerprint — and cache — as one point.
+                raise ValueError(
+                    f"'{knob}' cannot be a sweep axis: the engine-path "
+                    "choice is excluded from scenario identity (every "
+                    "engine path is bit-identical), so its points would "
+                    "collide in the result store; set it on the base "
+                    "scenario instead"
+                )
         unknown = set(axes) - knob_names
         if unknown:
             raise ValueError(
                 f"unknown sweep axis(es) {sorted(unknown)}; valid axes: "
                 f"'tracker', 'attack', and the grid knobs "
-                f"{sorted(knob_names - {'vectorized'})}"
+                f"{sorted(knob_names - {'vectorized', 'backend'})}"
             )
         keys = list(axes)
         value_lists = [
@@ -568,7 +580,8 @@ class Scenario:
                if self.allow_postponement else "off"),
             f"  engine           "
             + ("auto" if self.vectorized is None
-               else "vectorized" if self.vectorized else "scalar"),
+               else "vectorized" if self.vectorized else "scalar")
+            + f", backend {self.backend or 'auto'}",
             f"  seed             {self.seed}",
             f"  task seed        {self.task_seed()}",
             f"  fingerprint      {self.fingerprint()}",

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, replace
+from itertools import groupby, islice
 from typing import Callable, Sequence
 
 try:
@@ -128,6 +129,17 @@ class EngineConfig:
     #: kernel forces dense so bank oracles can adopt views into its
     #: packed arrays.
     oracle_backend: str | None = None
+    #: Compiled-tier selection under the fused channel kernel (see
+    #: :mod:`repro.kernels`). ``"auto"`` marches steady-state step runs
+    #: through the best available compiled provider (Numba when the
+    #: ``compiled`` extra is installed, the on-demand C build
+    #: otherwise) and falls back to the pure-NumPy fused path when none
+    #: exists or a step does not qualify; ``"compiled"`` requires a
+    #: provider (raises at construction when none is available);
+    #: ``"numpy"`` pins today's fused path. Excluded from scenario
+    #: identity, like ``vectorized``/``fused`` — all three settings
+    #: produce bit-identical results (pinned by the property suite).
+    backend: str = "auto"
 
 
 class _BankView:
@@ -223,6 +235,20 @@ class RankSimulator:
         )
         if c.vectorized and np is None:
             raise RuntimeError("EngineConfig.vectorized=True requires numpy")
+        if c.backend not in ("auto", "compiled", "numpy"):
+            raise ValueError(
+                "EngineConfig.backend must be 'auto', 'compiled', or "
+                f"'numpy', not {c.backend!r}"
+            )
+        if c.backend == "compiled":
+            # Fail loudly at construction when no compiled provider
+            # exists — the whole point of pinning "compiled" over
+            # "auto" (the compiled tier itself runs only under the
+            # fused channel kernel; a plain rank simulator accepts the
+            # pin but has no compiled path).
+            from ..kernels import require_compiled
+
+            require_compiled()
         #: Resolved kernel choice: vectorized unless disabled or no NumPy.
         self.vectorized = (
             c.vectorized if c.vectorized is not None else np is not None
@@ -448,6 +474,9 @@ class RankSimulator:
         for bank in range(self.num_banks):
             model = self.device.banks[bank]
             tracker = self.trackers[bank]
+            max_disturbance, most_disturbed_row = (
+                model.disturbance_summary()
+            )
             per_bank.append(
                 SimResult(
                     tracker=tracker.name,
@@ -459,8 +488,8 @@ class RankSimulator:
                     transitive_mitigations=self.bank_transitive_mitigations[bank],
                     pseudo_mitigations=tracker.pseudo_mitigations,
                     flips=list(model.flips),
-                    max_disturbance=model.max_disturbance(),
-                    most_disturbed_row=model.most_disturbed_row(),
+                    max_disturbance=max_disturbance,
+                    most_disturbed_row=most_disturbed_row,
                     max_unmitigated=dict(self._bank_peak[bank]),
                 )
             )
@@ -576,6 +605,11 @@ class RankSimulator:
         return self.device.any_flip
 
 
+#: Private miss sentinel for the plan memos (a cached value can never
+#: be this object, so hits and misses are always distinguishable).
+_CACHE_MISS = object()
+
+
 class _FusedChannelKernel:
     """One flat multi-rank activation kernel — the fused channel tier.
 
@@ -648,6 +682,16 @@ class _FusedChannelKernel:
         self.speak = np.zeros((self.units, self.num_rows), dtype=np.int64)
         self.since_flat = self.since.reshape(-1)
         self.speak_flat = self.speak.reshape(-1)
+        # Activated-row envelope, per unit: the packed unmitigated-run
+        # counters (``since``/``speak``) are only ever written at
+        # in-range *activated* rows — mitigations merely zero them — so
+        # ``materialize`` can scan [lo, hi) instead of the whole row
+        # space. (The disturbance arrays get no such envelope:
+        # victim-refresh bumps chain arbitrarily far from the
+        # activations.) Widened at plan build; empty (lo >= hi) until a
+        # unit first activates.
+        self._row_lo = [self.num_rows] * self.units
+        self._row_hi = [0] * self.units
         for rank, sim in enumerate(channel.ranks):
             for bank in range(self.num_banks):
                 unit = rank * self.num_banks + bank
@@ -709,6 +753,41 @@ class _FusedChannelKernel:
             sim.device._ref_counter[0] for sim in channel.ranks
         ]
         self.steps = 0
+        # Kernel-path telemetry (exposed via ``stats()``): fused
+        # fast-path steps vs order-sensitive slow-path steps vs steps
+        # executed inside a compiled march, plus plan-cache traffic —
+        # a workload silently degrading to 100% slow path is invisible
+        # without these.
+        self.fast_steps = 0
+        self.slow_steps = 0
+        self.compiled_steps = 0
+        self.compiled_calls = 0
+        self.compiled_bails = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self._step_slow = False
+        # Running upper bound on every packed disturbance cell, or None
+        # after a write the fused paths cannot see (exact replays, slow
+        # mitigations). The compiled march uses it for flip safety: a
+        # step runs compiled only while bound + step_gain < trh, so the
+        # compiled loop needs no per-write flip checks.
+        self._bound = 0.0
+        # Compiled-tier state (see repro.kernels). The march function
+        # is resolved once; a run/plan that cannot lower disables the
+        # tier for this kernel (sticky — the Python paths then own the
+        # arrays and the bound may go stale near the threshold).
+        self._march_fn = None
+        self._provider = None
+        if channel.backend == "compiled":
+            from ..kernels import get_march
+
+            self._march_fn = get_march()
+            self._provider = channel._provider
+        self._compiled_off = self._march_fn is None
+        self._min_compiled_run = 16
+        self._max_compiled_chunk = 4096
+        self._lowered_cache = BoundedCache(self._PLAN_CACHE_LIMIT)
+        self._cstate = None
 
     # ------------------------------------------------------------------
     def march(self, iterators: dict[int, "Iterator"]) -> None:
@@ -718,29 +797,102 @@ class _FusedChannelKernel:
         step, so the shared tREFI clock is common to all active ranks;
         a rank drops out when its schedule ends (ranks may have
         different horizons).
-        """
-        active = dict(iterators)
-        sentinel = object()
-        while active:
-            step = []
-            for rank in sorted(active):
-                interval = next(active[rank], sentinel)
-                if interval is sentinel:
-                    del active[rank]
-                else:
-                    step.append((rank, interval))
-            if step:
-                self._step(step)
 
-    def _step(self, step: list) -> None:
+        Consecutive steps replaying the same interval objects — the
+        dominant case, attack traces reuse a few shared intervals for
+        thousands of tREFIs — accumulate into *runs* and flush
+        together, so the compiled tier can execute a whole run in one
+        call instead of one Python dispatch per tREFI. Run detection is
+        per rank via ``itertools.groupby`` keyed on object identity, so
+        a thousand-step replay costs one C-speed group consumption, not
+        a thousand Python-loop iterations; the composed channel run is
+        the minimum of the active ranks' run lengths. Lookahead per
+        rank never exceeds ``_max_compiled_chunk`` intervals (matching
+        the accumulate-then-flush window the per-step detector had).
+        """
+        self._run_state = {
+            rank: [groupby(it, key=id), None]
+            for rank, it in iterators.items()
+        }
+        current: dict[int, list] = {}
+        for rank in sorted(self._run_state):
+            run = self._next_run(rank)
+            if run is not None:
+                current[rank] = [run[0], run[1]]
+        while current:
+            ranks = sorted(current)
+            step = [(rank, current[rank][0]) for rank in ranks]
+            n = min(current[rank][1] for rank in ranks)
+            key = tuple((rank, id(interval)) for rank, interval in step)
+            self._flush(step, key, n)
+            for rank in ranks:
+                state = current[rank]
+                state[1] -= n
+                if state[1] == 0:
+                    run = self._next_run(rank)
+                    if run is None:
+                        del current[rank]
+                    else:
+                        state[0], state[1] = run
+
+    def _next_run(self, rank: int):
+        """Pull one rank's next ``(interval, count)`` replay run.
+
+        A run is a maximal stretch of consecutive identical interval
+        objects, capped at ``_max_compiled_chunk``; a capped group's
+        remainder carries over to the next pull. Identity grouping is
+        sound against id reuse because ``groupby`` keeps the previous
+        item alive while keying the next one, and the returned interval
+        pins its whole run (every grouped item IS that object).
+        """
+        grouper, group = self._run_state[rank]
+        cap = self._max_compiled_chunk
+        while True:
+            if group is not None:
+                first = next(group, _CACHE_MISS)
+                if first is not _CACHE_MISS:
+                    n = 1 + sum(1 for _ in islice(group, cap - 1))
+                    self._run_state[rank][1] = group if n == cap else None
+                    return first, n
+                self._run_state[rank][1] = None
+            pulled = next(grouper, _CACHE_MISS)
+            if pulled is _CACHE_MISS:
+                return None
+            group = pulled[1]
+
+    def _flush(self, step: list, key: tuple, n: int) -> None:
+        """Execute ``n`` identical consecutive steps.
+
+        Long enough runs go through the compiled march when the plan
+        qualifies; whatever it does not execute (no provider, an
+        unqualified plan, a flip-safety bail) replays through the
+        per-step fused path below.
+        """
+        plan = self._plan_cache.get(key, _CACHE_MISS)
+        if plan is _CACHE_MISS:
+            plan = self._build_plan(step)
+            self._plan_cache.put(key, plan)
+            self.plan_misses += 1
+            self.plan_hits += n - 1
+        else:
+            self.plan_hits += n
+        done = 0
+        if not self._compiled_off and n >= self._min_compiled_run:
+            done = self._compiled_march(step, plan, n)
+        for _ in range(n - done):
+            self._step(step, plan)
+
+    def _step(self, step: list, plan: tuple | None = None) -> None:
         """One shared tREFI: absorb every rank's interval, tick REFs."""
         self.steps += 1
         time_ns = self.steps * self.t_refi_ns
-        key = tuple((rank, id(interval)) for rank, interval in step)
-        plan = self._plan_cache.get(key)
+        self._step_slow = False
         if plan is None:
-            plan = self._build_plan(step)
-            self._plan_cache.put(key, plan)
+            key = tuple((rank, id(interval)) for rank, interval in step)
+            plan = self._plan_cache.get(key, _CACHE_MISS)
+            if plan is _CACHE_MISS:
+                plan = self._build_plan(step)
+                self._plan_cache.put(key, plan)
         (
             absorb,
             exact_units,
@@ -780,20 +932,26 @@ class _FusedChannelKernel:
         # Units whose activated rows fall within each other's blast
         # radius replay through their bank's exact path (same adopted
         # arrays, per-bank flip/order semantics preserved).
-        for model, acts, agg in exact_units:
-            model.activate_many(acts, time_ns, agg=agg)
+        if exact_units:
+            self._step_slow = True
+            self._bound = None
+            for model, acts, agg in exact_units:
+                model.activate_many(acts, time_ns, agg=agg)
         # The fused scatter: one whole-channel read + flip pre-check +
         # reset + write + peak max over packed unit*num_rows+row keys.
         if victims.size:
             dist_flat = self.dist_flat
             old = dist_flat[victims]
             new = old + delta
-            if new.max() >= self.trh and bool(
+            mx = new.max()
+            if mx >= self.trh and bool(
                 ((new >= self.trh) & ~self.flipped_flat[victims]).any()
             ):
                 # Rare: some unit crosses TRH this interval. Replay each
                 # scatter-eligible unit through its own bank path, which
                 # records per-crossing flip events in act order.
+                self._step_slow = True
+                self._bound = None
                 for model, acts, agg in scatter_units:
                     model.activate_many(acts, time_ns, agg=agg)
             else:
@@ -801,6 +959,8 @@ class _FusedChannelKernel:
                 dist_flat[victims] = new
                 peak_flat = self.peak_flat
                 peak_flat[victims] = np.maximum(peak_flat[victims], new)
+                if self._bound is not None and mx > self._bound:
+                    self._bound = float(mx)
         elif reset_keys.size:
             self.dist_flat[reset_keys] = 0.0
         # Shared tREFI boundary: every active rank's scheduler ticks.
@@ -834,6 +994,10 @@ class _FusedChannelKernel:
                     ],
                     time_ns,
                 )
+        if self._step_slow:
+            self.slow_steps += 1
+        else:
+            self.fast_steps += 1
 
     def _build_plan(self, step: list) -> tuple:
         """Aggregate one channel step into packed dispatch plans.
@@ -940,6 +1104,20 @@ class _FusedChannelKernel:
                 )
             agg = (uniq, counts)
             model = sim.device.banks[bank]
+            if uniq.size:
+                # Widen the unit's activated-row envelope (uniq is
+                # sorted; only its in-range part can reach the packed
+                # unmitigated-run counters).
+                lo = int(uniq[0])
+                hi = int(uniq[-1]) + 1
+                if lo < 0:
+                    lo = 0
+                if hi > rows_n:
+                    hi = rows_n
+                if lo < self._row_lo[unit]:
+                    self._row_lo[unit] = lo
+                if hi > self._row_hi[unit]:
+                    self._row_hi[unit] = hi
             if uniq.size > 1 and bool(np.any(np.diff(uniq) == 1)):
                 # Aggressor/victim interleaving within the bank: the
                 # in-batch order of self-refreshes is observable.
@@ -1133,14 +1311,18 @@ class _FusedChannelKernel:
                     np.searchsorted(nunique, nkeys), minlength=nunique.size
                 ).astype(np.float64)
                 new = self.dist_flat[nunique] + bump
-        if new is not None and new.max() >= self.trh and bool(
-            ((new >= self.trh) & ~self.flipped_flat[nunique]).any()
-        ):
-            # Rare: a mitigation bump crosses TRH — replay through the
-            # per-bank appliers (exact per-crossing flips).
-            for (sim, bank, unit, _), request in zip(fused, reqs):
-                self._apply_slow(sim, bank, unit, request, time_ns)
-            return
+        if new is not None:
+            bump_mx = new.max()
+            if bump_mx >= self.trh and bool(
+                ((new >= self.trh) & ~self.flipped_flat[nunique]).any()
+            ):
+                # Rare: a mitigation bump crosses TRH — replay through
+                # the per-bank appliers (exact per-crossing flips).
+                for (sim, bank, unit, _), request in zip(fused, reqs):
+                    self._apply_slow(sim, bank, unit, request, time_ns)
+                return
+            if self._bound is not None and bump_mx > self._bound:
+                self._bound = float(bump_mx)
         self.dist_flat[vkeys] = 0.0
         self.since_flat[vkeys] = 0
         if akeys is None:
@@ -1193,6 +1375,8 @@ class _FusedChannelKernel:
         (dict overflow for out-of-range rows) so both representations
         stay consistent during a fused run.
         """
+        self._step_slow = True
+        self._bound = None
         sim.bank_mitigations[bank] += 1
         if request.distance > 1:
             sim.bank_transitive_mitigations[bank] += 1
@@ -1220,6 +1404,335 @@ class _FusedChannelKernel:
             if observes:
                 tracker.on_mitigation_activate(victim)
 
+    # -- compiled tier -------------------------------------------------
+    def _compiled_state(self) -> dict | None:
+        """Per-kernel state arrays for the compiled march, built once.
+
+        Every tracker in the channel must be exactly a null tracker or
+        a plain-RNG :class:`~repro.core.mint.MintTracker` (the pure-
+        tally shapes the compiled REF logic implements); anything else
+        — or any tracker observing mitigation activations — disables
+        the tier for this kernel and the fused Python paths carry on.
+        """
+        state = self._cstate
+        if state is not None:
+            return state
+        if self._any_observing:
+            self._compiled_off = True
+            return None
+        import random as random_mod
+
+        from ..core.mint import MintTracker
+        from ..trackers.base import NullTracker
+
+        kind = np.zeros(self.units, dtype=np.int64)
+        mints: list = [None] * self.units
+        for rank, sim in enumerate(self.channel.ranks):
+            for bank in range(self.num_banks):
+                unit = rank * self.num_banks + bank
+                tracker = sim.trackers[bank]
+                if type(tracker) is NullTracker:
+                    continue
+                low = 0 if getattr(tracker, "transitive", True) else 1
+                if (
+                    type(tracker) is MintTracker
+                    and type(tracker.rng) is random_mod.Random
+                    and (tracker.max_act - low + 1).bit_length() <= 32
+                ):
+                    kind[unit] = 1
+                    mints[unit] = tracker
+                else:
+                    self._compiled_off = True
+                    return None
+        units = self.units
+        state = {
+            "kind": kind,
+            "mints": mints,
+            "m_san": np.zeros(units, dtype=np.int64),
+            "m_sar": np.zeros(units, dtype=np.int64),
+            "m_valid": np.zeros(units, dtype=np.int64),
+            "m_dist": np.zeros(units, dtype=np.int64),
+            "m_sel": np.zeros(units, dtype=np.int64),
+            "mitig": np.zeros(units, dtype=np.int64),
+            "transmit": np.zeros(units, dtype=np.int64),
+            "draw_off": np.zeros(units, dtype=np.int64),
+            "ref_counts": np.zeros(self.num_ranks, dtype=np.int64),
+        }
+        self._cstate = state
+        return state
+
+    def _lower(self, plan: tuple):
+        """The plan's flat-array form for the compiled march (memoized
+        per plan object; ``None`` when the plan cannot lower)."""
+        entry = self._lowered_cache.get(id(plan), _CACHE_MISS)
+        if entry is not _CACHE_MISS:
+            return entry[1]
+        lowered = self._build_lowered(plan)
+        # The entry pins the plan so its id cannot be recycled.
+        self._lowered_cache.put(id(plan), (plan, lowered))
+        return lowered
+
+    def _build_lowered(self, plan: tuple):
+        (
+            absorb,
+            exact_units,
+            _scatter_units,
+            reset_keys,
+            victims,
+            delta,
+            since_keys,
+            since_counts,
+            overflow,
+            demand_keys,
+            demand_counts,
+            step,
+        ) = plan
+        # Order-sensitive shapes (aggressor/victim adjacency) and
+        # out-of-range activations keep their per-step handling.
+        if exact_units or overflow:
+            return None
+        lengths = np.zeros(self.units, dtype=np.int64)
+        parts = []
+        # ``absorb`` entries parallel ``demand_keys`` (both are built
+        # per segment, unit-ascending), so this pairs each unit with
+        # its raw act rows.
+        for (_, acts, _), unit in zip(absorb, demand_keys.tolist()):
+            arr = np.ascontiguousarray(acts, dtype=np.int64)
+            lengths[unit] = arr.shape[0]
+            parts.append(arr)
+        acts_off = np.zeros(self.units + 1, dtype=np.int64)
+        np.cumsum(lengths, out=acts_off[1:])
+        acts_concat = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        step_ranks = np.array(
+            sorted(rank for rank, _ in step), dtype=np.int64
+        )
+        postpone_any = any(interval.postpone for _, interval in step)
+        max_delta = float(delta.max()) if delta.size else 0.0
+        return (
+            step_ranks,
+            postpone_any,
+            np.ascontiguousarray(reset_keys, dtype=np.int64),
+            np.ascontiguousarray(victims, dtype=np.int64),
+            np.ascontiguousarray(delta, dtype=np.float64),
+            np.ascontiguousarray(since_keys, dtype=np.int64),
+            np.ascontiguousarray(since_counts, dtype=np.int64),
+            acts_concat,
+            acts_off,
+            demand_keys,
+            demand_counts,
+            # Flip-safety step gain: the largest one-step increase any
+            # cell can see — its activation-scatter delta plus the
+            # worst mitigation bump (2.0: a distance-1 aggressor is
+            # bumped by both of its victims' refresh activations).
+            max_delta + 2.0,
+        )
+
+    def _compiled_march(self, step: list, plan: tuple, n: int) -> int:
+        """March up to ``n`` identical steps inside one compiled call.
+
+        Returns the number of steps executed (0 when the plan or the
+        current tracker/scheduler state does not qualify); the caller
+        replays the remainder through the per-step path. On a
+        flip-safety bail the tier switches off for the rest of this
+        kernel — from there on the run is threshold-bound and needs
+        per-step flip ordering anyway.
+        """
+        lowered = self._lower(plan)
+        if lowered is None:
+            return 0
+        state = self._compiled_state()
+        if state is None:
+            return 0
+        (
+            step_ranks,
+            postpone_any,
+            reset_keys,
+            victims,
+            delta,
+            since_keys,
+            since_counts,
+            acts_concat,
+            acts_off,
+            demand_keys,
+            demand_counts,
+            step_gain,
+        ) = lowered
+        ranks = self.channel.ranks
+        # Postponement makes REF counts per step data-dependent; the
+        # compiled march assumes exactly one REF per active rank.
+        if self.allow_postponement and postpone_any:
+            return 0
+        rank_list = step_ranks.tolist()
+        for rank in rank_list:
+            if ranks[rank].scheduler.postponed:
+                return 0
+        trh = self.trh
+        bound = self._bound
+        if bound is None:
+            bound = float(self.dist.max()) if self.dist.size else 0.0
+            self._bound = bound
+        if bound + step_gain >= trh:
+            # Threshold territory: every step can flip and needs exact
+            # event ordering — permanently the per-step path's job.
+            self.compiled_bails += 1
+            self._compiled_off = True
+            return 0
+        from ..kernels.mt import draw_exact
+
+        kind = state["kind"]
+        mints = state["mints"]
+        m_san = state["m_san"]
+        m_sar = state["m_sar"]
+        m_valid = state["m_valid"]
+        m_dist = state["m_dist"]
+        m_sel = state["m_sel"]
+        mitig = state["mitig"]
+        transmit = state["transmit"]
+        draw_off = state["draw_off"]
+        num_rows = self.num_rows
+        B = self.num_banks
+        # MINT sync-in. CAN must be 0 (every fused step ends on a REF)
+        # and a pending SAR in range (out-of-range resets live in the
+        # dict overflow, a per-step concern).
+        active_mints = []
+        for rank in rank_list:
+            base = rank * B
+            for bank in range(B):
+                unit = base + bank
+                if kind[unit] != 1:
+                    continue
+                tracker = mints[unit]
+                if tracker.can != 0:
+                    return 0
+                sar = tracker.sar
+                if sar is not None and not 0 <= sar < num_rows:
+                    return 0
+                active_mints.append((unit, tracker))
+        draws = np.empty(len(active_mints) * n, dtype=np.int64)
+        saved = []
+        for i, (unit, tracker) in enumerate(active_mints):
+            sar = tracker.sar
+            m_san[unit] = -1 if tracker.san is None else tracker.san
+            m_valid[unit] = 0 if sar is None else 1
+            m_sar[unit] = 0 if sar is None else sar
+            m_dist[unit] = tracker._distance
+            m_sel[unit] = tracker.selections
+            mitig[unit] = 0
+            transmit[unit] = 0
+            draw_off[unit] = i * n
+            low = 0 if tracker.transitive else 1
+            # One REF per step consumes exactly one randint; pre-draw
+            # the whole march (bit-exact, see repro.kernels.mt) and
+            # rewind to the consumed prefix on an early bail.
+            saved.append((tracker, tracker.rng.getstate(), low))
+            draws[i * n : (i + 1) * n] = draw_exact(
+                tracker.rng, n, low, tracker.max_act
+            )
+        ref_counts = state["ref_counts"]
+        for rank in range(self.num_ranks):
+            ref_counts[rank] = self._ref_counts[rank]
+        try:
+            done, bound_out = self._march_fn(
+                self.dist_flat,
+                self.peak_flat,
+                self.since_flat,
+                self.speak_flat,
+                mitig,
+                transmit,
+                reset_keys,
+                victims,
+                delta,
+                since_keys,
+                since_counts,
+                acts_concat,
+                acts_off,
+                step_ranks,
+                B,
+                num_rows,
+                ref_counts,
+                self._refw,
+                self._slice_rows,
+                kind,
+                m_san,
+                m_sar,
+                m_valid,
+                m_dist,
+                m_sel,
+                draw_off,
+                draws,
+                n,
+                trh,
+                step_gain,
+                bound,
+            )
+        except Exception:
+            # A provider that cannot compile this call (e.g. a Numba
+            # typing failure) raises before the body executes; undo the
+            # pre-draws and stay on the per-step path.
+            for tracker, rng_state, _ in saved:
+                tracker.rng.setstate(rng_state)
+            self._compiled_off = True
+            return 0
+        self.compiled_calls += 1
+        if done < n:
+            self.compiled_bails += 1
+            self._compiled_off = True
+            for tracker, rng_state, low in saved:
+                tracker.rng.setstate(rng_state)
+                if done:
+                    draw_exact(tracker.rng, done, low, tracker.max_act)
+            if done == 0:
+                return 0
+        self.compiled_steps += done
+        self.steps += done
+        self._bound = float(bound_out)
+        # Sync the marched state back to its Python-side owners.
+        for unit, tracker in active_mints:
+            tracker.san = None if m_san[unit] == -1 else int(m_san[unit])
+            tracker.sar = int(m_sar[unit]) if m_valid[unit] else None
+            tracker._distance = int(m_dist[unit])
+            tracker.selections = int(m_sel[unit])
+            issued = int(mitig[unit])
+            if issued:
+                tracker.mitigations_issued += issued
+                # Engine-side tally: same fold-at-materialize deal as
+                # the fused Python path.
+                self.mitig[unit] += issued
+            trans = int(transmit[unit])
+            if trans:
+                tracker.transitive_mitigations += trans
+                ranks[unit // B].bank_transitive_mitigations[
+                    unit % B
+                ] += trans
+        if demand_keys.size:
+            self.demand_acc[demand_keys] += demand_counts * done
+        for rank in rank_list:
+            sim = ranks[rank]
+            sim.intervals += done
+            sim.scheduler.interval_index += done
+            sim.scheduler.total_refreshes += done
+            self._ref_counts[rank] = int(ref_counts[rank])
+        return done
+
+    def stats(self) -> dict:
+        """Kernel-path telemetry for this run (see ``__init__``)."""
+        return {
+            "backend": (
+                "compiled" if self._march_fn is not None else "numpy"
+            ),
+            "provider": self._provider,
+            "steps": self.steps,
+            "fast_path_steps": self.fast_steps,
+            "slow_path_steps": self.slow_steps,
+            "compiled_steps": self.compiled_steps,
+            "compiled_calls": self.compiled_calls,
+            "compiled_bails": self.compiled_bails,
+            "plan_cache_hits": self.plan_hits,
+            "plan_cache_misses": self.plan_misses,
+        }
+
     def materialize(self) -> None:
         """Merge the packed unmitigated-run peaks back into the rank
         dicts that :meth:`RankSimulator.collect` reads.
@@ -1233,9 +1746,22 @@ class _FusedChannelKernel:
         for rank, sim in enumerate(self.channel.ranks):
             for bank in range(self.num_banks):
                 unit = rank * self.num_banks + bank
-                speak = self.speak[unit]
-                rows = np.nonzero(speak)[0]
-                merged = dict(zip(rows.tolist(), speak[rows].tolist()))
+                # speak only ever gets written at in-range activated
+                # rows, all inside the unit's touched-row envelope —
+                # scan the window, not the whole row space.
+                lo = self._row_lo[unit]
+                hi = self._row_hi[unit]
+                if lo < hi:
+                    window = self.speak[unit, lo:hi]
+                    rows = np.flatnonzero(window)
+                    merged = dict(
+                        zip(
+                            (rows + lo).tolist(),
+                            window[rows].tolist(),
+                        )
+                    )
+                else:
+                    merged = {}
                 merged.update(sim._bank_peak[bank])
                 sim._bank_peak[bank] = merged
                 tally = int(self.mitig[unit])
@@ -1332,6 +1858,31 @@ class ChannelSimulator:
             )
         #: Resolved channel-kernel choice (see :attr:`EngineConfig.fused`).
         self.fused = fused_possible if c.fused is None else bool(c.fused)
+        # Resolve the compiled tier (see EngineConfig.backend): it runs
+        # under the fused kernel only, through the best available
+        # provider. "compiled" asserts both; "auto" quietly falls back
+        # to the pure-NumPy fused path.
+        if c.backend == "compiled":
+            from ..kernels import provider, require_compiled
+
+            require_compiled()
+            if not self.fused:
+                raise RuntimeError(
+                    "EngineConfig.backend='compiled' runs under the "
+                    "fused channel kernel, which this config disables "
+                    "or cannot apply (see EngineConfig.fused); use "
+                    "backend='auto' or re-enable the fused kernel"
+                )
+            self.backend = "compiled"
+            self._provider = provider()
+        elif c.backend == "auto" and self.fused:
+            from ..kernels import available, provider
+
+            self.backend = "compiled" if available() else "numpy"
+            self._provider = provider()
+        else:
+            self.backend = "numpy"
+            self._provider = None
         rank_config = replace(c, num_ranks=1, fused=False)
         if self.fused:
             # Dense everywhere (sparse == dense is pinned by the oracle
@@ -1464,13 +2015,18 @@ class ChannelSimulator:
             self.ranks[rank].collect(streams[rank].name)
             for rank in range(self.num_ranks)
         ]
-        return ChannelSimResult(
+        result = ChannelSimResult(
             trace=channel.name,
             intervals=max(
                 (sim.intervals for sim in self.ranks), default=0
             ),
             per_rank=per_rank,
         )
+        if self._kernel is not None:
+            # Diagnostic side channel, deliberately not a dataclass
+            # field: results stay bit-identical across backends.
+            result.kernel_stats = self._kernel.stats()
+        return result
 
     def _validated_intervals(
         self, rank: int, stream: TraceStream, prevalidated: bool

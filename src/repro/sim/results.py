@@ -231,6 +231,13 @@ class ChannelSimResult:
     intervals: int = 0
     per_rank: list[RankSimResult] = field(default_factory=list)
 
+    #: Kernel-path telemetry attached by fused channel runs (see
+    #: ``_FusedChannelKernel.stats``): fast/slow/compiled step counts
+    #: and plan-cache traffic. Deliberately a class attribute, NOT a
+    #: dataclass field — ``dataclasses.asdict`` and ``to_payload`` stay
+    #: backend-independent, which is what the bit-identity pins compare.
+    kernel_stats = None
+
     @property
     def num_ranks(self) -> int:
         return len(self.per_rank)
@@ -320,7 +327,7 @@ class ChannelSimResult:
             )
         return "\n".join(lines)
 
-    def to_payload(self) -> dict:
+    def to_payload(self, include_kernel_stats: bool = False) -> dict:
         """Flatten into JSON-safe metrics.
 
         Channel-level aggregates at the top level (so consumers of
@@ -330,6 +337,11 @@ class ChannelSimResult:
         the rank-attributed flip events plus a row-wise maximum of the
         unmitigated-run counters, mirroring the rank payload shape one
         level up.
+
+        ``include_kernel_stats=True`` appends the fused kernel's path
+        telemetry (when the run attached any) under ``kernel_stats`` —
+        opt-in because the default payload is the canonical form the
+        determinism and backend bit-identity pins compare.
         """
         merged: dict[int, float] = {}
         for rank_result in self.per_rank:
@@ -337,7 +349,7 @@ class ChannelSimResult:
                 for row, value in bank_result.max_unmitigated.items():
                     if value > merged.get(row, 0):
                         merged[row] = value
-        return {
+        payload = {
             "tracker": self.tracker,
             "trace": self.trace,
             "intervals": self.intervals,
@@ -364,6 +376,9 @@ class ChannelSimResult:
             },
             "per_rank": [r.to_payload() for r in self.per_rank],
         }
+        if include_kernel_stats and self.kernel_stats is not None:
+            payload["kernel_stats"] = dict(self.kernel_stats)
+        return payload
 
 
 #: Column order of the flat CSV export (shared by ``repro run`` and

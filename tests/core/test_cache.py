@@ -67,3 +67,31 @@ class TestBoundedCache:
     def test_tiny_capacity_rejected(self):
         with pytest.raises(ValueError):
             BoundedCache(2)
+
+    def test_cached_none_distinguishable_from_miss(self):
+        """A cached ``None`` must be a hit, not a perpetual rebuild.
+
+        Callers pass a private sentinel as ``default`` to tell the two
+        apart; a cached ``None`` also refreshes recency like any other
+        hit, so such entries survive eviction sweeps.
+        """
+        sentinel = object()
+        cache = BoundedCache(8)
+        assert cache.get("a", sentinel) is sentinel
+        cache.put("a", None)
+        assert cache.get("a", sentinel) is None
+        assert "a" in cache
+        # The hit must refresh recency: fill to capacity, keep touching
+        # the None entry, and it must survive the eviction sweep.
+        for i in range(7):
+            cache.put(i, i)
+        cache.get("a", sentinel)
+        cache.put("overflow", 1)
+        assert "a" in cache
+        assert cache.get("a", sentinel) is None
+
+    def test_get_default_returned_only_on_miss(self):
+        cache = BoundedCache(8)
+        assert cache.get("missing", 42) == 42
+        cache.put("present", 0)
+        assert cache.get("present", 42) == 0

@@ -1,0 +1,90 @@
+"""Bit-exactness pins for the vectorized MT19937 randint stream.
+
+``draw_exact`` is the compiled march's randomness contract: its values
+AND the post-draw generator state must equal ``n`` scalar
+``rng.randint`` calls exactly, or a compiled run would silently fork
+the random stream from the pure-Python engines.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels.mt import draw_exact, mt_state, set_mt_state
+
+from tests.property.settings import STANDARD_SETTINGS
+
+RANGES = [(1, 73), (0, 73), (0, 1), (1, 1), (0, 127), (5, 5), (3, 16),
+          (0, 2**31 - 2)]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 12345, 999999])
+@pytest.mark.parametrize("low,high", RANGES)
+def test_values_and_state_match_scalar_randint(seed, low, high):
+    for n in (0, 1, 5, 700, 1300, 2001):
+        reference = random.Random(seed)
+        vectorized = random.Random(seed)
+        expected = [reference.randint(low, high) for _ in range(n)]
+        got = draw_exact(vectorized, n, low, high)
+        assert got.tolist() == expected
+        # The post-draw state must match word for word, so scalar and
+        # vectorized consumers continue the very same stream.
+        assert vectorized.getstate() == reference.getstate()
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    low=st.integers(0, 5),
+    span=st.integers(0, 200),
+    chunks=st.lists(st.integers(0, 50), min_size=1, max_size=6),
+)
+@STANDARD_SETTINGS
+def test_interleaved_scalar_and_vector_draws_continue_one_stream(
+    seed, low, span, chunks
+):
+    high = low + span
+    reference = random.Random(seed)
+    mixed = random.Random(seed)
+    for i, n in enumerate(chunks):
+        expected = [reference.randint(low, high) for _ in range(n)]
+        if i % 2 == 0:
+            assert draw_exact(mixed, n, low, high).tolist() == expected
+        else:
+            assert [mixed.randint(low, high) for _ in range(n)] == expected
+    assert mixed.getstate() == reference.getstate()
+
+
+def test_rewind_and_redraw_reproduces_consumed_prefix():
+    # The march's bail protocol: save state, draw n, rewind, draw the
+    # consumed prefix — the generator must land exactly where `done`
+    # scalar draws would have left it.
+    rng = random.Random(42)
+    saved = rng.getstate()
+    full = draw_exact(rng, 100, 1, 73)
+    rng.setstate(saved)
+    prefix = draw_exact(rng, 37, 1, 73)
+    assert prefix.tolist() == full[:37].tolist()
+    reference = random.Random(42)
+    for _ in range(37):
+        reference.randint(1, 73)
+    assert rng.getstate() == reference.getstate()
+
+
+def test_wide_ranges_are_rejected():
+    rng = random.Random(0)
+    before = rng.getstate()
+    with pytest.raises(ValueError, match="32"):
+        draw_exact(rng, 1, 0, 2**32)
+    with pytest.raises(ValueError, match="empty"):
+        draw_exact(rng, 1, 10, 9)
+    assert rng.getstate() == before
+
+
+def test_state_roundtrip():
+    rng = random.Random(99)
+    rng.random()  # desync pos from a fresh seed
+    mt, pos, gauss = mt_state(rng)
+    other = random.Random(0)
+    set_mt_state(other, mt, pos, gauss)
+    assert other.getstate() == rng.getstate()

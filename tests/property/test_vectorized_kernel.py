@@ -407,3 +407,134 @@ class TestFusedChannelEquivalence:
             result = simulator.run(channel)
             outputs.append(json.dumps(asdict(result), sort_keys=True))
         assert outputs[0] == outputs[1] == outputs[2]
+
+
+def _march_providers():
+    """Compiled march providers runnable on this host; the interpreted
+    reference is always one of them."""
+    from repro import kernels
+    from repro.kernels import cext
+
+    names = []
+    if kernels.HAVE_NUMBA:
+        names.append("numba")
+    if cext.available():
+        names.append("cext")
+    names.append("interpreted")
+    return names
+
+
+class TestCompiledMarchEquivalence:
+    """compiled march == fused == lockstep == scalar, bit for bit.
+
+    The compiled tier only engages on runs of consecutive tREFIs that
+    replay the same interval objects, so these pins drive *cyclic*
+    channel schedules (each rank replays a couple of shared intervals)
+    and lower the kernel's minimum run length to 1 — every qualifying
+    step goes through the compiled call, including single-step marches,
+    flip-safety bails, and mid-run plan switches. Every available
+    provider must agree with all three pure-Python engines.
+    """
+
+    @pytest.mark.parametrize("provider", _march_providers())
+    @given(
+        tracker=st.sampled_from(
+            ["mint", "para", "graphene", "prac", "mithril", "protrr", "none"]
+        ),
+        num_ranks=st.integers(1, 3),
+        num_banks=st.integers(1, 3),
+        trh=st.sampled_from([5, 40, 10**9]),
+        seed=st.integers(0, 2**20),
+        streamed=st.booleans(),
+        allow_postponement=st.booleans(),
+        pattern_specs=st.lists(  # a short pattern of interval specs...
+            st.tuples(
+                st.lists(
+                    st.tuples(
+                        st.integers(0, 2), st.integers(-2, NUM_ROWS + 2)
+                    ),
+                    min_size=0,
+                    max_size=20,
+                ),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        cycles=st.integers(1, 12),  # ...each rank replays this often
+    )
+    @SLOW_SETTINGS
+    def test_channel_results_bit_identical_across_backends(
+        self,
+        provider,
+        tracker,
+        num_ranks,
+        num_banks,
+        trh,
+        seed,
+        streamed,
+        allow_postponement,
+        pattern_specs,
+        cycles,
+    ):
+        from dataclasses import replace
+
+        from repro.kernels import forced_provider
+        from repro.sim.engine import ChannelSimulator
+        from repro.sim.trace import (
+            ChannelTrace,
+            CycleStream,
+            MaterializedStream,
+        )
+        from repro.trackers.registry import channel_tracker_factory
+
+        pattern = tuple(
+            RankInterval(
+                tuple((bank % num_banks, row) for bank, row in acts),
+                postpone,
+            )
+            for acts, postpone in pattern_specs
+        )
+        count = len(pattern) * cycles
+
+        def make_channel():
+            per_rank = {}
+            for rank in range(num_ranks):
+                if streamed:
+                    per_rank[rank] = CycleStream(
+                        f"r{rank}", pattern, count
+                    )
+                else:
+                    per_rank[rank] = RankTrace(
+                        name=f"r{rank}",
+                        intervals=list(pattern) * cycles,
+                    )
+            return ChannelTrace(name="prop-cycle", per_rank=per_rank)
+
+        base = EngineConfig(
+            num_banks=num_banks,
+            num_ranks=num_ranks,
+            trh=trh,
+            num_rows=NUM_ROWS,
+            allow_postponement=allow_postponement,
+            validate_budget=False,
+            refi_per_refw=8,
+        )
+        outputs = []
+        for overrides in (
+            dict(fused=True, vectorized=True, backend="compiled"),
+            dict(fused=True, vectorized=True, backend="numpy"),
+            dict(fused=False, vectorized=True),
+            dict(fused=False, vectorized=False),
+        ):
+            with forced_provider(provider):
+                simulator = ChannelSimulator(
+                    channel_tracker_factory(tracker, seed=seed),
+                    replace(base, **overrides),
+                )
+                if simulator.backend == "compiled":
+                    # Engage the march on every run, not just long ones.
+                    simulator._kernel._min_compiled_run = 1
+                result = simulator.run(make_channel())
+            outputs.append(json.dumps(asdict(result), sort_keys=True))
+        assert outputs[0] == outputs[1] == outputs[2] == outputs[3]
