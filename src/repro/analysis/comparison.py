@@ -38,7 +38,9 @@ class TrackerComparison:
     transitive_vulnerable: bool
 
 
-def prct_comparison(max_act: int = 73, rows_per_bank: int = ROWS_PER_BANK) -> TrackerComparison:
+def prct_comparison(
+    max_act: int = 73, rows_per_bank: int = ROWS_PER_BANK
+) -> TrackerComparison:
     """PRCT bounded by the Feinting attack (Section V-G)."""
     result = feinting_attack_prct(max_act)
     return TrackerComparison(

@@ -23,7 +23,9 @@ import numpy as np
 from ..trackers.para import InDramParaTracker
 
 
-def survival_probability(position: int, max_act: int = 73, p: float | None = None) -> float:
+def survival_probability(
+    position: int, max_act: int = 73, p: float | None = None
+) -> float:
     """S_K for the overwrite variant (Equation 2)."""
     p = 1.0 / max_act if p is None else p
     _check_position(position, max_act)

@@ -32,7 +32,9 @@ class AttackParams:
 
 
 def build_trace(
-    name: str, per_interval_acts: list[list[int]], postpone_mask: list[bool] | None = None
+    name: str,
+    per_interval_acts: list[list[int]],
+    postpone_mask: list[bool] | None = None,
 ) -> Trace:
     """Assemble a trace from per-interval activation lists."""
     if postpone_mask is None:

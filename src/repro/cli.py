@@ -9,6 +9,7 @@ Commands
 ``table``    print one of the paper's comparison tables
 ``plan``     recommend a configuration for a device threshold
 ``exp``      run/inspect batched experiment grids (parallel + cached)
+``lint``     determinism & identity static analysis (see repro.lint)
 
 Every simulation command goes through :mod:`repro.scenario`: ``run``
 consumes a serialized :class:`~repro.scenario.Scenario` verbatim,
@@ -360,6 +361,38 @@ def _cmd_exp_status(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Imported lazily: the lint subsystem is never needed on the
+    # simulation paths.
+    from .lint import RULE_REGISTRY, render_json, render_text, run_lint
+
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULE_REGISTRY)
+        for rule_id in sorted(RULE_REGISTRY):
+            print(f"{rule_id:<{width}}  {RULE_REGISTRY[rule_id].summary}")
+        return 0
+    rules = None
+    if args.rules:
+        wanted = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = sorted(set(wanted) - set(RULE_REGISTRY))
+        if unknown:
+            print(f"lint: unknown rule(s) {unknown}; "
+                  f"known: {sorted(RULE_REGISTRY)}")
+            return 2
+        rules = [RULE_REGISTRY[name] for name in wanted]
+    paths = args.paths or ["src", "scripts"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(missing)}")
+        return 2
+    findings, files_scanned = run_lint(paths, rules)
+    if args.format == "json":
+        print(render_json(findings, files_scanned))
+    else:
+        print(render_text(findings, files_scanned))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -497,6 +530,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_status.add_argument("--store", required=True)
     exp_status.set_defaults(func=_cmd_exp_status)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & identity static analysis (exit 1 on findings)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint "
+                           "(default: src scripts)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="finding report format (json is versioned and "
+                           "round-trips, see repro.lint.reporters)")
+    lint.add_argument("--rules",
+                      help="comma-separated rule ids to run "
+                           "(default: all; see --list-rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

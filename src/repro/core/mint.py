@@ -58,6 +58,8 @@ class MintTracker(Tracker):
             raise ValueError("max_act must be >= 1")
         self.max_act = max_act
         self.transitive = transitive
+        # ad-hoc convenience default: every engine/Session path
+        # repro-lint: allow[seed-policy] passes a derived rng
         self.rng = rng or random.Random()
         self.can = 0
         self.sar: int | None = None

@@ -55,6 +55,8 @@ class RowPressMintTracker(Tracker):
         self.max_act = max_act
         self.transitive = transitive
         self.timing = timing
+        # ad-hoc convenience default: every engine/Session path
+        # repro-lint: allow[seed-policy] passes a derived rng
         self.rng = rng or random.Random()
         self.can = 0.0
         self.sar: int | None = None

@@ -46,6 +46,27 @@ __all__ = [
 #: next run.
 SCHEMA_VERSION = 4
 
+#: The identity classification of :class:`PointConfig`'s fields,
+#: enforced statically by ``repro lint`` (rule ``identity-manifest``).
+#: A point's fingerprint delegates to the scenario it denotes, so this
+#: mirrors the ``Scenario`` entry in
+#: :data:`repro.scenario.IDENTITY_MANIFEST` field-for-field: the
+#: ``excluded`` knobs (engine-path choices the engine pins
+#: bit-identical) never reach the hash, which is why ``sweep`` refuses
+#: them as axes. The runtime agreement between the two manifests is
+#: pinned by ``tests/lint/test_manifest.py``.
+IDENTITY_MANIFEST = {
+    "PointConfig": {
+        "identity": [
+            "trh", "intervals", "max_act", "base_row", "num_rows",
+            "blast_radius", "allow_postponement", "max_postponed",
+            "refi_per_refw", "scaled_timing", "num_banks", "num_ranks",
+            "concurrent_banks",
+        ],
+        "excluded": ["vectorized", "backend"],
+    },
+}
+
 
 @dataclass(frozen=True)
 class PointConfig:

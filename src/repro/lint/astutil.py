@@ -1,0 +1,134 @@
+"""Small AST helpers shared by the lint rules.
+
+The rules never execute the code they analyse; everything here works on
+:mod:`ast` trees plus a per-module import-alias map, so ``from time
+import perf_counter as pc; pc()`` resolves to the same dotted origin
+(``time.perf_counter``) as a plain ``time.perf_counter()`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_parts(node: ast.expr) -> list[str] | None:
+    """``["np", "random", "randint"]`` for ``np.random.randint``.
+
+    Returns ``None`` for anything that is not a pure ``Name``-rooted
+    attribute chain (calls, subscripts, literals, ...), which the rules
+    treat as "not resolvable, skip".
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+class ImportMap:
+    """Alias → dotted-origin resolution for one module.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from datetime
+    import datetime`` maps ``datetime`` to ``datetime.datetime``.
+    Relative imports keep their textual module (they can never collide
+    with the absolute stdlib origins the rules ban).
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else name
+                    self.aliases[name] = origin
+            elif isinstance(node, ast.ImportFrom):
+                module = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    self.aliases[name] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The dotted origin a call target resolves to, or ``None``.
+
+        ``None`` means the chain is rooted in something this module did
+        not import (a local variable, ``self``, a builtin) — the rules
+        skip those rather than guess.
+        """
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        origin = self.aliases.get(parts[0])
+        if origin is None:
+            return None
+        return ".".join([origin, *parts[1:]])
+
+
+def class_base_names(node: ast.ClassDef) -> list[str]:
+    """The textual base names of a class (``Tracker`` for both
+    ``Tracker`` and ``base.Tracker``); unresolvable bases are skipped."""
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    """True when the class carries a ``@dataclass`` decorator (bare,
+    called, or attribute-qualified)."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def dataclass_field_names(node: ast.ClassDef) -> list[str]:
+    """The field names a ``@dataclass`` body declares, in order.
+
+    Exactly the names the dataclass machinery would turn into fields:
+    annotated assignments at class-body level, minus ``ClassVar``
+    annotations and private (``_``-prefixed) names.
+    """
+    fields = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        target = stmt.target
+        if not isinstance(target, ast.Name) or target.id.startswith("_"):
+            continue
+        annotation = stmt.annotation
+        if isinstance(annotation, ast.Subscript):
+            annotation = annotation.value
+        if isinstance(annotation, ast.Name) and annotation.id == "ClassVar":
+            continue
+        if isinstance(annotation, ast.Attribute) and annotation.attr == "ClassVar":
+            continue
+        fields.append(target.id)
+    return fields
+
+
+def literal_str_sequence(node: ast.expr) -> list[str] | None:
+    """The string items of a literal list/tuple/set, or ``None`` when
+    the node is anything else (comprehensions, names, calls, ...)."""
+    if not isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return None
+    items = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            return None
+        items.append(element.value)
+    return items

@@ -1,0 +1,160 @@
+"""The lint runner: file discovery, suppressions, one pass per file.
+
+``run_lint(paths)`` parses every Python file under ``paths`` once,
+hands each ``(tree, source, path)`` to every active rule's ``check``
+hook, then gives each rule one ``finalize(project)`` pass for
+cross-file contracts (registry↔class resolution, ``__all__`` vs the
+API snapshot). Findings on lines carrying a matching suppression
+comment are dropped; everything else is deduplicated and sorted
+deterministically.
+
+Suppression syntax
+------------------
+Append a suppression comment to the offending line::
+
+    self.rng = rng or random.Random()  # repro-lint: allow[seed-policy] ad-hoc default
+
+A comment line that *only* carries a suppression applies to the next
+line (for statements too long to share a line with the comment)::
+
+    # repro-lint: allow[private-poke] kernel state sync, see _FusedChannelKernel
+    sim.device._ref_counter = counters
+
+Several rules can be listed: ``allow[seed-policy,private-poke]``.
+``allow[all]`` silences every rule on that line. Text after the
+closing bracket is the (encouraged) one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - avoids the rules import at
+    # module load, so `repro.lint.engine` alone never half-registers
+    from .rules.base import Rule
+
+#: The rule id attached to files the parser rejects.
+PARSE_RULE_ID = "parse"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*allow\[([^\]]+)\]")
+
+#: Directory names never descended into (caches, build products, VCS).
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", "_build", "build", "dist", ".venv", "venv",
+    ".hypothesis", ".pytest_cache", ".benchmarks", ".mypy_cache",
+    ".ruff_cache", "node_modules",
+})
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: path (posix form), raw source, tree, and the
+    per-line suppression sets."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]]
+
+
+@dataclass
+class Project:
+    """Everything the per-file pass saw, for the rules' ``finalize``."""
+
+    files: list[SourceFile] = field(default_factory=list)
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number → rule ids allowed on that line.
+
+    A line consisting solely of a suppression comment also covers the
+    following line (see the module docstring).
+    """
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        rules.discard("")
+        suppressions.setdefault(lineno, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            suppressions.setdefault(lineno + 1, set()).update(rules)
+    return suppressions
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files taken verbatim,
+    directories walked recursively, cache/build dirs skipped), sorted."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.add(path)
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(part in SKIP_DIRS for part in candidate.parts):
+                continue
+            found.add(candidate)
+    return sorted(found)
+
+
+def _is_suppressed(finding: Finding, project: Project) -> bool:
+    for source_file in project.files:
+        if source_file.path != finding.path:
+            continue
+        allowed = source_file.suppressions.get(finding.line, ())
+        return finding.rule in allowed or "all" in allowed
+    return False
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Iterable["type[Rule]"] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint every Python file under ``paths``.
+
+    Returns ``(findings, files_scanned)`` with findings deduplicated
+    and sorted by (path, line, col, rule). ``rules`` selects a subset
+    of rule classes; the default is every registered rule.
+    """
+    from .rules import default_rules
+
+    rule_instances = [rule_cls() for rule_cls in (rules or default_rules())]
+    project = Project()
+    findings: list[Finding] = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        posix = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=posix)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            line = getattr(error, "lineno", None) or 1
+            findings.append(Finding(
+                path=posix, line=line, col=0, rule=PARSE_RULE_ID,
+                message=f"cannot parse file: {error}",
+            ))
+            continue
+        source_file = SourceFile(
+            path=posix,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+        project.files.append(source_file)
+        for rule in rule_instances:
+            findings.extend(rule.check(tree, source, posix))
+    for rule in rule_instances:
+        findings.extend(rule.finalize(project))
+    kept = sorted({
+        finding for finding in findings
+        if not _is_suppressed(finding, project)
+    })
+    return kept, len(files)

@@ -1,0 +1,48 @@
+"""The :class:`Finding` record every lint rule reports.
+
+A finding is one rule violation at one source location. Findings are
+frozen, ordered, and hashable, so the runner can deduplicate and sort
+them deterministically, and the JSON reporter round-trips them
+losslessly (see :mod:`repro.lint.reporters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where it is, which rule, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line human rendering (``path:line:col: [rule] msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-JSON form (the JSON reporter's per-finding schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_payload` output."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+        )

@@ -1,0 +1,57 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON document is versioned and round-trips through
+:func:`parse_json` (pinned by the reporter schema test), so CI
+tooling can consume ``repro lint --format json`` without scraping the
+text rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .findings import Finding
+
+#: Bump on any breaking change to the JSON document shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+    """One line per finding plus a summary trailer."""
+    lines = [finding.render() for finding in findings]
+    noun = "file" if files_scanned == 1 else "files"
+    if findings:
+        count = len(findings)
+        lines.append(
+            f"{count} finding{'s' if count != 1 else ''} "
+            f"in {files_scanned} {noun}"
+        )
+    else:
+        lines.append(f"checked {files_scanned} {noun}: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+    """The versioned JSON document (sorted keys, stable ordering)."""
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "findings": [finding.to_payload() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def parse_json(text: str) -> tuple[list[Finding], int]:
+    """Invert :func:`render_json`: ``(findings, files_scanned)``."""
+    document = json.loads(text)
+    version = document.get("version")
+    if version != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported repro-lint JSON schema version {version!r} "
+            f"(this reader understands {JSON_SCHEMA_VERSION})"
+        )
+    findings = [
+        Finding.from_payload(payload) for payload in document["findings"]
+    ]
+    return findings, int(document["files_scanned"])

@@ -1,0 +1,43 @@
+"""The rule battery. Importing this package registers every rule.
+
+Rule IDs (each doubles as the suppression token —
+``# repro-lint: allow[<id>] <justification>``; full behaviour is
+documented in each rule's module docstring):
+
+``seed-policy``
+    R1 — randomness flows through :mod:`repro.sim.seeding` derived
+    streams: no global ``random``/``numpy.random`` calls, no unseeded
+    ``random.Random()``, no wall clock or OS entropy inside the
+    simulation packages.
+``identity-manifest``
+    R2 — every ``Scenario``/``TrackerSpec``/``AttackSpec``/
+    ``PointConfig`` dataclass field is explicitly classified
+    identity-or-excluded in its module's ``IDENTITY_MANIFEST``.
+``tracker-contract``
+    R3 — registry trackers declare ``pseudo_mitigations``;
+    ``on_activate_batch`` overrides never touch global RNG state.
+``private-poke``
+    R4 — no writes to another object's ``_private`` attributes.
+``api-surface``
+    R5 — ``__all__`` of the pinned modules matches
+    ``tests/test_api_surface.py``.
+
+New rules: add a module here, subclass :class:`~.base.Rule`, decorate
+with :func:`~.base.register_rule`, and import the module below.
+"""
+
+from .base import RULE_REGISTRY, Rule, default_rules, register_rule
+from . import (  # noqa: F401  (imported for rule registration)
+    api_surface,
+    identity_manifest,
+    private_poke,
+    seed_policy,
+    tracker_contract,
+)
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Rule",
+    "default_rules",
+    "register_rule",
+]

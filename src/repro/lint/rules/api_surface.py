@@ -1,0 +1,176 @@
+"""R5 ``api-surface`` — ``__all__`` matches the pinned API snapshot.
+
+``tests/test_api_surface.py`` pins the public surface of ``repro``,
+``repro.sim``, ``repro.scenario``, and ``repro.exp`` as reviewed
+frozenset snapshots: a surface change must be a deliberate, same-commit
+snapshot update. The test catches drift at *test* time; this rule
+catches it at *lint* time — same contract, earlier and with a
+file:line pointing at the drifted ``__all__`` instead of a failed
+parametrised assert.
+
+The rule statically reads each target module's ``__all__`` literal and
+the snapshot file's ``SNAPSHOTS = {module: FROZENSET_NAME}`` mapping
+(located by walking up from a linted target to the directory holding
+``tests/test_api_surface.py``), then reports added/removed names per
+module.
+
+Suppression: ``# repro-lint: allow[api-surface]`` on the ``__all__``
+line — though the right fix is almost always updating the snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..astutil import literal_str_sequence
+from ..findings import Finding
+from .base import Rule, register_rule
+
+#: path suffix -> dotted module name, as pinned by the snapshot file.
+TARGET_MODULES = {
+    "repro/__init__.py": "repro",
+    "repro/sim/__init__.py": "repro.sim",
+    "repro/scenario.py": "repro.scenario",
+    "repro/exp/__init__.py": "repro.exp",
+}
+
+#: Located relative to an ancestor of the linted target modules.
+SNAPSHOT_RELPATH = Path("tests") / "test_api_surface.py"
+
+
+def _matches(path: str, suffix: str) -> bool:
+    return path == suffix or path.endswith(f"/{suffix}")
+
+
+@register_rule
+class ApiSurfaceRule(Rule):
+    """R5: exported names match tests/test_api_surface.py snapshots."""
+
+    id = "api-surface"
+    summary = (
+        "__all__ of repro/repro.sim/repro.scenario/repro.exp must "
+        "match the tests/test_api_surface.py snapshot"
+    )
+
+    def __init__(self) -> None:
+        #: module name -> (exported names, __all__ node, path)
+        self._surfaces: dict[str, tuple[set[str], ast.Assign, str]] = {}
+        self._errors: list[Finding] = []
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Finding]:
+        module = next(
+            (
+                name for suffix, name in TARGET_MODULES.items()
+                if _matches(path, suffix)
+            ),
+            None,
+        )
+        if module is None:
+            return []
+        for node in tree.body:
+            if not (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(target, ast.Name) and target.id == "__all__"
+                    for target in node.targets
+                )
+            ):
+                continue
+            exported = literal_str_sequence(node.value)
+            if exported is None:
+                self._errors.append(self.finding(
+                    path, node,
+                    f"{module}.__all__ is not a literal list of "
+                    "strings, so the surface cannot be checked "
+                    "against the snapshot statically",
+                ))
+                return []
+            self._surfaces[module] = (set(exported), node, path)
+        return []
+
+    def finalize(self, project: object) -> list[Finding]:
+        findings = list(self._errors)
+        if not self._surfaces:
+            return findings
+        snapshot_path = self._locate_snapshot()
+        if snapshot_path is None:
+            _exported, node, path = next(iter(self._surfaces.values()))
+            findings.append(self.finding(
+                path, node,
+                f"cannot locate {SNAPSHOT_RELPATH.as_posix()} next to "
+                "the linted tree to verify the public surface",
+            ))
+            return findings
+        snapshots = self._parse_snapshots(snapshot_path)
+        for module, (exported, node, path) in sorted(self._surfaces.items()):
+            if module not in snapshots:
+                findings.append(self.finding(
+                    path, node,
+                    f"{module} has no snapshot entry in "
+                    f"{snapshot_path.as_posix()}",
+                ))
+                continue
+            snapshot = snapshots[module]
+            added = sorted(exported - snapshot)
+            removed = sorted(snapshot - exported)
+            if added or removed:
+                findings.append(self.finding(
+                    path, node,
+                    f"{module} public surface drifted from the "
+                    f"snapshot: added {added or 'nothing'}, removed "
+                    f"{removed or 'nothing'} — update "
+                    f"{snapshot_path.as_posix()} in the same commit "
+                    "if this change is deliberate",
+                ))
+        return findings
+
+    def _locate_snapshot(self) -> Path | None:
+        for _exported, _node, path in self._surfaces.values():
+            current = Path(path).resolve()
+            for ancestor in current.parents:
+                candidate = ancestor / SNAPSHOT_RELPATH
+                if candidate.is_file():
+                    return candidate
+        return None
+
+    def _parse_snapshots(self, snapshot_path: Path) -> dict[str, set[str]]:
+        """``{"repro": {...names...}, ...}`` from the snapshot file.
+
+        Reads the ``NAME = frozenset({...})`` assignments and the
+        ``SNAPSHOTS = {"module": NAME}`` mapping, all statically.
+        """
+        tree = ast.parse(snapshot_path.read_text(encoding="utf-8"))
+        sets: dict[str, set[str]] = {}
+        mapping: dict[str, str] = {}
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "frozenset"
+                and len(value.args) == 1
+            ):
+                items = literal_str_sequence(value.args[0])
+                if items is not None:
+                    sets[target.id] = set(items)
+            elif target.id == "SNAPSHOTS" and isinstance(value, ast.Dict):
+                for key, entry in zip(value.keys, value.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(entry, ast.Name)
+                    ):
+                        mapping[key.value] = entry.id
+        return {
+            module: sets[var]
+            for module, var in mapping.items()
+            if var in sets
+        }

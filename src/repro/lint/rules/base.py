@@ -1,0 +1,97 @@
+"""Rule base class and the rule registry.
+
+Writing a rule
+--------------
+Subclass :class:`Rule`, set a stable kebab-case ``id`` (it doubles as
+the suppression token: ``# repro-lint: allow[<id>]``) and a one-line
+``summary``, implement ``check`` (per file) and/or ``finalize``
+(cross-file, after every file was seen), and register it::
+
+    @register_rule
+    class NoSleepRule(Rule):
+        id = "no-sleep"
+        summary = "time.sleep has no place in a simulator"
+
+        def check(self, tree, source, path):
+            return [
+                Finding(path, node.lineno, node.col_offset, self.id,
+                        "sleeping in a deterministic simulation")
+                for node in ast.walk(tree)
+                if isinstance(node, ast.Call) and ...
+            ]
+
+``check`` hooks are pure functions of ``(tree, source, path)``, so a
+rule is testable from a fixture snippet without touching the runner.
+Rules that need the whole tree set (class-hierarchy resolution,
+``__all__`` snapshots) accumulate state in ``check`` and report from
+``finalize(project)``; the runner builds one fresh instance per run,
+so instance state never leaks between runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, TypeVar
+
+from ..findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> rules)
+    from ..engine import Project
+
+__all__ = ["RULE_REGISTRY", "Rule", "default_rules", "register_rule"]
+
+#: Every registered rule, by id. Populated by :func:`register_rule`
+#: when :mod:`repro.lint.rules` imports the rule modules.
+RULE_REGISTRY: dict[str, type["Rule"]] = {}
+
+_RuleT = TypeVar("_RuleT", bound="type[Rule]")
+
+
+def register_rule(rule_cls: _RuleT) -> _RuleT:
+    """Class decorator: add ``rule_cls`` to :data:`RULE_REGISTRY`."""
+    if not rule_cls.id or rule_cls.id == Rule.id:
+        raise ValueError(f"{rule_cls.__name__} needs a unique non-empty id")
+    existing = RULE_REGISTRY.get(rule_cls.id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"rule id {rule_cls.id!r} already registered by "
+            f"{existing.__name__}"
+        )
+    RULE_REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def default_rules() -> list[type["Rule"]]:
+    """Every registered rule class, in stable (id-sorted) order."""
+    return [RULE_REGISTRY[rule_id] for rule_id in sorted(RULE_REGISTRY)]
+
+
+class Rule:
+    """One static contract; subclass and register (see module docs)."""
+
+    #: Stable identifier; the suppression token and the JSON ``rule``.
+    id: str = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Finding]:
+        """Per-file hook: findings for one parsed module."""
+        return []
+
+    def finalize(self, project: "Project") -> list[Finding]:
+        """Cross-file hook: called once after every file was checked."""
+        return []
+
+    def finding(
+        self, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Convenience: a finding anchored at ``node``."""
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )

@@ -1,0 +1,243 @@
+"""R3 ``tracker-contract`` — registered trackers honour the interface.
+
+Two contracts, both established by earlier refactors and enforced only
+by convention until now:
+
+* ``pseudo_mitigations`` is a *declared* counter, read directly by the
+  simulation engine when assembling results (no ``getattr``
+  duck-typing). Every tracker the registry can build must declare it —
+  in practice by deriving from :class:`repro.trackers.base.Tracker`,
+  which carries the class default of 0.
+* ``on_activate_batch`` overrides must be observably equivalent to the
+  scalar ``on_activate`` loop — *including the RNG stream*. A batch
+  override that touches global RNG state (module-level ``random.*``,
+  ``numpy.random``) cannot preserve the tracker's own ``rng`` draws,
+  so the scalar/vectorized bit-identity pins would only catch it
+  probabilistically. This rule bans it statically, for every class
+  that textually derives from ``Tracker`` anywhere in the linted tree.
+
+The rule reads ``trackers/registry.py``'s ``register("name", factory)``
+calls, follows each factory's ``return SomeTracker(...)`` to the class,
+and resolves textual inheritance chains across all linted files.
+
+Suppression: ``# repro-lint: allow[tracker-contract] <justification>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..astutil import ImportMap, class_base_names
+from ..findings import Finding
+from .base import Rule, register_rule
+from .seed_policy import global_rng_message
+
+#: The registry module, matched by path suffix.
+REGISTRY_PATH = "repro/trackers/registry.py"
+
+#: The root interface class; chains ending here are well-formed.
+TRACKER_BASE = "Tracker"
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str]
+    #: Names declared at class level (assignments and annotations).
+    class_attrs: set[str] = field(default_factory=set)
+    #: ``self.<name> = ...`` targets anywhere in the class body.
+    instance_attrs: set[str] = field(default_factory=set)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+
+def _collect_class(node: ast.ClassDef, path: str) -> _ClassInfo:
+    info = _ClassInfo(
+        name=node.name, path=path, node=node,
+        bases=class_base_names(node),
+    )
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    info.class_attrs.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            info.class_attrs.add(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(stmt, ast.FunctionDef):
+                info.methods[stmt.name] = stmt
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Assign)
+                    or isinstance(sub, ast.AnnAssign)
+                ):
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            info.instance_attrs.add(target.attr)
+    return info
+
+
+@register_rule
+class TrackerContractRule(Rule):
+    """R3: registry trackers declare the interface they are read by."""
+
+    id = "tracker-contract"
+    summary = (
+        "registered trackers must declare pseudo_mitigations, and "
+        "on_activate_batch overrides must not touch global RNG state"
+    )
+
+    def __init__(self) -> None:
+        self._classes: dict[str, _ClassInfo] = {}
+        self._imports: dict[str, ImportMap] = {}
+        #: (attack name, factory name, register-call node, path)
+        self._registered: list[tuple[str, str, ast.Call, str]] = []
+        #: factory function name -> (returned class names, def node)
+        self._factories: dict[str, tuple[list[str], ast.FunctionDef]] = {}
+
+    # -- per-file collection -------------------------------------------
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Finding]:
+        self._imports[path] = ImportMap(tree)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = _collect_class(node, path)
+                self._classes.setdefault(info.name, info)
+        if path == REGISTRY_PATH or path.endswith(f"/{REGISTRY_PATH}"):
+            self._collect_registry(tree, path)
+        return []
+
+    def _collect_registry(self, tree: ast.Module, path: str) -> None:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "register"
+                and len(node.args) == 2
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and isinstance(node.args[1], ast.Name)
+            ):
+                self._registered.append(
+                    (node.args[0].value, node.args[1].id, node, path)
+                )
+            elif isinstance(node, ast.FunctionDef):
+                returned = []
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Return) and isinstance(
+                        sub.value, ast.Call
+                    ):
+                        func = sub.value.func
+                        if isinstance(func, ast.Name):
+                            returned.append(func.id)
+                        elif isinstance(func, ast.Attribute):
+                            returned.append(func.attr)
+                self._factories[node.name] = (returned, node)
+
+    # -- cross-file resolution -----------------------------------------
+    def _chain(self, name: str) -> list[_ClassInfo]:
+        """The textual MRO slice resolvable in the linted files."""
+        chain, queue, seen = [], [name], set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self._classes.get(current)
+            if info is None:
+                continue
+            chain.append(info)
+            queue.extend(info.bases)
+        return chain
+
+    def _declares(self, chain: list[_ClassInfo], attr: str) -> bool:
+        return any(
+            attr in info.class_attrs or attr in info.instance_attrs
+            for info in chain
+        )
+
+    def _is_tracker(self, chain: list[_ClassInfo]) -> bool:
+        return any(info.name == TRACKER_BASE for info in chain)
+
+    def finalize(self, project: object) -> list[Finding]:
+        findings = []
+        # (a) every registered factory resolves to a class declaring
+        # pseudo_mitigations.
+        for attack_name, factory_name, call, path in self._registered:
+            if factory_name in self._factories:
+                returned, _node = self._factories[factory_name]
+            elif factory_name in self._classes:
+                returned = [factory_name]
+            else:
+                findings.append(self.finding(
+                    path, call,
+                    f"register({attack_name!r}, ...) references "
+                    f"{factory_name!r}, which is neither a factory "
+                    "function nor a class in the linted files",
+                ))
+                continue
+            if not returned:
+                findings.append(self.finding(
+                    path, call,
+                    f"tracker factory {factory_name!r} (registered as "
+                    f"{attack_name!r}) never returns a tracker "
+                    "constructor call this rule can resolve",
+                ))
+            for class_name in returned:
+                chain = self._chain(class_name)
+                if not chain:
+                    findings.append(self.finding(
+                        path, call,
+                        f"tracker factory {factory_name!r} returns "
+                        f"{class_name}, which is not defined in the "
+                        "linted files",
+                    ))
+                    continue
+                if not self._declares(chain, "pseudo_mitigations"):
+                    findings.append(self.finding(
+                        chain[0].path, chain[0].node,
+                        f"{class_name} (registered as {attack_name!r}) "
+                        "does not declare pseudo_mitigations anywhere "
+                        "in its class chain; the engine reads the "
+                        "attribute directly — derive from "
+                        "trackers.base.Tracker or declare the counter",
+                    ))
+        # (b) no Tracker subclass's on_activate_batch touches global RNG.
+        for info in self._classes.values():
+            chain = self._chain(info.name)
+            if not self._is_tracker(chain):
+                continue
+            batch = info.methods.get("on_activate_batch")
+            if batch is None:
+                continue
+            imports = self._imports.get(info.path)
+            if imports is None:  # pragma: no cover - defensive
+                continue
+            for node in ast.walk(batch):
+                if not isinstance(node, ast.Call):
+                    continue
+                origin = imports.resolve(node.func)
+                if origin is None:
+                    continue
+                message = global_rng_message(origin)
+                if message is not None:
+                    findings.append(self.finding(
+                        info.path, node,
+                        f"{info.name}.on_activate_batch touches global "
+                        "RNG state; batch overrides must preserve the "
+                        f"tracker's own rng stream ({message})",
+                    ))
+        return findings

@@ -70,6 +70,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exp -> scenario)
 #: are re-keyed instead of silently reused.
 SCENARIO_VERSION = 1
 
+#: The identity classification of every spec dataclass field in this
+#: module, enforced statically by ``repro lint`` (rule
+#: ``identity-manifest``) and consumed at runtime by
+#: :meth:`Scenario.identity_payload`. ``identity`` fields are hashed
+#: into fingerprints and task seeds — changing one re-keys every
+#: random stream and cache entry. ``excluded`` fields are pure
+#: implementation knobs whose values the engine pins bit-identical
+#: (scalar/vectorized/fused/compiled runs of one scenario share every
+#: stream), so they must *never* join the hash. Adding a field without
+#: classifying it here is a lint error: deciding its fingerprint
+#: status is part of adding the field.
+IDENTITY_MANIFEST = {
+    "TrackerSpec": {
+        "identity": ["name", "params", "dmq", "dmq_depth"],
+        "excluded": [],
+    },
+    "AttackSpec": {
+        "identity": ["name", "params"],
+        "excluded": [],
+    },
+    "Scenario": {
+        "identity": [
+            "tracker", "attack", "trh", "intervals", "max_act",
+            "base_row", "num_rows", "blast_radius",
+            "allow_postponement", "max_postponed", "refi_per_refw",
+            "scaled_timing", "num_banks", "num_ranks",
+            "concurrent_banks", "timing", "seed",
+        ],
+        "excluded": ["vectorized", "backend"],
+    },
+}
+
 
 def _frozen_params(params: Mapping[str, Any] | None) -> tuple:
     """Normalise a kwargs mapping into a hashable, ordered tuple."""
@@ -299,8 +331,8 @@ class Scenario:
         re-keys everything, as any knob change must.
         """
         payload = self.to_payload()
-        del payload["vectorized"]
-        del payload["backend"]
+        for name in IDENTITY_MANIFEST["Scenario"]["excluded"]:
+            del payload[name]
         if payload["num_ranks"] == 1:
             del payload["num_ranks"]
         return payload
@@ -458,7 +490,7 @@ class Scenario:
 
         return factory
 
-    def build_trace(self, rng: random.Random | None = None):
+    def build_trace(self, rng: random.Random | None = None) -> Any:
         """The attack schedule: a :class:`~repro.sim.trace.ChannelTrace`
         on the channel path, bank-addressed on the rank path, row-only
         otherwise."""
@@ -489,7 +521,7 @@ class Scenario:
         )
 
     # -- composition ---------------------------------------------------
-    def sweep(self, **axes) -> "ExperimentGrid":
+    def sweep(self, **axes: Any) -> "ExperimentGrid":
         """Cross this scenario with axes of variations into a grid.
 
         ``tracker=`` and ``attack=`` take lists of specs (or registry
@@ -511,7 +543,9 @@ class Scenario:
 
         from .exp.grid import ExperimentGrid, PointConfig
 
-        def axis(value, base, coerce):
+        def axis(
+            value: Any, base: Any, coerce: Callable[[Any], Any]
+        ) -> list[Any]:
             if value is None:
                 return [base]
             values = list(value) if isinstance(value, (list, tuple)) else [value]
@@ -664,7 +698,7 @@ class Session:
             self.scenario, windows=windows, n_workers=n_workers
         )
 
-    def sweep(self, **axes) -> "ExperimentGrid":
+    def sweep(self, **axes: Any) -> "ExperimentGrid":
         """See :meth:`Scenario.sweep`."""
         return self.scenario.sweep(**axes)
 

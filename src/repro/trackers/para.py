@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 
-from ..constants import COUNTER_BITS, SAR_BITS
+from ..constants import SAR_BITS
 from .base import MitigationRequest, Tracker
 
 
@@ -50,6 +50,8 @@ class InDramParaTracker(Tracker):
             raise ValueError("sample_probability must be in (0, 1]")
         self.p = sample_probability
         self.overwrite = overwrite
+        # ad-hoc convenience default: every engine/Session path
+        # repro-lint: allow[seed-policy] passes a derived rng
         self.rng = rng or random.Random()
         self.sar: int | None = None
         self.name = "InDRAM-PARA" if overwrite else "InDRAM-PARA(NoOW)"
@@ -135,6 +137,8 @@ class McParaPolicy:
         if not 0.0 < probability <= 1.0:
             raise ValueError("probability must be in (0, 1]")
         self.p = probability
+        # ad-hoc convenience default: every engine/Session path
+        # repro-lint: allow[seed-policy] passes a derived rng
         self.rng = rng or random.Random()
         self.drfms_issued = 0
 

@@ -28,6 +28,8 @@ class ParfmTracker(Tracker):
         if max_act < 1:
             raise ValueError("max_act must be >= 1")
         self.max_act = max_act
+        # ad-hoc convenience default: every engine/Session path
+        # repro-lint: allow[seed-policy] passes a derived rng
         self.rng = rng or random.Random()
         self.buffer: list[int] = []
         self.dropped_activations = 0

@@ -40,6 +40,8 @@ class PrideTracker(Tracker):
             raise ValueError("sample_probability must be in (0, 1]")
         self.fifo_depth = fifo_depth
         self.p = sample_probability
+        # ad-hoc convenience default: every engine/Session path
+        # repro-lint: allow[seed-policy] passes a derived rng
         self.rng = rng or random.Random()
         self.fifo: deque[int] = deque()
         self.samples = 0

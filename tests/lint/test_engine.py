@@ -1,0 +1,126 @@
+"""Engine-level behaviour: discovery, suppressions, parse errors."""
+
+import textwrap
+
+from repro.lint import (
+    PARSE_RULE_ID,
+    iter_python_files,
+    parse_suppressions,
+    run_lint,
+)
+from repro.lint.rules.private_poke import PrivatePokeRule
+from repro.lint.rules.seed_policy import SeedPolicyRule
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestParseSuppressions:
+    def test_inline_comment_covers_its_line(self):
+        source = "x = 1  # repro-lint: allow[seed-policy] reason\n"
+        assert parse_suppressions(source) == {1: {"seed-policy"}}
+
+    def test_standalone_comment_also_covers_next_line(self):
+        source = "# repro-lint: allow[private-poke] reason\nobj._x = 1\n"
+        suppressions = parse_suppressions(source)
+        assert suppressions[1] == {"private-poke"}
+        assert suppressions[2] == {"private-poke"}
+
+    def test_comma_separated_rule_list(self):
+        source = "x = 1  # repro-lint: allow[seed-policy, private-poke]\n"
+        assert parse_suppressions(source)[1] == {
+            "seed-policy", "private-poke",
+        }
+
+    def test_allow_all_token(self):
+        assert parse_suppressions("x = 1  # repro-lint: allow[all]\n") == {
+            1: {"all"}
+        }
+
+    def test_plain_comments_do_not_suppress(self):
+        assert parse_suppressions("x = 1  # ordinary comment\n") == {}
+
+
+class TestIterPythonFiles:
+    def test_walks_directories_and_skips_caches(self, tmp_path):
+        keep = write(tmp_path, "pkg/mod.py", "x = 1\n")
+        write(tmp_path, "pkg/__pycache__/mod.cpython-310.py", "x = 1\n")
+        write(tmp_path, ".git/hook.py", "x = 1\n")
+        assert iter_python_files([tmp_path]) == [keep]
+
+    def test_files_taken_verbatim_and_result_sorted(self, tmp_path):
+        b = write(tmp_path, "b.py", "x = 1\n")
+        a = write(tmp_path, "a.py", "x = 1\n")
+        assert iter_python_files([b, a]) == [a, b]
+
+
+class TestRunLint:
+    def test_clean_tree_has_no_findings(self, tmp_path):
+        write(tmp_path, "mod.py", "VALUE = 1\n")
+        findings, scanned = run_lint([tmp_path])
+        assert findings == []
+        assert scanned == 1
+
+    def test_syntax_error_becomes_a_parse_finding(self, tmp_path):
+        write(tmp_path, "broken.py", "def oops(:\n")
+        findings, _ = run_lint([tmp_path])
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_RULE_ID
+        assert findings[0].path.endswith("broken.py")
+
+    def test_suppressed_finding_is_dropped(self, tmp_path):
+        write(
+            tmp_path, "mod.py",
+            "import random\n"
+            "x = random.random()  # repro-lint: allow[seed-policy] test\n",
+        )
+        findings, _ = run_lint([tmp_path], rules=[SeedPolicyRule])
+        assert findings == []
+
+    def test_allow_all_suppresses_any_rule(self, tmp_path):
+        write(
+            tmp_path, "mod.py",
+            "import random\n"
+            "x = random.random()  # repro-lint: allow[all]\n",
+        )
+        findings, _ = run_lint([tmp_path], rules=[SeedPolicyRule])
+        assert findings == []
+
+    def test_mismatched_suppression_does_not_drop(self, tmp_path):
+        write(
+            tmp_path, "mod.py",
+            "import random\n"
+            "x = random.random()  # repro-lint: allow[private-poke]\n",
+        )
+        findings, _ = run_lint([tmp_path], rules=[SeedPolicyRule])
+        assert len(findings) == 1
+        assert findings[0].rule == "seed-policy"
+
+    def test_findings_sorted_by_position(self, tmp_path):
+        write(
+            tmp_path, "mod.py",
+            "import random\n"
+            "a = random.random()\n"
+            "obj = object()\n"
+            "obj._x = 1\n",
+        )
+        findings, _ = run_lint(
+            [tmp_path], rules=[PrivatePokeRule, SeedPolicyRule]
+        )
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert {f.rule for f in findings} == {"seed-policy", "private-poke"}
+
+    def test_rule_subset_restricts_the_pass(self, tmp_path):
+        write(
+            tmp_path, "mod.py",
+            "import random\n"
+            "a = random.random()\n"
+            "obj = object()\n"
+            "obj._x = 1\n",
+        )
+        findings, _ = run_lint([tmp_path], rules=[PrivatePokeRule])
+        assert {f.rule for f in findings} == {"private-poke"}

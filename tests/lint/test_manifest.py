@@ -1,0 +1,81 @@
+"""The identity manifests agree with the runtime, not just the linter.
+
+The ``identity-manifest`` rule checks the manifests *statically*;
+these tests pin the other half of the contract: the manifests describe
+the real dataclasses, ``Scenario.identity_payload`` consumes the
+``excluded`` bucket at runtime (so manifest and fingerprint behaviour
+cannot drift), and the ``PointConfig`` manifest mirrors the
+``Scenario`` one field-for-field.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exp.grid import IDENTITY_MANIFEST as GRID_MANIFEST
+from repro.exp.grid import PointConfig
+from repro.scenario import (
+    IDENTITY_MANIFEST as SCENARIO_MANIFEST,
+    AttackSpec,
+    Scenario,
+    TrackerSpec,
+)
+
+CLASSES = {
+    "TrackerSpec": (TrackerSpec, SCENARIO_MANIFEST),
+    "AttackSpec": (AttackSpec, SCENARIO_MANIFEST),
+    "Scenario": (Scenario, SCENARIO_MANIFEST),
+    "PointConfig": (PointConfig, GRID_MANIFEST),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CLASSES))
+def test_manifest_covers_every_field_exactly_once(name):
+    cls, manifest = CLASSES[name]
+    entry = manifest[name]
+    identity = set(entry["identity"])
+    excluded = set(entry["excluded"])
+    fields = {f.name for f in dataclasses.fields(cls)}
+    assert identity | excluded == fields
+    assert identity & excluded == set()
+
+
+def test_point_config_mirrors_scenario_manifest():
+    scenario_entry = SCENARIO_MANIFEST["Scenario"]
+    point_entry = GRID_MANIFEST["PointConfig"]
+    assert point_entry["excluded"] == scenario_entry["excluded"]
+    # PointConfig is the engine-knob slice: Scenario identity minus the
+    # spec/seed coordinates a grid re-attaches per point, and minus the
+    # custom-timing override grid points refuse to carry (not JSON).
+    assert set(point_entry["identity"]) == (
+        set(scenario_entry["identity"])
+        - {"tracker", "attack", "seed", "timing"}
+    )
+
+
+def test_identity_payload_drops_exactly_the_excluded_knobs():
+    scenario = Scenario(tracker="mint", attack="double-sided")
+    payload = scenario.to_payload()
+    identity = scenario.identity_payload()
+    excluded = set(SCENARIO_MANIFEST["Scenario"]["excluded"])
+    # num_ranks=1 (the pre-channel geometry) is additionally elided for
+    # fingerprint stability; see Scenario.identity_payload.
+    assert set(payload) - set(identity) == excluded | {"num_ranks"}
+    for name in set(payload) & set(identity):
+        assert payload[name] == identity[name]
+
+
+def test_identity_payload_keeps_num_ranks_above_one():
+    scenario = Scenario(tracker="mint", attack="double-sided", num_ranks=2)
+    identity = scenario.identity_payload()
+    assert identity["num_ranks"] == 2
+
+
+def test_excluded_knobs_do_not_move_the_fingerprint():
+    base = Scenario(tracker="mint", attack="double-sided")
+    for knob in SCENARIO_MANIFEST["Scenario"]["excluded"]:
+        value = True if knob == "vectorized" else "numpy"
+        varied = dataclasses.replace(base, **{knob: value})
+        assert varied.fingerprint() == base.fingerprint()
+    rekeyed = dataclasses.replace(base, trh=base.trh + 1)
+    assert rekeyed.fingerprint() != base.fingerprint()

@@ -1,0 +1,71 @@
+"""Reporter contract: text rendering and the versioned JSON schema."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    parse_json,
+    render_json,
+    render_text,
+)
+
+FINDINGS = [
+    Finding(
+        path="src/repro/a.py", line=3, col=4, rule="seed-policy",
+        message="global RNG call",
+    ),
+    Finding(
+        path="src/repro/b.py", line=10, col=0, rule="private-poke",
+        message="external private write",
+    ),
+]
+
+
+class TestTextReporter:
+    def test_one_line_per_finding_plus_trailer(self):
+        text = render_text(FINDINGS, files_scanned=7)
+        lines = text.splitlines()
+        assert lines[0] == (
+            "src/repro/a.py:3:4: [seed-policy] global RNG call"
+        )
+        assert lines[-1] == "2 findings in 7 files"
+
+    def test_clean_trailer(self):
+        assert render_text([], files_scanned=1) == "checked 1 file: clean"
+
+    def test_singular_finding_count(self):
+        text = render_text(FINDINGS[:1], files_scanned=2)
+        assert text.splitlines()[-1] == "1 finding in 2 files"
+
+
+class TestJsonReporter:
+    def test_document_shape(self):
+        document = json.loads(render_json(FINDINGS, files_scanned=7))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["files_scanned"] == 7
+        assert [entry["rule"] for entry in document["findings"]] == [
+            "seed-policy", "private-poke",
+        ]
+        assert set(document["findings"][0]) == {
+            "path", "line", "col", "rule", "message",
+        }
+
+    def test_round_trip_is_lossless(self):
+        text = render_json(FINDINGS, files_scanned=7)
+        findings, files_scanned = parse_json(text)
+        assert findings == FINDINGS
+        assert files_scanned == 7
+
+    def test_empty_round_trip(self):
+        findings, files_scanned = parse_json(render_json([], 0))
+        assert findings == []
+        assert files_scanned == 0
+
+    def test_unknown_version_is_rejected(self):
+        document = json.loads(render_json(FINDINGS, files_scanned=1))
+        document["version"] = JSON_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            parse_json(json.dumps(document))

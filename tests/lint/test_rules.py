@@ -1,0 +1,434 @@
+"""Per-rule fixture snippets: a good tree, a bad tree, a suppressed
+tree for each of the five project rules."""
+
+import textwrap
+
+from repro.lint import run_lint
+from repro.lint.rules.api_surface import ApiSurfaceRule
+from repro.lint.rules.identity_manifest import IdentityManifestRule
+from repro.lint.rules.private_poke import PrivatePokeRule
+from repro.lint.rules.seed_policy import SeedPolicyRule
+from repro.lint.rules.tracker_contract import TrackerContractRule
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def lint(tmp_path, rule):
+    findings, _ = run_lint([tmp_path], rules=[rule])
+    return findings
+
+
+class TestSeedPolicy:
+    def test_instance_rng_is_fine(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import random
+
+            rng = random.Random(1234)
+            value = rng.random()
+        """)
+        assert lint(tmp_path, SeedPolicyRule) == []
+
+    def test_global_random_call_is_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import random
+
+            value = random.random()
+        """)
+        findings = lint(tmp_path, SeedPolicyRule)
+        assert [f.rule for f in findings] == ["seed-policy"]
+        assert "global RNG" in findings[0].message
+
+    def test_from_import_alias_is_resolved(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            from random import shuffle as mix
+
+            mix([1, 2, 3])
+        """)
+        findings = lint(tmp_path, SeedPolicyRule)
+        assert [f.rule for f in findings] == ["seed-policy"]
+
+    def test_numpy_random_is_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import numpy as np
+
+            draws = np.random.default_rng(0)
+        """)
+        findings = lint(tmp_path, SeedPolicyRule)
+        assert [f.rule for f in findings] == ["seed-policy"]
+        assert "pinned RNG streams" in findings[0].message
+
+    def test_unseeded_random_instance_is_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import random
+
+            rng = random.Random()
+        """)
+        findings = lint(tmp_path, SeedPolicyRule)
+        assert [f.rule for f in findings] == ["seed-policy"]
+
+    def test_wallclock_flagged_only_in_sim_packages(self, tmp_path):
+        source = """\
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        write(tmp_path, "repro/sim/mod.py", source)
+        write(tmp_path, "scripts/bench.py", source)
+        findings = lint(tmp_path, SeedPolicyRule)
+        assert len(findings) == 1
+        assert findings[0].path.endswith("repro/sim/mod.py")
+
+    def test_suppression_comment_silences(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import random
+
+            value = random.random()  # repro-lint: allow[seed-policy] demo
+        """)
+        assert lint(tmp_path, SeedPolicyRule) == []
+
+
+class TestIdentityManifest:
+    GOOD = """\
+        from dataclasses import dataclass
+
+        IDENTITY_MANIFEST = {
+            "TrackerSpec": {"identity": ["name"], "excluded": ["debug"]},
+        }
+
+        @dataclass(frozen=True)
+        class TrackerSpec:
+            name: str = "mint"
+            debug: bool = False
+    """
+
+    def test_fully_classified_dataclass_passes(self, tmp_path):
+        write(tmp_path, "specs.py", self.GOOD)
+        assert lint(tmp_path, IdentityManifestRule) == []
+
+    def test_missing_manifest_entry_is_flagged(self, tmp_path):
+        write(tmp_path, "specs.py", """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class TrackerSpec:
+                name: str = "mint"
+        """)
+        findings = lint(tmp_path, IdentityManifestRule)
+        assert [f.rule for f in findings] == ["identity-manifest"]
+        assert "no IDENTITY_MANIFEST entry" in findings[0].message
+
+    def test_unclassified_field_is_flagged(self, tmp_path):
+        write(tmp_path, "specs.py", """\
+            from dataclasses import dataclass
+
+            IDENTITY_MANIFEST = {
+                "TrackerSpec": {"identity": ["name"], "excluded": []},
+            }
+
+            @dataclass(frozen=True)
+            class TrackerSpec:
+                name: str = "mint"
+                depth: int = 4
+        """)
+        findings = lint(tmp_path, IdentityManifestRule)
+        assert len(findings) == 1
+        assert "'depth'" in findings[0].message
+
+    def test_stale_manifest_entry_is_flagged(self, tmp_path):
+        write(tmp_path, "specs.py", """\
+            from dataclasses import dataclass
+
+            IDENTITY_MANIFEST = {
+                "TrackerSpec": {"identity": ["name", "gone"], "excluded": []},
+            }
+
+            @dataclass(frozen=True)
+            class TrackerSpec:
+                name: str = "mint"
+        """)
+        findings = lint(tmp_path, IdentityManifestRule)
+        assert len(findings) == 1
+        assert "stale" in findings[0].message
+
+    def test_identity_excluded_overlap_is_flagged(self, tmp_path):
+        write(tmp_path, "specs.py", """\
+            from dataclasses import dataclass
+
+            IDENTITY_MANIFEST = {
+                "TrackerSpec": {"identity": ["name"], "excluded": ["name"]},
+            }
+
+            @dataclass(frozen=True)
+            class TrackerSpec:
+                name: str = "mint"
+        """)
+        findings = lint(tmp_path, IdentityManifestRule)
+        assert len(findings) == 1
+        assert "both identity and excluded" in findings[0].message
+
+    def test_non_literal_manifest_is_flagged(self, tmp_path):
+        write(tmp_path, "specs.py", """\
+            from dataclasses import dataclass
+
+            NAMES = ["name"]
+            IDENTITY_MANIFEST = {
+                "TrackerSpec": {"identity": NAMES, "excluded": []},
+            }
+
+            @dataclass(frozen=True)
+            class TrackerSpec:
+                name: str = "mint"
+        """)
+        findings = lint(tmp_path, IdentityManifestRule)
+        assert len(findings) == 1
+        assert "literal dict" in findings[0].message
+
+    def test_suppression_on_class_line(self, tmp_path):
+        write(tmp_path, "specs.py", """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            # repro-lint: allow[identity-manifest] fixture
+            class TrackerSpec:
+                name: str = "mint"
+        """)
+        assert lint(tmp_path, IdentityManifestRule) == []
+
+    def test_non_target_dataclass_needs_no_manifest(self, tmp_path):
+        write(tmp_path, "other.py", """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Unrelated:
+                value: int = 0
+        """)
+        assert lint(tmp_path, IdentityManifestRule) == []
+
+
+class TestTrackerContract:
+    BASE = """\
+        class Tracker:
+            pseudo_mitigations = 0
+
+            def on_activate_batch(self, rows, counts=None):
+                for row in rows:
+                    self.on_activate(row)
+    """
+
+    def test_registered_tracker_with_declared_counter(self, tmp_path):
+        write(tmp_path, "repro/trackers/base.py", self.BASE)
+        write(tmp_path, "repro/trackers/registry.py", """\
+            from .base import Tracker
+
+            class GoodTracker(Tracker):
+                pass
+
+            def _good():
+                return GoodTracker()
+
+            def register(name, factory):
+                pass
+
+            register("good", _good)
+        """)
+        assert lint(tmp_path, TrackerContractRule) == []
+
+    def test_registered_tracker_missing_counter(self, tmp_path):
+        write(tmp_path, "repro/trackers/base.py", self.BASE)
+        write(tmp_path, "repro/trackers/registry.py", """\
+            class Freeloader:
+                pass
+
+            def _free():
+                return Freeloader()
+
+            def register(name, factory):
+                pass
+
+            register("free", _free)
+        """)
+        findings = lint(tmp_path, TrackerContractRule)
+        assert [f.rule for f in findings] == ["tracker-contract"]
+        assert "pseudo_mitigations" in findings[0].message
+
+    def test_batch_override_touching_global_rng(self, tmp_path):
+        write(tmp_path, "repro/trackers/base.py", self.BASE)
+        write(tmp_path, "repro/trackers/sampler.py", """\
+            import random
+
+            from .base import Tracker
+
+            class Sampler(Tracker):
+                def on_activate_batch(self, rows, counts=None):
+                    return random.choice(list(rows))
+        """)
+        findings = lint(tmp_path, TrackerContractRule)
+        assert len(findings) == 1
+        assert "on_activate_batch" in findings[0].message
+        assert findings[0].path.endswith("sampler.py")
+
+    def test_batch_override_on_own_rng_is_fine(self, tmp_path):
+        write(tmp_path, "repro/trackers/base.py", self.BASE)
+        write(tmp_path, "repro/trackers/sampler.py", """\
+            from .base import Tracker
+
+            class Sampler(Tracker):
+                def on_activate_batch(self, rows, counts=None):
+                    return self.rng.choice(list(rows))
+        """)
+        assert lint(tmp_path, TrackerContractRule) == []
+
+    def test_unresolvable_factory_is_flagged(self, tmp_path):
+        write(tmp_path, "repro/trackers/registry.py", """\
+            def register(name, factory):
+                pass
+
+            register("ghost", make_ghost)
+        """)
+        findings = lint(tmp_path, TrackerContractRule)
+        assert len(findings) == 1
+        assert "neither a factory" in findings[0].message
+
+    def test_suppressed_registration(self, tmp_path):
+        write(tmp_path, "repro/trackers/registry.py", """\
+            # repro-lint: allow[tracker-contract] fixture
+            class Freeloader:
+                pass
+
+            def _free():
+                return Freeloader()
+
+            def register(name, factory):
+                pass
+
+            register("free", _free)
+        """)
+        findings = lint(tmp_path, TrackerContractRule)
+        assert findings == []
+
+
+class TestPrivatePoke:
+    def test_self_writes_are_fine(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            class Model:
+                def __init__(self):
+                    self._state = {}
+
+                def clear(self):
+                    self._state = {}
+        """)
+        assert lint(tmp_path, PrivatePokeRule) == []
+
+    def test_public_attribute_writes_are_fine(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def update(model):
+                model.rows = []
+        """)
+        assert lint(tmp_path, PrivatePokeRule) == []
+
+    def test_external_private_write_is_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def poke(model):
+                model._disturbance = {}
+        """)
+        findings = lint(tmp_path, PrivatePokeRule)
+        assert [f.rule for f in findings] == ["private-poke"]
+        assert "model._disturbance" in findings[0].message
+
+    def test_write_through_subscript_is_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def clear_row(model, row):
+                model._disturbance[row] = 0
+        """)
+        findings = lint(tmp_path, PrivatePokeRule)
+        assert len(findings) == 1
+        assert "model._disturbance" in findings[0].message
+
+    def test_augmented_and_del_count(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def wobble(model):
+                model._count += 1
+                del model._cache
+        """)
+        findings = lint(tmp_path, PrivatePokeRule)
+        assert len(findings) == 2
+
+    def test_object_setattr_bypass_is_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def sneak(model):
+                object.__setattr__(model, "_frozen", False)
+        """)
+        findings = lint(tmp_path, PrivatePokeRule)
+        assert len(findings) == 1
+        assert "__setattr__" in findings[0].message
+
+    def test_dunder_writes_are_not_private(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def rename(cls):
+                cls.__name__ = "Renamed"
+        """)
+        assert lint(tmp_path, PrivatePokeRule) == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def sync(sim):
+                # repro-lint: allow[private-poke] fixture sync
+                sim._consumed = True
+        """)
+        assert lint(tmp_path, PrivatePokeRule) == []
+
+
+class TestApiSurface:
+    SNAPSHOT = """\
+        REPRO = frozenset({"alpha", "beta"})
+
+        SNAPSHOTS = {
+            "repro": REPRO,
+        }
+    """
+
+    def test_matching_surface_passes(self, tmp_path):
+        write(tmp_path, "tests/test_api_surface.py", self.SNAPSHOT)
+        write(tmp_path, "src/repro/__init__.py", """\
+            __all__ = ["alpha", "beta"]
+        """)
+        assert lint(tmp_path / "src", ApiSurfaceRule) == []
+
+    def test_drifted_surface_is_flagged(self, tmp_path):
+        write(tmp_path, "tests/test_api_surface.py", self.SNAPSHOT)
+        write(tmp_path, "src/repro/__init__.py", """\
+            __all__ = ["alpha", "gamma"]
+        """)
+        findings = lint(tmp_path / "src", ApiSurfaceRule)
+        assert [f.rule for f in findings] == ["api-surface"]
+        assert "added ['gamma']" in findings[0].message
+        assert "removed ['beta']" in findings[0].message
+
+    def test_missing_snapshot_file_is_flagged(self, tmp_path):
+        write(tmp_path, "src/repro/__init__.py", """\
+            __all__ = ["alpha"]
+        """)
+        findings = lint(tmp_path / "src", ApiSurfaceRule)
+        assert len(findings) == 1
+        assert "cannot locate" in findings[0].message
+
+    def test_dynamic_all_is_flagged(self, tmp_path):
+        write(tmp_path, "tests/test_api_surface.py", self.SNAPSHOT)
+        write(tmp_path, "src/repro/__init__.py", """\
+            __all__ = [name for name in dir() if not name.startswith("_")]
+        """)
+        findings = lint(tmp_path / "src", ApiSurfaceRule)
+        assert len(findings) == 1
+        assert "not a literal list" in findings[0].message
+
+    def test_non_target_module_is_ignored(self, tmp_path):
+        write(tmp_path, "src/other/__init__.py", """\
+            __all__ = ["whatever"]
+        """)
+        assert lint(tmp_path / "src", ApiSurfaceRule) == []

@@ -1,0 +1,90 @@
+"""The repository lints itself clean, and the CLI contract holds.
+
+The self-check is the rule battery's strongest test: every rule runs
+against the real tree (100+ modules), so a false positive anywhere in
+``src``/``scripts`` fails here before it fails in CI.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import PARSE_RULE_ID, RULE_REGISTRY, parse_json, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfLint:
+    def test_src_and_scripts_are_clean(self):
+        findings, files_scanned = run_lint(
+            [REPO_ROOT / "src", REPO_ROOT / "scripts"]
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+        assert files_scanned > 50
+
+    def test_every_rule_is_registered(self):
+        assert set(RULE_REGISTRY) == {
+            "api-surface", "identity-manifest", "private-poke",
+            "seed-policy", "tracker-contract",
+        }
+        assert PARSE_RULE_ID not in RULE_REGISTRY
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        code = main(["lint", str(REPO_ROOT / "src" / "repro" / "lint")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_violation_exits_one_with_rule_and_location(
+        self, capsys, tmp_path
+    ):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nvalue = random.random()\n")
+        code = main(["lint", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[seed-policy]" in out
+        assert "bad.py:2:" in out
+
+    def test_json_format_round_trips(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nvalue = random.random()\n")
+        code = main(["lint", str(tmp_path), "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        findings, files_scanned = parse_json(out)
+        assert files_scanned == 1
+        assert [f.rule for f in findings] == ["seed-policy"]
+        assert json.loads(out)["version"] == 1
+
+    def test_rules_subset_selection(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\nvalue = random.random()\nx = object()\nx._y = 1\n"
+        )
+        code = main(["lint", str(tmp_path), "--rules", "private-poke"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[private-poke]" in out
+        assert "[seed-policy]" not in out
+
+    def test_unknown_rule_exits_two(self, capsys, tmp_path):
+        code = main(["lint", str(tmp_path), "--rules", "nonsense"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown rule" in out
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        code = main(["lint", str(tmp_path / "nope")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "no such path" in out
+
+    def test_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in RULE_REGISTRY:
+            assert rule_id in out
