@@ -33,9 +33,12 @@ Usage::
     PYTHONPATH=src python scripts/bench_trajectory.py --smoke    # gate
     PYTHONPATH=src python scripts/bench_trajectory.py -o out.json
 
-``--smoke`` runs only the fused bit-identity checks (small horizon,
-no timing thresholds, no file write) and exits non-zero on any
-mismatch — the blocking CI gate; wall-clock numbers never gate.
+``--smoke`` runs only the behavioural gates (small horizon, no timing
+thresholds, no file write) and exits non-zero on any mismatch — the
+blocking CI gate; wall-clock numbers never gate. It covers the fused
+and compiled kernel bit-identity checks plus the experiment-service
+lifecycle: run a grid, crash it mid-run, resume to a bit-identical
+store, and answer a query over HTTP (``repro serve``).
 """
 
 from __future__ import annotations
@@ -518,12 +521,13 @@ def bench_streaming(intervals: int, repeats: int) -> dict:
 REGRESSION_TOLERANCE = 0.20
 
 #: The record keys holding lists of timed points (each point a dict of
-#: metadata plus ``*_acts_per_second`` metrics).
+#: metadata plus ``*_per_second`` metrics).
 _POINT_LIST_KEYS = (
     "engine_points",
     "channel_points",
     "fused_channel_points",
     "compiled_channel_points",
+    "exp_service_points",
 )
 
 
@@ -572,7 +576,7 @@ def compare_records(old_path: Path, new_path: Path) -> int:
             metrics = sorted(
                 metric
                 for metric in point
-                if metric.endswith("acts_per_second")
+                if metric.endswith("_per_second")
             )
             for metric in metrics:
                 after = point[metric]
@@ -609,11 +613,16 @@ def bench_exp_runner(points: int, windows: int) -> dict:
     from repro.parallel import default_workers, fork_available
 
     grid = scaled_benchmark_grid(points=points, windows=windows)
-    timings = {}
-    for label, workers in (("serial", 1), ("pool4", 4)):
-        started = time.perf_counter()
-        run_grid(grid, base_seed=11, n_workers=workers)
-        timings[label] = time.perf_counter() - started
+    # Interleaved best-of-2: run-to-run drift on a shared box exceeds
+    # the serial/pool delta being measured (see bench_exp_service).
+    timings = {"serial": float("inf"), "pool4": float("inf")}
+    for _ in range(2):
+        for label, workers in (("serial", 1), ("pool4", 4)):
+            started = time.perf_counter()
+            run_grid(grid, base_seed=11, n_workers=workers)
+            timings[label] = min(
+                timings[label], time.perf_counter() - started
+            )
     return {
         "points": len(grid),
         "windows": windows,
@@ -623,6 +632,182 @@ def bench_exp_runner(points: int, windows: int) -> dict:
         "fork_available": fork_available(),
         "usable_cpus": default_workers(),
     }
+
+
+def _exp_service_grid(windows: int = 2):
+    """A 16-point grid of cheap scaled points for the service bench."""
+    base = Scenario(
+        tracker="mint",
+        attack="single-sided",
+        trh=60.0,
+        intervals=windows * 64,
+        max_act=8,
+        num_rows=1024,
+        refi_per_refw=64,
+        scaled_timing=True,
+    )
+    return base.sweep(
+        tracker=["mint", "para"],
+        attack=[AttackSpec.of("single-sided"), AttackSpec.of("double-sided")],
+        trh=[50.0, 60.0, 70.0, 80.0],
+    )
+
+
+def _store_bytes(path: Path) -> dict:
+    """Manifest + shard bytes keyed by name, for bit-identity diffs."""
+    files = {"manifest": path.read_bytes()}
+    shards_dir = path.with_name(path.name + ".shards")
+    if shards_dir.exists():
+        for shard in sorted(shards_dir.glob("*.json")):
+            files[shard.name] = shard.read_bytes()
+    return files
+
+
+def bench_exp_service(windows: int = 2) -> dict:
+    """The experiment-service acceptance point (one dict in
+    ``exp_service_points``): points/sec through the sharded scheduler
+    serially vs with a 4-worker pool, crash→resume latency and store
+    bit-identity, and the dirty-shard flush telemetry (incremental
+    bytes vs the full store).
+
+    On a 1-CPU host the pool guard collapses ``pool4`` to the inline
+    path, so its throughput tracks serial (~1.0x) instead of paying
+    fork overhead — the regression the guards exist to prevent; the
+    recorded ``usable_cpus`` disambiguates the two regimes.
+    """
+    import tempfile
+
+    from repro.exp import ResultStore, run_grid
+    from repro.exp.runner import _InjectedCrash
+    from repro.parallel import default_workers, fork_available
+
+    grid = _exp_service_grid(windows=windows)
+    n_points = len(grid)
+    point: dict = {
+        "tracker": "mint+para",
+        "kernel": "exp-service",
+        "points": n_points,
+        "windows": windows,
+        "fork_available": fork_available(),
+        "usable_cpus": default_workers(),
+    }
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        # Interleaved best-of-N: run-to-run drift on a busy shared box
+        # exceeds the serial/pool delta, so alternate the two labels
+        # within each round instead of timing them in separate windows.
+        timings = {"serial": float("inf"), "pool4": float("inf")}
+        for round_index in range(2):
+            for label, workers in (("serial", 1), ("pool4", 4)):
+                store = ResultStore(tmp / f"{label}-{round_index}.json")
+                started = time.perf_counter()
+                report = run_grid(grid, base_seed=11, n_workers=workers,
+                                  store=store)
+                timings[label] = min(
+                    timings[label], time.perf_counter() - started
+                )
+                if label == "pool4":
+                    point["pool4_dispatch"] = report.dispatch
+        for label in ("serial", "pool4"):
+            point[f"{label}_seconds"] = round(timings[label], 3)
+            point[f"{label}_points_per_second"] = round(
+                n_points / timings[label], 2
+            )
+        point["speedup"] = round(
+            timings["serial"] / max(timings["pool4"], 1e-9), 3
+        )
+
+        # Crash after 2 of the serial plan's shards, then time the
+        # resume; the recovered store must be byte-identical to the
+        # uninterrupted serial run's.
+        crashed = ResultStore(tmp / "crashed.json")
+        try:
+            run_grid(grid, base_seed=11, n_workers=1, store=crashed,
+                     fail_after_shards=2)
+        except _InjectedCrash:
+            pass
+        started = time.perf_counter()
+        resume = run_grid(
+            grid, base_seed=11, n_workers=1,
+            store=ResultStore(tmp / "crashed.json"),
+        )
+        point["resume_seconds"] = round(time.perf_counter() - started, 3)
+        point["resume_executed"] = resume.executed
+        point["bit_identical"] = (
+            _store_bytes(tmp / "serial-0.json")
+            == _store_bytes(tmp / "crashed.json")
+        )
+
+        # Dirty-shard flush telemetry: growing a flushed store by one
+        # result should rewrite one shard + manifest, not the store.
+        store = ResultStore(tmp / "serial-0.json")
+        extra = _exp_service_grid(windows=windows + 1).points()[0]
+        from repro.exp import run_point
+
+        store.put(run_point(extra, base_seed=11))
+        point["dirty_flush_bytes"] = store.flush()
+        point["full_store_bytes"] = store.disk_bytes()
+    return point
+
+
+def smoke_exp_service() -> int:
+    """The blocking exp-service smoke: run, crash, resume, serve, query.
+
+    Returns the number of failed checks (0 = ok). Small grid, no
+    timing thresholds — behavioural identity only.
+    """
+    import tempfile
+    import threading
+    import urllib.request
+
+    from repro.exp import QueryAPI, ResultStore, make_server, run_grid
+    from repro.exp.runner import _InjectedCrash
+
+    failures = 0
+    grid = _exp_service_grid(windows=1)
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        run_grid(grid, base_seed=11, n_workers=1,
+                 store=ResultStore(tmp / "clean.json"))
+        try:
+            run_grid(grid, base_seed=11, n_workers=1,
+                     store=ResultStore(tmp / "resumed.json"),
+                     fail_after_shards=1)
+        except _InjectedCrash:
+            pass
+        resume = run_grid(grid, base_seed=11, n_workers=1,
+                          store=ResultStore(tmp / "resumed.json"))
+        identical = (
+            _store_bytes(tmp / "clean.json")
+            == _store_bytes(tmp / "resumed.json")
+        )
+        failures += not identical
+        print(
+            f"exp service: resume recovered {resume.resumed} point(s), "
+            f"executed {resume.executed}, store bit-identical "
+            f"[{'ok' if identical else 'MISMATCH'}]"
+        )
+
+        server = make_server(QueryAPI.open(tmp / "resumed.json"), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/v1/status"
+            ) as response:
+                status = json.loads(response.read())
+            served = status["results"] == len(grid)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        failures += not served
+        print(
+            f"exp service: served {status['results']}/{len(grid)} "
+            f"result(s) over HTTP [{'ok' if served else 'MISMATCH'}]"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -710,6 +895,7 @@ def main(argv: list[str] | None = None) -> int:
                 "compiled identity: skipped "
                 f"({kernels.unavailable_reason()})"
             )
+        mismatches += smoke_exp_service()
         if mismatches:
             print(f"ERROR: {mismatches} bit-identity check(s) failed")
             return 1
@@ -849,6 +1035,19 @@ def main(argv: list[str] | None = None) -> int:
             f"exp runner: serial {record['exp_runner']['serial_seconds']}s, "
             f"4 workers {record['exp_runner']['pool4_seconds']}s "
             f"(x{record['exp_runner']['speedup']})"
+        )
+        service = bench_exp_service(windows=1 if args.quick else 2)
+        record["exp_service_points"] = [service]
+        failures += not service["bit_identical"]
+        print(
+            f"exp service: {service['points']} points, serial "
+            f"{service['serial_points_per_second']}/s, pool4 "
+            f"{service['pool4_points_per_second']}/s "
+            f"({service['pool4_dispatch']}, x{service['speedup']}), "
+            f"resume {service['resume_seconds']}s, dirty flush "
+            f"{service['dirty_flush_bytes']:,}B of "
+            f"{service['full_store_bytes']:,}B "
+            f"[{'ok' if service['bit_identical'] else 'MISMATCH'}]"
         )
 
     args.output.write_text(json.dumps(record, indent=2) + "\n")

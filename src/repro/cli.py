@@ -9,6 +9,7 @@ Commands
 ``table``    print one of the paper's comparison tables
 ``plan``     recommend a configuration for a device threshold
 ``exp``      run/inspect batched experiment grids (parallel + cached)
+``serve``    HTTP read API over a result store (cached sweep queries)
 ``lint``     determinism & identity static analysis (see repro.lint)
 
 Every simulation command goes through :mod:`repro.scenario`: ``run``
@@ -231,7 +232,6 @@ def _cmd_exp_run(args) -> int:
         AttackSpec,
         ExperimentGrid,
         PointConfig,
-        ResultStore,
         TrackerSpec,
         preset_grid,
         run_grid,
@@ -280,7 +280,7 @@ def _cmd_exp_run(args) -> int:
                 )
             ],
         )
-    store = ResultStore(args.store) if args.store else None
+    store = _open_store(args.store) if args.store else None
     try:
         report = run_grid(
             grid, base_seed=args.seed, n_workers=args.workers, store=store
@@ -303,17 +303,9 @@ def _cmd_exp_run(args) -> int:
         ))
         return 1 if failed else 0
     if args.format == "csv":
-        rows = []
-        for result in report.results:
-            for row in result_csv_rows(result.metrics):
-                row["tracker"] = result.tracker
-                rows.append({
-                    "key": result.key[:12],
-                    "attack": result.attack,
-                    "seed": result.seed,
-                    **row,
-                })
-        _emit_csv(rows, ("key", "attack", "seed", *RESULT_CSV_COLUMNS))
+        from .exp.query import SWEEP_CSV_COLUMNS, sweep_csv_rows
+
+        _emit_csv(sweep_csv_rows(report.results), SWEEP_CSV_COLUMNS)
         return 1 if failed else 0
     print(f"exp run: {report.summary()}")
     for result in report.results:
@@ -346,11 +338,38 @@ def _cmd_exp_run(args) -> int:
     return 1 if failed else 0
 
 
-def _cmd_exp_status(args) -> int:
-    from .exp import ResultStore
+def _open_store(path: str):
+    """Open a result store, mapping format refusals to exit code 2."""
+    from .exp import ResultStore, StoreFormatError
 
-    store = ResultStore(args.store)
-    print(f"{args.store}: {len(store)} cached result(s)")
+    try:
+        return ResultStore(path)
+    except StoreFormatError as error:
+        print(f"store: {error}")
+        raise SystemExit(2)
+
+
+def _cmd_exp_status(args) -> int:
+    from .exp import journal_for_store, shard_key
+
+    store = _open_store(args.store)
+    shards = sorted({shard_key(key, store.shard_width) for key in store.keys()})
+    print(
+        f"{args.store}: {len(store)} cached result(s) in "
+        f"{len(shards)} shard(s), {store.disk_bytes():,} bytes on disk"
+    )
+    journal = journal_for_store(store)
+    state = journal.load() if journal is not None else None
+    if state is not None and state.interrupted:
+        print(
+            f"  interrupted run {state.run_key}: "
+            f"{len(state.done)}/{len(state.planned)} planned point(s) "
+            f"done, {len(state.remaining)} missing — re-running the "
+            f"same grid resumes it"
+        )
+    elif state is not None and state.finished:
+        print(f"  last run {state.run_key}: complete "
+              f"({state.shards_done} shard(s))")
     for result in store.results():
         status = "FLIP" if result.failed else "ok"
         print(
@@ -359,6 +378,35 @@ def _cmd_exp_status(args) -> int:
             f"seed={result.seed}"
         )
     return 0
+
+
+def _cmd_exp_compact(args) -> int:
+    store = _open_store(args.store)
+    before = store.disk_bytes()
+    written = store.compact()
+    print(
+        f"{args.store}: compacted {len(store)} result(s) "
+        f"({before:,} -> {store.disk_bytes():,} bytes, "
+        f"{written:,} written)"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .exp import StoreFormatError
+    from .exp.serve import serve_store
+
+    try:
+        return serve_store(
+            args.store, host=args.host, port=args.port,
+            verbose=not args.quiet,
+        )
+    except StoreFormatError as error:
+        print(f"serve: {error}")
+        return 2
+    except OSError as error:
+        print(f"serve: cannot bind {args.host}:{args.port} ({error})")
+        return 2
 
 
 def _cmd_lint(args) -> int:
@@ -526,10 +574,34 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.set_defaults(func=_cmd_exp_run)
 
     exp_status = exp_sub.add_parser(
-        "status", help="inspect a result store"
+        "status", help="inspect a result store (results, shards, and "
+                       "any interrupted run recorded in its journal)"
     )
     exp_status.add_argument("--store", required=True)
     exp_status.set_defaults(func=_cmd_exp_status)
+
+    exp_compact = exp_sub.add_parser(
+        "compact", help="rewrite every store shard and drop orphans"
+    )
+    exp_compact.add_argument("--store", required=True)
+    exp_compact.set_defaults(func=_cmd_exp_compact)
+
+    serve = sub.add_parser(
+        "serve",
+        help="read-only HTTP API over a result store "
+             "(GET /v1/status, /v1/points, /v1/point/<fingerprint>, "
+             "/v1/sweep?tracker=&attack=&failed=&format=json|csv)",
+    )
+    serve.add_argument("--store", required=True,
+                       help="result store to serve (see `repro exp run "
+                            "--store`); new results written by concurrent "
+                            "runs are picked up automatically")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731,
+                       help="TCP port (0 picks a free one; default 8731)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    serve.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser(
         "lint",

@@ -1,9 +1,12 @@
-"""Batched, cached, parallel experiment sweeps (``repro.exp``).
+"""The experiment service (``repro.exp``): sharded, resumable, cached.
 
-The subsystem behind ``python -m repro exp``: declare a grid of
-(tracker × attack × config) points, fan it out over a process pool
-with deterministic per-task seeding, and collect the outcomes into a
-fingerprint-keyed store so re-runs are incremental.
+The subsystem behind ``python -m repro exp`` and ``repro serve``:
+declare a grid of (tracker × attack × config) points, let the sharded
+scheduler fan the *missing* points out over a process pool (chunked,
+journaled, resumable — see :mod:`repro.exp.runner`), collect the
+outcomes into the fingerprint-sharded :class:`ResultStore`, and answer
+sweep/point queries from it through the cached :class:`QueryAPI` read
+path.
 
 A grid point is a factored :class:`~repro.scenario.Scenario`: build
 grids from a base scenario with
@@ -20,6 +23,7 @@ from .grid import (
     PointConfig,
     TrackerSpec,
 )
+from .journal import JournalState, RunJournal, journal_for_store
 from .presets import (
     channel_shootout_grid,
     postponement_grid,
@@ -27,14 +31,17 @@ from .presets import (
     rank_shootout_grid,
     shootout_grid,
 )
+from .query import QueryAPI, sweep_csv_rows
 from .result import (
     ExperimentResult,
     summarise_channel_result,
     summarise_rank_result,
     summarise_sim_result,
 )
-from .runner import RunReport, run_grid, run_point
-from .store import ResultStore
+from .runner import RunReport, ShardReport, run_grid, run_point
+from .serve import make_server, serve_store
+from .shards import TaskShard, plan_shards
+from .store import ResultStore, StoreFormatError, shard_key
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -42,18 +49,30 @@ __all__ = [
     "ExperimentGrid",
     "ExperimentPoint",
     "ExperimentResult",
+    "JournalState",
     "PointConfig",
+    "QueryAPI",
     "ResultStore",
+    "RunJournal",
     "RunReport",
+    "ShardReport",
+    "StoreFormatError",
+    "TaskShard",
     "TrackerSpec",
     "channel_shootout_grid",
+    "journal_for_store",
+    "make_server",
+    "plan_shards",
     "postponement_grid",
     "preset_grid",
     "rank_shootout_grid",
     "run_grid",
     "run_point",
+    "serve_store",
+    "shard_key",
     "shootout_grid",
     "summarise_channel_result",
     "summarise_rank_result",
     "summarise_sim_result",
+    "sweep_csv_rows",
 ]

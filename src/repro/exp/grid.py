@@ -55,6 +55,17 @@ SCHEMA_VERSION = 4
 #: bit-identical) never reach the hash, which is why ``sweep`` refuses
 #: them as axes. The runtime agreement between the two manifests is
 #: pinned by ``tests/lint/test_manifest.py``.
+#:
+#: Fingerprints are also the store and scheduler *layout* (format v2,
+#: PR 10): a result lives in the shard file named by its fingerprint
+#: prefix (``store.shard_key``), pending points partition into
+#: content-addressed task shards sorted by fingerprint
+#: (``shards.plan_shards``), the run journal records
+#: planned/running/done per fingerprint, and the ``QueryAPI`` read
+#: cache keys on them. Re-keying a fingerprint (any identity-field or
+#: SCHEMA_VERSION change) therefore moves the point to a new shard and
+#: re-executes it — the single invalidation rule covering execution,
+#: storage, and the read path.
 IDENTITY_MANIFEST = {
     "PointConfig": {
         "identity": [

@@ -1,0 +1,159 @@
+"""Persistent run journal: what a grid run planned, started, and did.
+
+The scheduler appends one JSON line per event to ``<store>.journal``:
+
+* ``begin`` — the run key (a stable hash of the planned fingerprints
+  and base seed) plus every *pending* fingerprint;
+* ``shard-start`` — a shard was handed to a worker (running);
+* ``shard-done`` — a shard's results were committed to the store,
+  with its wall/exec telemetry;
+* ``finish`` — the run completed.
+
+Appends are atomic enough for this purpose (one ``write`` of one line,
+flushed); a crash mid-append leaves at most one truncated final line,
+which :meth:`RunJournal.load` tolerates by ignoring it. The journal is
+*advisory*: the source of truth for resuming is the store itself (a
+resumed run re-executes exactly the fingerprints missing from the
+store), so journal loss never loses results — it loses the record of
+which run was in flight, which ``repro exp status`` reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+JOURNAL_FORMAT = 1
+
+
+@dataclass
+class JournalState:
+    """The replayed view of one journal file."""
+
+    run_key: str = ""
+    planned: set[str] = field(default_factory=set)
+    running: set[str] = field(default_factory=set)
+    done: set[str] = field(default_factory=set)
+    finished: bool = False
+    shards_done: int = 0
+
+    @property
+    def remaining(self) -> set[str]:
+        return self.planned - self.done
+
+    @property
+    def interrupted(self) -> bool:
+        """A run began, did not finish, and left work outstanding."""
+        return bool(self.run_key) and not self.finished
+
+
+class RunJournal:
+    """Append-only JSONL journal of one store's grid runs.
+
+    One journal holds at most one run: ``begin`` truncates. The file
+    persists after ``finish`` so ``repro exp status`` can report the
+    last completed run; an unfinished journal marks an interrupted run
+    whose missing points the next ``run_grid`` re-executes.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def _append(self, event: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+            handle.flush()
+
+    def begin(self, run_key: str, planned: list[str]) -> None:
+        """Start a new run record (truncates any previous one)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(
+                {
+                    "event": "begin",
+                    "format": JOURNAL_FORMAT,
+                    "run": run_key,
+                    "planned": sorted(planned),
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    def shard_started(self, shard_id: str, keys: tuple[str, ...]) -> None:
+        self._append(
+            {"event": "shard-start", "shard": shard_id, "keys": list(keys)}
+        )
+
+    def shard_done(
+        self,
+        shard_id: str,
+        keys: tuple[str, ...],
+        wall_seconds: float,
+        exec_seconds: float,
+    ) -> None:
+        self._append(
+            {
+                "event": "shard-done",
+                "shard": shard_id,
+                "keys": list(keys),
+                "wall_seconds": round(wall_seconds, 6),
+                "exec_seconds": round(exec_seconds, 6),
+            }
+        )
+
+    def finish(self, run_key: str) -> None:
+        self._append({"event": "finish", "run": run_key})
+
+    # ------------------------------------------------------------------
+    def load(self) -> JournalState | None:
+        """Replay the journal into a :class:`JournalState`.
+
+        Returns ``None`` when there is no journal. Unparseable lines
+        (a truncated final append from a crash) are ignored.
+        """
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return None
+        state = JournalState()
+        for line in text.splitlines():
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(event, dict):
+                continue
+            kind = event.get("event")
+            if kind == "begin":
+                state = JournalState(
+                    run_key=str(event.get("run", "")),
+                    planned=set(event.get("planned", [])),
+                )
+            elif kind == "shard-start":
+                state.running.update(event.get("keys", []))
+            elif kind == "shard-done":
+                keys = event.get("keys", [])
+                state.done.update(keys)
+                state.running.difference_update(keys)
+                state.shards_done += 1
+            elif kind == "finish" and event.get("run") == state.run_key:
+                state.finished = True
+        return state
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def journal_for_store(store) -> RunJournal | None:
+    """The canonical journal sitting next to a file-backed store."""
+    if store is None or store.path is None:
+        return None
+    return RunJournal(store.path.with_name(store.path.name + ".journal"))

@@ -1,15 +1,31 @@
-"""Batched experiment runner: fan a grid out over a process pool.
+"""Sharded experiment scheduler: fan a grid out over a process pool.
 
-Every (tracker × attack × config) point becomes one task. A task is a
-pure function of its payload: the point recombines with the base seed
-into a :class:`~repro.scenario.Scenario`, the worker executes it
-through the :class:`~repro.scenario.Session` facade, and every random
-stream derives from the scenario's stable task seed — so results are
+Every (tracker × attack × config) point is a pure function of its
+payload: the point recombines with the base seed into a
+:class:`~repro.scenario.Scenario`, the worker executes it through the
+:class:`~repro.scenario.Session` facade, and every random stream
+derives from the scenario's stable task seed — so results are
 bit-identical whether the grid runs on one worker or many, and a
-point's fingerprint fully identifies its result. Fingerprints already
-present in the :class:`~repro.exp.store.ResultStore` are served from
-cache, making re-runs incremental: only new or edited coordinates
-execute.
+point's fingerprint fully identifies its result.
+
+The scheduler is a small job-queue service around that purity:
+
+* **Plan** — diff the grid's fingerprints against the
+  :class:`~repro.exp.store.ResultStore`; only missing points execute
+  (re-runs are incremental, resumes are the same diff).
+* **Shard** — partition the pending points into content-addressed
+  :class:`~repro.exp.shards.TaskShard`\\ s and dispatch whole shards,
+  amortizing per-task IPC/pickle (see :mod:`repro.exp.shards`).
+* **Commit** — as each shard completes, its results land in the store,
+  the dirty shards flush to disk, and the
+  :class:`~repro.exp.journal.RunJournal` records it — so a killed run
+  loses at most its in-flight shards and a resume is bit-identical to
+  an uninterrupted run (store files included: shard-file content is
+  sorted, independent of write order).
+
+A pool is only built when it can win: one usable CPU, or a pending set
+smaller than :data:`POOL_MIN_PENDING`, takes the inline fast path
+(identical results, none of the fork/pickle overhead).
 """
 
 from __future__ import annotations
@@ -17,16 +33,40 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..parallel import default_workers, fork_map
+from ..parallel import default_workers, effective_workers, fork_imap_unordered
 from ..scenario import Session
-from .grid import ExperimentGrid, ExperimentPoint
+from ..sim.seeding import stable_hash
+from .grid import SCHEMA_VERSION, ExperimentGrid, ExperimentPoint
+from .journal import RunJournal, journal_for_store
 from .result import (
     ExperimentResult,
     summarise_channel_result,
     summarise_rank_result,
     summarise_sim_result,
 )
+from .shards import TaskShard, plan_shards
 from .store import ResultStore
+
+#: Pending grids smaller than this run inline even when workers were
+#: requested: a pool cannot amortize its startup over a handful of
+#: points (the ``exp_runner`` bench measured 0.68x for exactly that).
+POOL_MIN_PENDING = 4
+
+
+class _InjectedCrash(RuntimeError):
+    """Raised by the fault-injection hook (crash/resume tests)."""
+
+
+@dataclass
+class ShardReport:
+    """Telemetry for one committed shard."""
+
+    shard_id: str
+    tasks: int
+    #: Parent-observed seconds from dispatch start to commit.
+    wall_seconds: float
+    #: Worker-measured seconds actually executing the shard's points.
+    exec_seconds: float
 
 
 @dataclass
@@ -38,17 +78,33 @@ class RunReport:
     cached: int = 0
     n_workers: int = 1
     wall_seconds: float = 0.0
+    #: Points recovered from a previous interrupted run of this store
+    #: (they count toward ``cached`` as well — the store had them).
+    resumed: int = 0
+    #: ``"inline"`` (no-pool fast path) or ``"pool"``.
+    dispatch: str = "inline"
+    shards: list[ShardReport] = field(default_factory=list)
 
     @property
     def total(self) -> int:
         return len(self.results)
 
+    @property
+    def exec_seconds(self) -> float:
+        """Worker-side execution time summed over the run's shards."""
+        return sum(shard.exec_seconds for shard in self.shards)
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} points ({self.executed} executed, "
             f"{self.cached} cached) on {self.n_workers} worker(s) "
             f"in {self.wall_seconds:.2f}s"
         )
+        if self.shards:
+            text += f" [{len(self.shards)} shard(s), {self.dispatch}]"
+        if self.resumed:
+            text += f" (resumed {self.resumed} from interrupted run)"
+        return text
 
 
 def run_point(point: ExperimentPoint, base_seed: int = 0) -> ExperimentResult:
@@ -94,6 +150,13 @@ def _execute_task(task: dict) -> ExperimentResult:
     )
 
 
+def _execute_shard(shard: TaskShard) -> tuple[list[ExperimentResult], float]:
+    """Worker body for one shard: every task, plus exec telemetry."""
+    started = time.perf_counter()
+    results = [_execute_task(task) for task in shard.tasks]
+    return results, time.perf_counter() - started
+
+
 def _tracker_stats(trackers) -> dict:
     """Tracker-side counters, summed across the rank's bank instances."""
     return {
@@ -106,48 +169,131 @@ def _tracker_stats(trackers) -> dict:
     }
 
 
+def run_key_for(keys: list[str], base_seed: int) -> str:
+    """Stable identity of one planned run (grid contents + seed)."""
+    return stable_hash("exp-run", SCHEMA_VERSION, base_seed, sorted(keys))[:16]
+
+
 def run_grid(
     grid: ExperimentGrid,
     base_seed: int = 0,
     n_workers: int | None = None,
     store: ResultStore | None = None,
+    journal: RunJournal | bool | None = None,
+    fail_after_shards: int | None = None,
 ) -> RunReport:
     """Run every point of ``grid``, reusing cached results.
 
     Results come back in grid (row-major) order regardless of worker
-    scheduling. With a file-backed store the new results are flushed
-    before returning.
+    scheduling. With a file-backed store, results are flushed shard by
+    shard as they complete (dirty-shard-only writes) and a run journal
+    next to the store records planned/running/done fingerprints — kill
+    the process at any moment and the next identical ``run_grid`` call
+    resumes, executing only the missing points and producing
+    bit-identical store files.
+
+    ``journal=None`` journals automatically for file-backed stores;
+    ``False`` disables; a :class:`RunJournal` overrides the location.
+    ``fail_after_shards`` is the crash-injection hook the resume tests
+    and the CI smoke use: the scheduler raises after committing that
+    many shards, exactly as if the process had died there.
     """
     if n_workers is None:
         n_workers = default_workers()
     store = store if store is not None else ResultStore()
+    if journal is None:
+        journal = journal_for_store(store)
+    elif journal is False:
+        journal = None
     points = grid.points()
     keys = [point.fingerprint(base_seed) for point in points]
 
-    pending: list[dict] = []
+    pending: dict[str, dict] = {}
     for point, key in zip(points, keys):
-        if key not in store:
-            pending.append(
-                {
-                    "key": key,
-                    "base_seed": base_seed,
-                    "point": point.to_payload(),
-                }
+        if key not in store and key not in pending:
+            pending[key] = {
+                "key": key,
+                "base_seed": base_seed,
+                "point": point.to_payload(),
+            }
+
+    resumed = 0
+    if journal is not None:
+        prior = journal.load()
+        if prior is not None and prior.interrupted:
+            recovered = prior.done & set(keys)
+            resumed = sum(1 for key in recovered if key in store)
+
+    run_key = run_key_for(keys, base_seed)
+    tasks = list(pending.values())
+    pool_workers = effective_workers(n_workers, len(tasks))
+    use_pool = pool_workers > 1 and len(tasks) >= POOL_MIN_PENDING
+    # Shards are planned for the worker count actually used: when the
+    # pool guard collapses to inline, fewer shards means fewer commit
+    # flushes, not just no pool (a 4-worker plan run inline would pay
+    # 16 shard commits for nothing).
+    shards = plan_shards(tasks, pool_workers if use_pool else 1)
+    if journal is not None:
+        journal.begin(run_key, list(pending))
+    started = time.perf_counter()
+    shard_reports: list[ShardReport] = []
+
+    def commit(shard: TaskShard, results, exec_seconds, shard_started):
+        for result in results:
+            store.put(result)
+        store.flush()
+        wall = time.perf_counter() - shard_started
+        if journal is not None:
+            journal.shard_done(
+                shard.shard_id, shard.keys, wall, exec_seconds
+            )
+        shard_reports.append(
+            ShardReport(
+                shard_id=shard.shard_id,
+                tasks=len(shard),
+                wall_seconds=wall,
+                exec_seconds=exec_seconds,
+            )
+        )
+        if (
+            fail_after_shards is not None
+            and len(shard_reports) >= fail_after_shards
+            and len(shard_reports) < len(shards)
+        ):
+            raise _InjectedCrash(
+                f"injected crash after {len(shard_reports)} shard(s)"
             )
 
-    started = time.perf_counter()
-    # Each task is heavyweight (a full trace simulation), so hand them
-    # out one at a time rather than in chunks.
-    for result in fork_map(
-        _execute_task, pending, n_workers=n_workers, chunksize=1
-    ):
-        store.put(result)
+    if use_pool:
+        dispatch = "pool"
+        if journal is not None:
+            for shard in shards:
+                journal.shard_started(shard.shard_id, shard.keys)
+        dispatch_started = time.perf_counter()
+        for index, (results, exec_seconds) in fork_imap_unordered(
+            _execute_shard, shards, n_workers=pool_workers
+        ):
+            commit(shards[index], results, exec_seconds, dispatch_started)
+    else:
+        dispatch = "inline"
+        for shard in shards:
+            shard_started = time.perf_counter()
+            if journal is not None:
+                journal.shard_started(shard.shard_id, shard.keys)
+            results, exec_seconds = _execute_shard(shard)
+            commit(shard, results, exec_seconds, shard_started)
+
     store.flush()
+    if journal is not None:
+        journal.finish(run_key)
 
     return RunReport(
         results=[store.get(key) for key in keys],
         executed=len(pending),
         cached=len(points) - len(pending),
-        n_workers=n_workers,
+        n_workers=pool_workers if use_pool else 1,
         wall_seconds=time.perf_counter() - started,
+        resumed=resumed,
+        dispatch=dispatch,
+        shards=shard_reports,
     )

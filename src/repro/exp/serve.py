@@ -1,0 +1,175 @@
+"""``repro serve`` — a stdlib HTTP front end over :class:`QueryAPI`.
+
+A deliberately small read-only service: no third-party dependencies
+(``http.server`` + threads), answering sweep/point queries straight
+from the sharded result store through the fingerprint-keyed query
+cache. Writes happen elsewhere (``repro exp run`` appends to the same
+store; the server picks new results up via the store's cheap
+change-detection stat on each request).
+
+Routes (all ``GET``):
+
+* ``/v1/status`` — store/cache statistics (JSON).
+* ``/v1/points`` — index of stored results (key, tracker, attack,
+  failed).
+* ``/v1/point/<fingerprint>`` — one result payload; fingerprint may be
+  any unambiguous prefix. ``?format=csv`` renders the shared CSV rows.
+* ``/v1/sweep`` — results filtered by ``?tracker=&attack=&failed=``;
+  ``?format=csv`` for CSV.
+
+Errors are JSON: ``{"error": ...}`` with a 4xx status.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from .query import SWEEP_CSV_COLUMNS, QueryAPI, sweep_csv_rows
+
+
+def _csv_text(rows: list[dict], columns) -> str:
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=list(columns))
+    writer.writeheader()
+    writer.writerows(rows)
+    return out.getvalue()
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`QueryAPI`."""
+
+    server_version = "repro-serve/1"
+    #: Silenced by default; ``make_server(verbose=True)`` re-enables.
+    quiet = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, document) -> None:
+        self._send(
+            status,
+            json.dumps(document, indent=1, sort_keys=True) + "\n",
+            "application/json",
+        )
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        api: QueryAPI = self.server.api  # type: ignore[attr-defined]
+        url = urlsplit(self.path)
+        query = parse_qs(url.query)
+        fmt = query.get("format", ["json"])[0]
+        if fmt not in ("json", "csv"):
+            return self._send_error(400, f"unknown format {fmt!r}")
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["v1", "status"]:
+                return self._send_json(200, api.status())
+            if parts == ["v1", "points"]:
+                return self._send_json(200, {
+                    "points": [
+                        {
+                            "key": result.key,
+                            "tracker": result.tracker,
+                            "attack": result.attack,
+                            "failed": result.failed,
+                        }
+                        for result in api.sweep()
+                    ],
+                })
+            if len(parts) == 3 and parts[:2] == ["v1", "point"]:
+                return self._point(api, unquote(parts[2]), fmt)
+            if parts == ["v1", "sweep"]:
+                return self._sweep(api, query, fmt)
+        except Exception as error:  # pragma: no cover - defensive
+            return self._send_error(500, f"{type(error).__name__}: {error}")
+        return self._send_error(404, f"no route for {url.path!r}")
+
+    def _point(self, api: QueryAPI, fingerprint: str, fmt: str) -> None:
+        result = api.point(fingerprint)
+        if result is None:
+            return self._send_error(
+                404, f"no result for fingerprint {fingerprint!r}"
+            )
+        if fmt == "csv":
+            return self._send(
+                200,
+                _csv_text(sweep_csv_rows([result]), SWEEP_CSV_COLUMNS),
+                "text/csv",
+            )
+        return self._send_json(200, result.to_payload())
+
+    def _sweep(self, api: QueryAPI, query: dict, fmt: str) -> None:
+        tracker = query.get("tracker", [None])[0]
+        attack = query.get("attack", [None])[0]
+        failed_raw = query.get("failed", [None])[0]
+        failed: bool | None = None
+        if failed_raw is not None:
+            if failed_raw.lower() not in ("true", "false", "1", "0"):
+                return self._send_error(
+                    400, f"failed must be true/false, got {failed_raw!r}"
+                )
+            failed = failed_raw.lower() in ("true", "1")
+        if fmt == "csv":
+            rows = api.sweep_csv(tracker, attack, failed)
+            return self._send(
+                200, _csv_text(rows, SWEEP_CSV_COLUMNS), "text/csv"
+            )
+        return self._send_json(200, {
+            "results": api.sweep_payloads(tracker, attack, failed),
+        })
+
+
+def make_server(
+    api: QueryAPI,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a
+    free port (read it back from ``server.server_address``)."""
+    handler = type(
+        "BoundServeHandler", (ServeHandler,), {"quiet": not verbose}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.api = api  # type: ignore[attr-defined]
+    return server
+
+
+def serve_store(
+    store_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    verbose: bool = True,
+) -> int:
+    """The ``repro serve`` loop: serve ``store_path`` until Ctrl-C."""
+    api = QueryAPI.open(store_path)
+    server = make_server(api, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serving {store_path} ({len(api.store)} result(s)) "
+        f"on http://{bound_host}:{bound_port} — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

@@ -1,83 +1,332 @@
-"""Fingerprint-keyed JSON store for experiment results.
+"""Fingerprint-keyed, sharded JSON store for experiment results.
 
 The store makes grid re-runs incremental: a point whose fingerprint is
 already present is served from cache, so growing a sweep (more
 trackers, more attacks) only executes the new coordinates, and editing
-any knob of an existing coordinate re-runs just that one. The on-disk
-format is a single human-readable JSON document, stable under
-``sort_keys`` so diffs are meaningful and determinism tests can compare
-files byte-for-byte.
+any knob of an existing coordinate re-runs just that one.
+
+Format v2 (this module) splits the results across *shard files* keyed
+by fingerprint prefix: ``<path>`` holds a small manifest
+(``{"format": 2, "shard_width": W, "shards": {prefix: count}}``) and
+each shard lives at ``<path>.shards/<prefix>.json``. Because a
+result's shard is a pure function of its fingerprint, a flush only
+rewrites the shards that actually changed since the last one —
+store I/O is O(new results), not O(store) — and a store assembled by
+a resumed run is byte-identical to one written in a single pass
+(every file's content is sorted by fingerprint, independent of write
+order). ``compact()`` rewrites everything and drops orphaned shard
+files.
+
+Format v1 (a single JSON blob with inline results) still *loads*
+through a tolerant shim; the first flush migrates it to v2 in place
+(the manifest atomically replaces the old blob). A corrupt file is
+backed up to ``<path>.bak`` with a warning before the store starts
+empty — a subsequent ``flush()`` can no longer clobber the only copy
+— and a file claiming a *newer* format than this code understands
+raises :class:`StoreFormatError` instead of being silently treated as
+empty. Every file write is atomic (tempfile + rename), so a crashed
+run never corrupts previous results.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
+import warnings
 from pathlib import Path
 
 from .result import ExperimentResult
 
-STORE_FORMAT = 1
+STORE_FORMAT = 2
+
+#: Fingerprint-prefix length (hex chars) keying the shard files. Two
+#: chars give up to 256 shards — enough that any realistic sweep dirties
+#: only a few shards per incremental run, while a full store stays a
+#: handful of human-readable files. Recorded in the manifest, so a
+#: store written with a different width still loads.
+SHARD_WIDTH = 2
+
+
+class StoreFormatError(RuntimeError):
+    """The store file exists but cannot be safely used by this code."""
+
+
+def shard_key(fingerprint: str, width: int = SHARD_WIDTH) -> str:
+    """The shard a fingerprint's result lives in (its hex prefix)."""
+    return fingerprint[:width]
+
+
+def _atomic_write(path: Path, text: str) -> int:
+    """Write ``text`` to ``path`` atomically; returns bytes written."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(text.encode("utf-8"))
 
 
 class ResultStore:
     """A dict of fingerprint → :class:`ExperimentResult`, file-backed.
 
     ``path=None`` gives a purely in-memory store (used when the caller
-    did not ask for persistence). Writes are atomic (tempfile + rename)
-    so a crashed run never corrupts previous results; an unreadable or
-    foreign-format file is treated as empty rather than fatal.
+    did not ask for persistence). ``generation`` counts mutations of
+    the in-memory mapping — the read API keys its caches on it, so a
+    reload or new result invalidates exactly the queries it should.
     """
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        shard_width: int = SHARD_WIDTH,
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.shard_width = shard_width
+        self.generation = 0
+        #: Bytes and file count of the most recent ``flush()`` — the
+        #: dirty-shard-only telemetry the bench records.
+        self.last_flush_bytes = 0
+        self.last_flush_files = 0
         self._results: dict[str, ExperimentResult] = {}
+        self._dirty: set[str] = set()
+        self._signature: tuple | None = None
         if self.path is not None and self.path.exists():
             self._load()
 
     # ------------------------------------------------------------------
+    @property
+    def shards_dir(self) -> Path | None:
+        """Directory holding the v2 shard files (None for in-memory)."""
+        if self.path is None:
+            return None
+        return self.path.with_name(self.path.name + ".shards")
+
+    def _shard_path(self, prefix: str) -> Path:
+        return self.shards_dir / f"{prefix}.json"
+
+    def _quarantine(self, reason: str) -> None:
+        """Back the unusable file up to ``<path>.bak`` and warn.
+
+        The store then starts empty, but a later ``flush()`` can no
+        longer destroy the only copy of whatever was in the file.
+        """
+        backup = self.path.with_name(self.path.name + ".bak")
+        shutil.copy2(self.path, backup)
+        warnings.warn(
+            f"{self.path}: {reason}; the file was backed up to "
+            f"{backup.name} and the store starts empty",
+            stacklevel=3,
+        )
+
     def _load(self) -> None:
         try:
             document = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             return
-        if not isinstance(document, dict):
+        except json.JSONDecodeError:
+            self._quarantine("not valid JSON (corrupt result store?)")
             return
-        if document.get("format") != STORE_FORMAT:
+        if not isinstance(document, dict) or "format" not in document:
+            self._quarantine("not a result-store document")
             return
-        for key, payload in document.get("results", {}).items():
+        version = document.get("format")
+        if not isinstance(version, int) or version < 1:
+            self._quarantine(f"unrecognised store format {version!r}")
+            return
+        if version > STORE_FORMAT:
+            raise StoreFormatError(
+                f"{self.path} is a format-{version} store, but this "
+                f"code only understands up to format {STORE_FORMAT}; "
+                "refusing to touch it (upgrade repro, or point at a "
+                "different store path)"
+            )
+        if version == 1:
+            # v1 shim: inline results in one blob. Loading marks every
+            # shard dirty so the first flush migrates the store to v2.
+            self._ingest(document.get("results", {}), mark_dirty=True)
+        else:
+            self.shard_width = int(
+                document.get("shard_width", self.shard_width)
+            )
+            for prefix in sorted(document.get("shards", {})):
+                self._load_shard(prefix)
+        self.generation += 1
+        self._signature = self._disk_signature()
+
+    def _load_shard(self, prefix: str) -> None:
+        path = self._shard_path(prefix)
+        try:
+            payloads = json.loads(path.read_text()).get("results", {})
+        except OSError:
+            warnings.warn(
+                f"{path}: shard listed in the manifest is missing; "
+                "its results are dropped (re-running the sweep "
+                "recomputes them)",
+                stacklevel=4,
+            )
+            return
+        except (json.JSONDecodeError, AttributeError):
+            shutil.copy2(path, path.with_name(path.name + ".bak"))
+            warnings.warn(
+                f"{path}: corrupt shard backed up to {path.name}.bak; "
+                "its results are dropped",
+                stacklevel=4,
+            )
+            self._dirty.add(prefix)
+            return
+        self._ingest(payloads, mark_dirty=False)
+
+    def _ingest(self, payloads: dict, mark_dirty: bool) -> None:
+        for key, payload in payloads.items():
             try:
                 self._results[key] = ExperimentResult.from_payload(payload)
             except (KeyError, TypeError):
                 continue
+            if mark_dirty:
+                self._dirty.add(shard_key(key, self.shard_width))
 
-    def flush(self) -> None:
-        """Persist to disk atomically (no-op for in-memory stores)."""
+    # ------------------------------------------------------------------
+    def _disk_signature(self) -> tuple | None:
+        """A cheap change-detection stamp of the on-disk manifest."""
         if self.path is None:
-            return
-        document = {
-            "format": STORE_FORMAT,
-            "results": {
-                key: result.to_payload()
-                for key, result in sorted(self._results.items())
-            },
-        }
-        text = json.dumps(document, sort_keys=True, indent=1)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-        )
+            return None
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, self.path)
-        except BaseException:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def reload_if_changed(self) -> bool:
+        """Re-read the store when another process rewrote it.
+
+        The read API calls this before answering, so a long-lived
+        ``repro serve`` picks up results from sweeps that finish while
+        it is running. Returns True when a reload happened.
+        """
+        if self.path is None or self._disk_signature() == self._signature:
+            return False
+        self._results.clear()
+        self._dirty.clear()
+        if self.path.exists():
+            self._load()
+        else:
+            self.generation += 1
+            self._signature = None
+        return True
+
+    def flush(self) -> int:
+        """Persist dirty shards atomically; returns bytes written.
+
+        Only the shards touched since the last flush are rewritten
+        (plus the manifest, which is O(shard count), not O(results)).
+        A no-op for in-memory stores and when nothing changed.
+        """
+        self.last_flush_bytes = 0
+        self.last_flush_files = 0
+        if self.path is None:
+            return 0
+        if not self._dirty and self.path.exists():
+            return 0
+        counts: dict[str, int] = {}
+        dirty_results: dict[str, dict] = {p: {} for p in self._dirty}
+        for key in sorted(self._results):
+            prefix = shard_key(key, self.shard_width)
+            counts[prefix] = counts.get(prefix, 0) + 1
+            if prefix in dirty_results:
+                dirty_results[prefix][key] = self._results[key].to_payload()
+        bytes_written = 0
+        files = 0
+        for prefix, shard_results in sorted(dirty_results.items()):
+            path = self._shard_path(prefix)
+            if not shard_results:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            text = json.dumps(
+                {
+                    "format": STORE_FORMAT,
+                    "shard": prefix,
+                    "results": shard_results,
+                },
+                sort_keys=True,
+                indent=1,
+            )
+            bytes_written += _atomic_write(path, text)
+            files += 1
+        manifest = {
+            "format": STORE_FORMAT,
+            "shard_width": self.shard_width,
+            "shards": {prefix: counts[prefix] for prefix in sorted(counts)},
+        }
+        text = json.dumps(manifest, sort_keys=True, indent=1)
+        bytes_written += _atomic_write(self.path, text)
+        files += 1
+        self._dirty.clear()
+        self._signature = self._disk_signature()
+        self.last_flush_bytes = bytes_written
+        self.last_flush_files = files
+        return bytes_written
+
+    def compact(self) -> int:
+        """Rewrite every live shard and drop orphaned shard files.
+
+        Orphans appear when results are cleared or a crashed process
+        left shards the manifest no longer references. Returns bytes
+        written.
+        """
+        if self.path is None:
+            return 0
+        self._dirty = {
+            shard_key(key, self.shard_width) for key in self._results
+        }
+        live = {f"{prefix}.json" for prefix in self._dirty}
+        if self.shards_dir is not None and self.shards_dir.exists():
+            for stray in self.shards_dir.iterdir():
+                if stray.suffix == ".json" and stray.name not in live:
+                    try:
+                        stray.unlink()
+                    except OSError:
+                        pass
+        written = self.flush()
+        if (
+            not self._results
+            and self.shards_dir is not None
+            and self.shards_dir.exists()
+        ):
             try:
-                os.unlink(tmp_name)
+                self.shards_dir.rmdir()
             except OSError:
                 pass
-            raise
+        return written
+
+    def disk_bytes(self) -> int:
+        """Total on-disk size of the manifest plus every shard file."""
+        if self.path is None:
+            return 0
+        total = 0
+        for path in [self.path, *(
+            sorted(self.shards_dir.glob("*.json"))
+            if self.shards_dir.exists()
+            else []
+        )]:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -91,10 +340,20 @@ class ResultStore:
 
     def put(self, result: ExperimentResult) -> None:
         self._results[result.key] = result
+        self._dirty.add(shard_key(result.key, self.shard_width))
+        self.generation += 1
+
+    def keys(self) -> list[str]:
+        """All cached fingerprints, sorted."""
+        return sorted(self._results)
 
     def results(self) -> list[ExperimentResult]:
         """All cached results, ordered by fingerprint."""
         return [self._results[key] for key in sorted(self._results)]
 
     def clear(self) -> None:
+        self._dirty.update(
+            shard_key(key, self.shard_width) for key in self._results
+        )
         self._results.clear()
+        self.generation += 1

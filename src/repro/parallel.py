@@ -12,6 +12,14 @@ Two constraints shape this helper:
 When ``fork`` is unavailable, or the pool cannot be built, the map
 degrades to serial execution — correctness never depends on
 parallelism being possible.
+
+Pool creation is also *guarded against losing*: a pool is only built
+when this process can actually use more than one CPU
+(:func:`default_workers` respects cgroup/affinity limits) and the task
+list is large enough to amortize worker startup. A 4-worker pool on a
+1-CPU container used to run ~1.5x *slower* than serial (measured in
+``BENCH_engine.json``'s ``exp_runner`` point); now it silently takes
+the serial path instead.
 """
 
 from __future__ import annotations
@@ -19,10 +27,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Below this many tasks a pool cannot amortize its startup cost, so
+#: the map runs serially no matter how many workers were requested.
+MIN_POOL_TASKS = 2
 
 #: Function handed to workers through fork-inherited memory. Only valid
 #: between pool creation and teardown in :func:`fork_map`; the lock
@@ -36,6 +48,11 @@ def _call_task(arg):
     return _TASK_FN(arg)
 
 
+def _call_task_indexed(indexed_arg):
+    index, arg = indexed_arg
+    return index, _TASK_FN(arg)
+
+
 def fork_available() -> bool:
     """True when ``fork``-based pools can be used on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -47,6 +64,21 @@ def default_workers() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
+
+
+def effective_workers(n_workers: int, n_tasks: int) -> int:
+    """The worker count a pool call will actually use.
+
+    Collapses to 1 (the serial path, bit-identical by construction)
+    whenever a pool could only lose: a single usable CPU, too few
+    tasks to amortize worker startup (:data:`MIN_POOL_TASKS`), or no
+    ``fork`` support. Never exceeds the task count.
+    """
+    if n_workers <= 1 or n_tasks < MIN_POOL_TASKS:
+        return 1
+    if not fork_available() or default_workers() == 1:
+        return 1
+    return min(n_workers, n_tasks)
 
 
 def fork_map(
@@ -64,20 +96,60 @@ def fork_map(
     pure function of its argument (use :mod:`repro.sim.seeding` to
     derive per-task randomness).
 
-    Runs serially when ``n_workers <= 1``, when there is at most one
-    item, or when fork is unavailable.
+    Runs serially when :func:`effective_workers` collapses the request:
+    ``n_workers <= 1``, fewer than :data:`MIN_POOL_TASKS` items, a
+    single usable CPU, or no ``fork`` support.
     """
     work: Sequence[T] = list(items)
-    if n_workers <= 1 or len(work) <= 1 or not fork_available():
+    workers = effective_workers(n_workers, len(work))
+    if workers <= 1:
         return [fn(item) for item in work]
     if chunksize is None:
-        chunksize = max(1, len(work) // (4 * n_workers))
+        chunksize = max(1, len(work) // (4 * workers))
     global _TASK_FN
     with _TASK_LOCK:
         _TASK_FN = fn
         try:
             context = multiprocessing.get_context("fork")
-            with context.Pool(processes=min(n_workers, len(work))) as pool:
+            with context.Pool(processes=workers) as pool:
                 return pool.map(_call_task, work, chunksize=chunksize)
+        finally:
+            _TASK_FN = None
+
+
+def fork_imap_unordered(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_workers: int = 1,
+) -> Iterator[tuple[int, R]]:
+    """Yield ``(index, fn(item))`` pairs as tasks complete.
+
+    The streaming variant of :func:`fork_map` used by the sharded
+    experiment scheduler: the caller commits each result (store flush,
+    journal mark) the moment its shard finishes instead of waiting for
+    the whole map, so a killed run loses at most the in-flight shards.
+    Completion order is scheduling-dependent; the index identifies the
+    task. The serial fallback (same guards as :func:`fork_map`) yields
+    in input order.
+
+    Each item travels as its own pool task (``chunksize=1``) — callers
+    amortize dispatch by making the items themselves chunky (shards of
+    tasks, not single tasks).
+    """
+    work: Sequence[T] = list(items)
+    workers = effective_workers(n_workers, len(work))
+    if workers <= 1:
+        for index, item in enumerate(work):
+            yield index, fn(item)
+        return
+    global _TASK_FN
+    with _TASK_LOCK:
+        _TASK_FN = fn
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=workers) as pool:
+                yield from pool.imap_unordered(
+                    _call_task_indexed, enumerate(work), chunksize=1
+                )
         finally:
             _TASK_FN = None

@@ -1,0 +1,88 @@
+"""Pool guards and fan-out semantics of :mod:`repro.parallel`."""
+
+import pytest
+
+import repro.parallel
+from repro.parallel import (
+    MIN_POOL_TASKS,
+    effective_workers,
+    fork_imap_unordered,
+    fork_map,
+)
+
+
+@pytest.fixture
+def four_cpus(monkeypatch):
+    monkeypatch.setattr(repro.parallel, "default_workers", lambda: 4)
+
+
+@pytest.fixture
+def one_cpu(monkeypatch):
+    monkeypatch.setattr(repro.parallel, "default_workers", lambda: 1)
+
+
+def square(x):
+    return x * x
+
+
+class TestEffectiveWorkers:
+    def test_serial_request_stays_serial(self, four_cpus):
+        assert effective_workers(1, 100) == 1
+        assert effective_workers(0, 100) == 1
+
+    def test_tiny_task_list_collapses(self, four_cpus):
+        assert effective_workers(4, MIN_POOL_TASKS - 1) == 1
+        assert effective_workers(4, MIN_POOL_TASKS) > 1
+
+    def test_one_usable_cpu_collapses(self, one_cpu):
+        """The 1-CPU-container guard: a pool there only loses."""
+        assert effective_workers(8, 100) == 1
+
+    def test_never_exceeds_task_count(self, four_cpus):
+        assert effective_workers(8, 3) == 3
+
+    def test_no_fork_collapses(self, four_cpus, monkeypatch):
+        monkeypatch.setattr(
+            repro.parallel, "fork_available", lambda: False
+        )
+        assert effective_workers(4, 100) == 1
+
+
+class TestForkMap:
+    def test_matches_serial_map(self, four_cpus):
+        items = list(range(20))
+        assert fork_map(square, items, n_workers=4) == [
+            square(x) for x in items
+        ]
+
+    def test_closures_cross_the_fork(self, four_cpus):
+        offset = 1000
+        assert fork_map(lambda x: x + offset, [1, 2, 3], n_workers=2) == [
+            1001, 1002, 1003,
+        ]
+
+    def test_guarded_serial_path_identical(self, one_cpu):
+        assert fork_map(square, list(range(8)), n_workers=4) == [
+            square(x) for x in range(8)
+        ]
+
+    def test_empty_input(self):
+        assert fork_map(square, [], n_workers=4) == []
+
+
+class TestForkImapUnordered:
+    def test_yields_every_indexed_result(self, four_cpus):
+        items = list(range(12))
+        pairs = sorted(fork_imap_unordered(square, items, n_workers=4))
+        assert pairs == [(i, square(x)) for i, x in enumerate(items)]
+
+    def test_serial_fallback_preserves_order(self, one_cpu):
+        pairs = list(fork_imap_unordered(square, [3, 1, 2], n_workers=4))
+        assert pairs == [(0, 9), (1, 1), (2, 4)]
+
+    def test_results_stream_incrementally(self, one_cpu):
+        seen = []
+        for index, value in fork_imap_unordered(
+            seen.append, [10, 20], n_workers=1
+        ):
+            assert len(seen) == index + 1

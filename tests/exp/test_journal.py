@@ -1,0 +1,107 @@
+"""Run-journal replay: begin/shard/finish lifecycle and crash tails."""
+
+import json
+
+from repro.exp import ResultStore, RunJournal, journal_for_store
+
+
+def journal(tmp_path):
+    return RunJournal(tmp_path / "store.json.journal")
+
+
+class TestLifecycle:
+    def test_missing_journal_loads_none(self, tmp_path):
+        assert journal(tmp_path).load() is None
+
+    def test_begin_records_planned(self, tmp_path):
+        log = journal(tmp_path)
+        log.begin("run-1", ["bb", "aa"])
+        state = log.load()
+        assert state.run_key == "run-1"
+        assert state.planned == {"aa", "bb"}
+        assert state.remaining == {"aa", "bb"}
+        assert state.interrupted
+
+    def test_shard_lifecycle(self, tmp_path):
+        log = journal(tmp_path)
+        log.begin("run-1", ["aa", "bb", "cc"])
+        log.shard_started("s1", ("aa", "bb"))
+        log.shard_started("s2", ("cc",))
+        log.shard_done("s1", ("aa", "bb"), wall_seconds=0.5, exec_seconds=0.4)
+        state = log.load()
+        assert state.done == {"aa", "bb"}
+        assert state.running == {"cc"}
+        assert state.remaining == {"cc"}
+        assert state.shards_done == 1
+        assert state.interrupted
+
+    def test_finish_completes_the_run(self, tmp_path):
+        log = journal(tmp_path)
+        log.begin("run-1", ["aa"])
+        log.shard_done("s1", ("aa",), wall_seconds=0.1, exec_seconds=0.1)
+        log.finish("run-1")
+        state = log.load()
+        assert state.finished
+        assert not state.interrupted
+        assert state.remaining == set()
+
+    def test_begin_truncates_previous_run(self, tmp_path):
+        log = journal(tmp_path)
+        log.begin("run-1", ["aa"])
+        log.finish("run-1")
+        log.begin("run-2", ["bb"])
+        state = log.load()
+        assert state.run_key == "run-2"
+        assert not state.finished
+        assert state.planned == {"bb"}
+
+    def test_clear_removes_the_file(self, tmp_path):
+        log = journal(tmp_path)
+        log.begin("run-1", ["aa"])
+        log.clear()
+        assert log.load() is None
+        log.clear()  # idempotent
+
+
+class TestCrashTolerance:
+    def test_truncated_final_line_ignored(self, tmp_path):
+        log = journal(tmp_path)
+        log.begin("run-1", ["aa", "bb"])
+        log.shard_done("s1", ("aa",), wall_seconds=0.1, exec_seconds=0.1)
+        with log.path.open("a") as handle:
+            handle.write('{"event": "shard-done", "keys": ["b')
+        state = log.load()
+        assert state.done == {"aa"}
+        assert state.shards_done == 1
+
+    def test_foreign_finish_does_not_complete(self, tmp_path):
+        """A stale finish line from another run key is ignored."""
+        log = journal(tmp_path)
+        log.begin("run-2", ["aa"])
+        log.finish("run-1")
+        assert log.load().interrupted
+
+    def test_journal_lines_are_json(self, tmp_path):
+        log = journal(tmp_path)
+        log.begin("run-1", ["aa"])
+        log.shard_started("s1", ("aa",))
+        log.shard_done("s1", ("aa",), wall_seconds=0.25, exec_seconds=0.2)
+        log.finish("run-1")
+        events = [
+            json.loads(line) for line in log.path.read_text().splitlines()
+        ]
+        assert [event["event"] for event in events] == [
+            "begin", "shard-start", "shard-done", "finish",
+        ]
+        assert events[2]["wall_seconds"] == 0.25
+
+
+class TestStoreBinding:
+    def test_journal_for_store_sits_next_to_it(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.json")
+        log = journal_for_store(store)
+        assert log.path == tmp_path / "sweep.json.journal"
+
+    def test_in_memory_store_has_no_journal(self):
+        assert journal_for_store(ResultStore()) is None
+        assert journal_for_store(None) is None

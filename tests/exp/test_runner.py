@@ -1,16 +1,22 @@
-"""Determinism, caching, and fan-out behaviour of the grid runner."""
+"""Determinism, caching, crash/resume, and fan-out behaviour of the
+sharded grid scheduler."""
 
 import json
 
+import pytest
+
+import repro.parallel
 from repro.exp import (
     AttackSpec,
     ExperimentGrid,
     PointConfig,
     ResultStore,
     TrackerSpec,
+    journal_for_store,
     run_grid,
     run_point,
 )
+from repro.exp.runner import _InjectedCrash
 
 BASE_SEED = 42
 
@@ -168,3 +174,158 @@ class TestResultContents:
         report = run_grid(grid, base_seed=BASE_SEED, n_workers=1)
         assert report.results[0].failed
         assert report.results[0].metrics["flips"]
+
+
+def store_files(path):
+    """Every byte the store put on disk, keyed by relative name."""
+    files = {path.name: path.read_bytes()}
+    shards_dir = path.with_name(path.name + ".shards")
+    if shards_dir.exists():
+        for shard in sorted(shards_dir.glob("*.json")):
+            files[f"shards/{shard.name}"] = shard.read_bytes()
+    return files
+
+
+@pytest.fixture
+def four_cpus(monkeypatch):
+    """Pretend the box has 4 usable CPUs so the pool guard lets the
+    real fork pool run (CI boxes may expose only one)."""
+    monkeypatch.setattr(repro.parallel, "default_workers", lambda: 4)
+
+
+class TestCrashResume:
+    def test_injected_crash_leaves_partial_store(self, tmp_path):
+        path = tmp_path / "store.json"
+        with pytest.raises(_InjectedCrash):
+            run_grid(
+                fast_grid(), base_seed=BASE_SEED, n_workers=1,
+                store=ResultStore(path), fail_after_shards=2,
+            )
+        partial = ResultStore(path)
+        assert len(partial) == 2
+        state = journal_for_store(partial).load()
+        assert state.interrupted
+        assert len(state.planned) == 4
+        assert len(state.done) == 2
+
+    def test_resume_executes_only_missing_points(self, tmp_path):
+        path = tmp_path / "store.json"
+        with pytest.raises(_InjectedCrash):
+            run_grid(
+                fast_grid(), base_seed=BASE_SEED, n_workers=1,
+                store=ResultStore(path), fail_after_shards=2,
+            )
+        report = run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        assert report.executed == 2
+        assert report.cached == 2
+        assert report.resumed == 2
+        assert "resumed 2 from interrupted run" in report.summary()
+        state = journal_for_store(ResultStore(path)).load()
+        assert state.finished
+
+    def test_resumed_store_bit_identical_to_clean_run(self, tmp_path):
+        """The headline resume guarantee: kill + resume produces the
+        exact bytes an uninterrupted run writes."""
+        clean_path = tmp_path / "clean.json"
+        run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(clean_path),
+        )
+        crashed_path = tmp_path / "crashed.json"
+        with pytest.raises(_InjectedCrash):
+            run_grid(
+                fast_grid(), base_seed=BASE_SEED, n_workers=1,
+                store=ResultStore(crashed_path), fail_after_shards=1,
+            )
+        resumed = run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(crashed_path),
+        )
+        assert resumed.total == 4
+        clean = {
+            name.replace("clean", "store"): content
+            for name, content in store_files(clean_path).items()
+        }
+        recovered = {
+            name.replace("crashed", "store"): content
+            for name, content in store_files(crashed_path).items()
+        }
+        assert clean == recovered
+
+    def test_completed_run_reports_no_resume(self, tmp_path):
+        path = tmp_path / "store.json"
+        run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        again = run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        assert again.resumed == 0
+
+
+class TestShardedDispatch:
+    def test_inline_dispatch_on_one_worker(self):
+        report = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=1)
+        assert report.dispatch == "inline"
+        assert report.n_workers == 1
+        assert sum(s.tasks for s in report.shards) == 4
+        assert all(s.wall_seconds >= 0 for s in report.shards)
+        assert report.exec_seconds > 0
+        assert "shard(s), inline" in report.summary()
+
+    def test_tiny_pending_set_stays_inline(self, four_cpus, tmp_path):
+        """Below POOL_MIN_PENDING the pool cannot win; stay serial."""
+        grid = fast_grid()
+        grid.trackers = grid.trackers[:1]
+        grid.attacks = grid.attacks[:1]
+        report = run_grid(grid, base_seed=BASE_SEED, n_workers=4)
+        assert report.dispatch == "inline"
+
+    def test_pool_dispatch_bit_identical_to_serial(self, four_cpus):
+        """1-vs-N determinism through the *sharded* scheduler with the
+        real fork pool forced on."""
+        serial = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=1)
+        pooled = run_grid(fast_grid(), base_seed=BASE_SEED, n_workers=4)
+        assert serial.dispatch == "inline"
+        assert pooled.dispatch == "pool"
+        assert pooled.n_workers == 4
+        assert canonical(serial) == canonical(pooled)
+
+    def test_pool_run_writes_same_store_files(self, four_cpus, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        pooled_path = tmp_path / "pooled.json"
+        run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(serial_path),
+        )
+        run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=4,
+            store=ResultStore(pooled_path),
+        )
+        serial = {
+            name.replace("serial", "store"): content
+            for name, content in store_files(serial_path).items()
+        }
+        pooled = {
+            name.replace("pooled", "store"): content
+            for name, content in store_files(pooled_path).items()
+        }
+        assert serial == pooled
+
+    def test_cached_run_plans_no_shards(self, tmp_path):
+        path = tmp_path / "store.json"
+        run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        report = run_grid(
+            fast_grid(), base_seed=BASE_SEED, n_workers=1,
+            store=ResultStore(path),
+        )
+        assert report.shards == []
+        assert report.exec_seconds == 0

@@ -1,0 +1,64 @@
+"""Content-addressed shard planning: determinism and coverage."""
+
+from repro.exp import TaskShard, plan_shards
+
+
+def tasks_for(keys):
+    return [{"key": key, "payload": f"task-{key}"} for key in keys]
+
+
+KEYS = [f"{i:02x}{'f' * 6}" for i in range(17)]
+
+
+class TestPartition:
+    def test_every_task_appears_exactly_once(self):
+        shards = plan_shards(tasks_for(KEYS), n_workers=4)
+        covered = [key for shard in shards for key in shard.keys]
+        assert sorted(covered) == sorted(KEYS)
+        assert all(len(shard.keys) == len(shard.tasks) for shard in shards)
+
+    def test_empty_input(self):
+        assert plan_shards([], n_workers=4) == []
+
+    def test_shard_count_bounded_by_tasks(self):
+        shards = plan_shards(tasks_for(KEYS[:3]), n_workers=8)
+        assert len(shards) == 3
+        assert all(len(shard) == 1 for shard in shards)
+
+    def test_shard_count_scales_with_workers(self):
+        one = plan_shards(tasks_for(KEYS), n_workers=1)
+        four = plan_shards(tasks_for(KEYS), n_workers=4)
+        assert len(one) == 4  # 1 worker x 4 shards-per-worker
+        assert len(four) == 16
+        assert max(len(s) for s in four) - min(len(s) for s in four) <= 1
+
+    def test_tasks_sorted_by_fingerprint_within_and_across(self):
+        shuffled = tasks_for(list(reversed(KEYS)))
+        shards = plan_shards(shuffled, n_workers=2)
+        flattened = [key for shard in shards for key in shard.keys]
+        assert flattened == sorted(KEYS)
+
+
+class TestContentAddressing:
+    def test_input_order_never_changes_the_plan(self):
+        forward = plan_shards(tasks_for(KEYS), n_workers=2)
+        backward = plan_shards(tasks_for(list(reversed(KEYS))), n_workers=2)
+        assert forward == backward
+
+    def test_shard_id_is_a_function_of_member_keys(self):
+        first, second = (
+            plan_shards(tasks_for(KEYS), n_workers=2) for _ in range(2)
+        )
+        assert [s.shard_id for s in first] == [s.shard_id for s in second]
+        assert len({s.shard_id for s in first}) == len(first)
+
+    def test_different_pending_sets_give_different_ids(self):
+        full = plan_shards(tasks_for(KEYS), n_workers=1)
+        partial = plan_shards(tasks_for(KEYS[1:]), n_workers=1)
+        assert {s.shard_id for s in full} != {s.shard_id for s in partial}
+
+    def test_shard_is_frozen_and_sized(self):
+        (shard,) = plan_shards(tasks_for(KEYS[:2]), n_workers=1,
+                               shards_per_worker=1)
+        assert isinstance(shard, TaskShard)
+        assert len(shard) == 2

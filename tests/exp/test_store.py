@@ -1,8 +1,12 @@
-"""Result-store persistence, atomicity, and corruption handling."""
+"""Result-store persistence: sharded v2 layout, atomicity, migration,
+and corruption handling."""
 
 import json
 
-from repro.exp import ExperimentResult, ResultStore
+import pytest
+
+from repro.exp import ExperimentResult, ResultStore, StoreFormatError, shard_key
+from repro.exp.store import STORE_FORMAT
 
 
 def sample_result(key="abc123", tracker="mint"):
@@ -33,7 +37,7 @@ class TestRoundTrip:
     def test_in_memory_store_never_touches_disk(self, tmp_path):
         store = ResultStore()
         store.put(sample_result())
-        store.flush()
+        assert store.flush() == 0
         assert len(store) == 1
         assert list(tmp_path.iterdir()) == []
 
@@ -42,6 +46,7 @@ class TestRoundTrip:
         store.put(sample_result(key="bbb"))
         store.put(sample_result(key="aaa"))
         assert [r.key for r in store.results()] == ["aaa", "bbb"]
+        assert store.keys() == ["aaa", "bbb"]
 
     def test_flush_output_is_stable(self, tmp_path):
         path = tmp_path / "store.json"
@@ -49,22 +54,152 @@ class TestRoundTrip:
         store.put(sample_result())
         store.flush()
         first = path.read_text()
-        ResultStore(path).flush()
+        shard = store.shards_dir / "ab.json"
+        shard_first = shard.read_text()
+        reloaded = ResultStore(path)
+        assert reloaded.flush() == 0  # nothing dirty: no write at all
         assert path.read_text() == first
+        assert shard.read_text() == shard_first
 
 
-class TestAccessors:
-    def test_max_unmitigated_helper(self):
-        result = sample_result()
-        assert result.max_unmitigated(1000) == 5
-        assert result.max_unmitigated(9999) == 0
+class TestShardedLayout:
+    def test_manifest_and_shard_files(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ResultStore(path)
+        store.put(sample_result(key="ab00ff"))
+        store.put(sample_result(key="ab99ee"))
+        store.put(sample_result(key="cd1234"))
+        store.flush()
+        manifest = json.loads(path.read_text())
+        assert manifest["format"] == STORE_FORMAT
+        assert manifest["shards"] == {"ab": 2, "cd": 1}
+        shard = json.loads((store.shards_dir / "ab.json").read_text())
+        assert sorted(shard["results"]) == ["ab00ff", "ab99ee"]
 
-    def test_overwrite_same_key(self):
-        store = ResultStore()
-        store.put(sample_result(tracker="mint"))
-        store.put(sample_result(tracker="para"))
+    def test_flush_writes_only_dirty_shards(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ResultStore(path)
+        for key in ("aa01", "bb02", "cc03", "dd04"):
+            store.put(sample_result(key=key))
+        full_bytes = store.flush()
+        assert store.last_flush_files == 5  # 4 shards + manifest
+        before = {
+            f.name: f.stat().st_mtime_ns
+            for f in store.shards_dir.iterdir()
+        }
+        store.put(sample_result(key="aa05"))
+        incremental = store.flush()
+        assert store.last_flush_files == 2  # one shard + manifest
+        assert incremental < full_bytes
+        after = {
+            f.name: f.stat().st_mtime_ns
+            for f in store.shards_dir.iterdir()
+        }
+        unchanged = {name for name in before if before[name] == after[name]}
+        assert unchanged == {"bb.json", "cc.json", "dd.json"}
+
+    def test_write_order_never_changes_bytes(self, tmp_path):
+        """Shard files are sorted by fingerprint: a store assembled
+        incrementally is byte-identical to one written in a single
+        pass — the property resume correctness rests on."""
+        one = ResultStore(tmp_path / "one.json")
+        for key in ("ab02", "ab01", "ab03"):
+            one.put(sample_result(key=key))
+        one.flush()
+        two = ResultStore(tmp_path / "two.json")
+        for key in ("ab03", "ab01"):
+            two.put(sample_result(key=key))
+            two.flush()
+        two.put(sample_result(key="ab02"))
+        two.flush()
+        assert (
+            (one.shards_dir / "ab.json").read_text()
+            == (two.shards_dir / "ab.json").read_text()
+        )
+        assert (
+            (tmp_path / "one.json").read_text()
+            == (tmp_path / "two.json").read_text()
+        )
+
+    def test_clear_then_flush_removes_shards(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ResultStore(path)
+        store.put(sample_result(key="ab01"))
+        store.flush()
+        store.clear()
+        store.flush()
+        assert not (store.shards_dir / "ab.json").exists()
+        assert json.loads(path.read_text())["shards"] == {}
+
+    def test_compact_drops_orphan_shards(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ResultStore(path)
+        store.put(sample_result(key="ab01"))
+        store.flush()
+        orphan = store.shards_dir / "zz.json"
+        orphan.write_text(json.dumps({"format": 2, "results": {}}))
+        store.compact()
+        assert not orphan.exists()
+        assert (store.shards_dir / "ab.json").exists()
+
+    def test_reload_if_changed_sees_external_writes(self, tmp_path):
+        path = tmp_path / "store.json"
+        writer = ResultStore(path)
+        writer.put(sample_result(key="ab01"))
+        writer.flush()
+        reader = ResultStore(path)
+        generation = reader.generation
+        assert reader.reload_if_changed() is False
+        writer.put(sample_result(key="cd02"))
+        writer.flush()
+        assert reader.reload_if_changed() is True
+        assert len(reader) == 2
+        assert reader.generation > generation
+
+
+class TestV1Migration:
+    def _v1_document(self):
+        return {
+            "format": 1,
+            "results": {"abc123": sample_result().to_payload()},
+        }
+
+    def test_v1_blob_loads_through_shim(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps(self._v1_document()))
+        store = ResultStore(path)
         assert len(store) == 1
-        assert store.get("abc123").tracker == "para"
+        assert store.get("abc123") == sample_result()
+
+    def test_v1_round_trips_to_v2(self, tmp_path):
+        """Loading a v1 blob and flushing migrates it in place: the
+        manifest replaces the blob, shards appear, and a fresh v2
+        store of the same results is byte-identical."""
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps(self._v1_document()))
+        store = ResultStore(path)
+        assert store.flush() > 0  # v1 load marks everything dirty
+        migrated = json.loads(path.read_text())
+        assert migrated["format"] == STORE_FORMAT
+        assert "results" not in migrated
+        reloaded = ResultStore(path)
+        assert reloaded.get("abc123") == sample_result()
+
+        fresh = ResultStore(tmp_path / "fresh.json")
+        fresh.put(sample_result())
+        fresh.flush()
+        assert (
+            (fresh.shards_dir / "ab.json").read_text()
+            == (store.shards_dir / "ab.json").read_text()
+        )
+
+    def test_unparseable_v1_entries_skipped(self, tmp_path):
+        document = self._v1_document()
+        document["results"]["bad"] = {"not": "a result"}
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps(document))
+        store = ResultStore(path)
+        assert len(store) == 1
 
 
 class TestSchemaV2Compat:
@@ -145,20 +280,71 @@ class TestSchemaV2Compat:
 
 
 class TestCorruption:
-    def test_garbage_file_treated_as_empty(self, tmp_path):
+    """An unusable store file is preserved, never silently clobbered."""
+
+    def test_garbage_file_backed_up_with_warning(self, tmp_path):
         path = tmp_path / "store.json"
         path.write_text("{not json")
-        assert len(ResultStore(path)) == 0
+        with pytest.warns(UserWarning, match="backed up"):
+            store = ResultStore(path)
+        assert len(store) == 0
+        assert (tmp_path / "store.json.bak").read_text() == "{not json"
 
-    def test_foreign_format_ignored(self, tmp_path):
+    def test_foreign_document_backed_up(self, tmp_path):
+        path = tmp_path / "store.json"
+        foreign = json.dumps({"some": "other tool's file"})
+        path.write_text(foreign)
+        with pytest.warns(UserWarning):
+            ResultStore(path)
+        assert (tmp_path / "store.json.bak").read_text() == foreign
+
+    def test_newer_format_refused(self, tmp_path):
+        """A store written by a newer repro raises instead of being
+        treated as empty (a flush would have destroyed it)."""
         path = tmp_path / "store.json"
         path.write_text(json.dumps({"format": 999, "results": {}}))
-        assert len(ResultStore(path)) == 0
+        with pytest.raises(StoreFormatError, match="format-999"):
+            ResultStore(path)
+        # the file is untouched
+        assert json.loads(path.read_text())["format"] == 999
 
-    def test_flush_recovers_corrupt_store(self, tmp_path):
+    def test_flush_after_corruption_preserves_backup(self, tmp_path):
         path = tmp_path / "store.json"
         path.write_text("{not json")
-        store = ResultStore(path)
+        with pytest.warns(UserWarning):
+            store = ResultStore(path)
         store.put(sample_result())
         store.flush()
         assert len(ResultStore(path)) == 1
+        assert (tmp_path / "store.json.bak").read_text() == "{not json"
+
+    def test_corrupt_shard_backed_up(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ResultStore(path)
+        store.put(sample_result(key="ab01"))
+        store.put(sample_result(key="cd02"))
+        store.flush()
+        shard = store.shards_dir / "ab.json"
+        shard.write_text("{broken")
+        with pytest.warns(UserWarning, match="corrupt shard"):
+            reloaded = ResultStore(path)
+        assert len(reloaded) == 1  # the cd shard survived
+        assert (store.shards_dir / "ab.json.bak").read_text() == "{broken"
+
+
+class TestAccessors:
+    def test_max_unmitigated_helper(self):
+        result = sample_result()
+        assert result.max_unmitigated(1000) == 5
+        assert result.max_unmitigated(9999) == 0
+
+    def test_overwrite_same_key(self):
+        store = ResultStore()
+        store.put(sample_result(tracker="mint"))
+        store.put(sample_result(tracker="para"))
+        assert len(store) == 1
+        assert store.get("abc123").tracker == "para"
+
+    def test_shard_key_is_prefix(self):
+        assert shard_key("abcdef") == "ab"
+        assert shard_key("abcdef", width=3) == "abc"

@@ -114,27 +114,40 @@ SCENARIO_SURFACE = frozenset({
     "run_scenario",
 })
 
-#: repro.exp — the batched experiment subsystem.
+#: repro.exp — the experiment service (sharded scheduler, store,
+#: journal, read API).
 EXP_SURFACE = frozenset({
     "AttackSpec",
     "ExperimentGrid",
     "ExperimentPoint",
     "ExperimentResult",
+    "JournalState",
     "PointConfig",
+    "QueryAPI",
     "ResultStore",
+    "RunJournal",
     "RunReport",
     "SCHEMA_VERSION",
+    "ShardReport",
+    "StoreFormatError",
+    "TaskShard",
     "TrackerSpec",
     "channel_shootout_grid",
+    "journal_for_store",
+    "make_server",
+    "plan_shards",
     "postponement_grid",
     "preset_grid",
     "rank_shootout_grid",
     "run_grid",
     "run_point",
+    "serve_store",
+    "shard_key",
     "shootout_grid",
     "summarise_channel_result",
     "summarise_rank_result",
     "summarise_sim_result",
+    "sweep_csv_rows",
 })
 
 SNAPSHOTS = {
